@@ -1,0 +1,168 @@
+// Command voqfigs regenerates the evaluation figures of "FIFO Based
+// Multicast Scheduling Algorithm for VOQ Packet Switches" (Pan & Yang,
+// ICPP 2004): Figures 4-8 plus the extension sweeps, printed as
+// aligned tables and ASCII plots, optionally exported as CSV/JSON, and
+// checked against the paper's qualitative claims.
+//
+// Usage:
+//
+//	voqfigs [flags]
+//
+//	-figs fig4,fig5     which sweeps to run (default: all paper figures)
+//	-slots 1000000      slots per point (default 200000; paper: 1e6)
+//	-n 16               switch size
+//	-seed 2004          base seed
+//	-extended           add PIM/WBA/no-split baselines
+//	-plots              render ASCII plots alongside tables
+//	-out DIR            also write <fig>.csv and <fig>.json into DIR
+//	-workers K          parallel simulations (default: all cores)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"voqsim/internal/asciiplot"
+	"voqsim/internal/experiment"
+)
+
+func main() {
+	var (
+		figsFlag = flag.String("figs", "fig4,fig5,fig6,fig7,fig8", "comma-separated sweeps to run (fig4..fig8, ablation-rounds, ablation-splitting, ablation-criterion, speedup, hotspot, industry, memory, mixed, all)")
+		slots    = flag.Int64("slots", 0, "slots per point (0 = 200000; the paper uses 1000000)")
+		n        = flag.Int("n", 16, "switch size N")
+		seed     = flag.Uint64("seed", 2004, "base seed")
+		extended = flag.Bool("extended", false, "include extension baselines (pim, wba, fifoms-nosplit)")
+		plots    = flag.Bool("plots", false, "render ASCII plots")
+		outDir   = flag.String("out", "", "directory for CSV/JSON exports")
+		workers  = flag.Int("workers", 0, "parallel simulations (0 = all cores)")
+	)
+	flag.Parse()
+
+	opts := experiment.Options{
+		N: *n, Slots: *slots, Seed: *seed, Extended: *extended, Workers: *workers,
+	}
+	available := experiment.Figures(opts)
+	for name, sw := range experiment.Extensions(opts) {
+		available[name] = sw
+	}
+
+	var names []string
+	if *figsFlag == "all" {
+		for name := range available {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+	} else {
+		names = strings.Split(*figsFlag, ",")
+	}
+
+	failed := false
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		sweep, ok := available[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "voqfigs: unknown sweep %q\n", name)
+			failed = true
+			continue
+		}
+		if err := runSweep(sweep, *plots, *outDir); err != nil {
+			fmt.Fprintf(os.Stderr, "voqfigs: %v\n", err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func runSweep(sweep *experiment.Sweep, plots bool, outDir string) error {
+	fmt.Printf("==> %s: %s (slots=%d per point)\n", sweep.Name, sweep.Title, effectiveSlots(sweep.Slots))
+	tbl, err := sweep.Run()
+	if err != nil {
+		return err
+	}
+
+	metrics := experiment.FigureMetrics()
+	switch sweep.Name {
+	case "fig5":
+		metrics = []experiment.Metric{experiment.Rounds}
+	case "memory":
+		metrics = []experiment.Metric{experiment.BufferBytes, experiment.AvgQueue}
+	}
+	fmt.Println(tbl.Format(metrics...))
+
+	if plots {
+		for _, m := range metrics {
+			p := asciiplot.Plot{
+				Title:  fmt.Sprintf("%s — %s", tbl.Title, m.Label),
+				XLabel: "effective load",
+				YLabel: m.Name,
+				Xs:     tbl.Loads,
+				LogY:   m.Saturating,
+			}
+			for _, algo := range tbl.Algos {
+				ys, err := tbl.Series(algo, m)
+				if err != nil {
+					return err
+				}
+				p.Series = append(p.Series, asciiplot.Series{Name: algo, Ys: ys})
+			}
+			fmt.Println(p.Render())
+		}
+	}
+
+	if violations := tbl.Check(); len(violations) == 0 {
+		fmt.Printf("shape check: PASS (paper's qualitative claims hold)\n\n")
+	} else {
+		fmt.Printf("shape check: %d violation(s):\n", len(violations))
+		for _, v := range violations {
+			fmt.Printf("  - %s\n", v)
+		}
+		fmt.Println()
+	}
+
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return fmt.Errorf("creating %s: %w", outDir, err)
+		}
+		csvPath := filepath.Join(outDir, tbl.Name+".csv")
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		allMetrics := append(experiment.FigureMetrics(), experiment.Rounds, experiment.Throughput)
+		if err := tbl.WriteCSV(f, allMetrics...); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		jsonPath := filepath.Join(outDir, tbl.Name+".json")
+		g, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := tbl.WriteJSON(g); err != nil {
+			g.Close()
+			return err
+		}
+		if err := g.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s and %s\n\n", csvPath, jsonPath)
+	}
+	return nil
+}
+
+func effectiveSlots(s int64) int64 {
+	if s <= 0 {
+		return 200_000
+	}
+	return s
+}

@@ -1,0 +1,51 @@
+// Command voqreport runs the full reproduction — all five paper
+// figures, the extension experiments, the saturation search and the
+// scaling study — and writes the paper-versus-measured Markdown report
+// (the repository's EXPERIMENTS.md) to stdout or a file.
+//
+// Usage:
+//
+//	voqreport [-slots 200000] [-seed 2004] [-workers K]
+//	          [-skip-extensions] [-o EXPERIMENTS.md]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"voqsim/internal/report"
+)
+
+func main() {
+	var (
+		slots   = flag.Int64("slots", 0, "slots per sweep point (0 = 200000; paper: 1000000)")
+		seed    = flag.Uint64("seed", 2004, "base seed")
+		workers = flag.Int("workers", 0, "parallel simulations (0 = all cores)")
+		skipExt = flag.Bool("skip-extensions", false, "only the paper's five figures")
+		outPath = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "voqreport: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+
+	err := report.Generate(report.Options{
+		Slots: *slots, Seed: *seed, Workers: *workers, SkipExtensions: *skipExt,
+	}, w)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "voqreport: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,173 @@
+// Command voqsim runs a single switch simulation and prints the
+// paper's statistics for it.
+//
+// Usage:
+//
+//	voqsim [flags]
+//
+//	-algo fifoms        scheduler: fifoms, tatra, islip, oqfifo, pim,
+//	                    wba, fifoms-nosplit, fifoms-rK (K = round cap)
+//	-n 16               switch size
+//	-traffic bernoulli  bernoulli | uniform | burst | mixed
+//	-load 0.8           target effective load (solves the free parameter)
+//	-b 0.2              per-output probability (bernoulli, burst)
+//	-maxfanout 8        fanout bound (uniform, mixed)
+//	-eon 16             mean burst length (burst)
+//	-mcfrac 0.5         multicast fraction (mixed)
+//	-slots 200000       simulated slots
+//	-seed 1             run seed
+//	-json               print the full report as JSON
+//	-series FILE        write a per-slot backlog time series CSV
+//
+// Example — the paper's Figure 4 operating point at load 0.8:
+//
+//	voqsim -algo fifoms -traffic bernoulli -b 0.2 -load 0.8
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"voqsim"
+	"voqsim/internal/experiment"
+	"voqsim/internal/switchsim"
+	"voqsim/internal/traffic"
+	"voqsim/internal/xrand"
+)
+
+func main() {
+	var (
+		algo      = flag.String("algo", "fifoms", "scheduling algorithm")
+		n         = flag.Int("n", 16, "switch size N")
+		trafficK  = flag.String("traffic", "bernoulli", "traffic family: bernoulli|uniform|burst|mixed")
+		load      = flag.Float64("load", 0.8, "target effective load per output")
+		b         = flag.Float64("b", 0.2, "per-output destination probability (bernoulli, burst)")
+		maxFanout = flag.Int("maxfanout", 8, "maximum fanout (uniform, mixed)")
+		eOn       = flag.Float64("eon", 16, "mean burst length in slots (burst)")
+		mcFrac    = flag.Float64("mcfrac", 0.5, "multicast fraction of arrivals (mixed)")
+		slots     = flag.Int64("slots", 200_000, "simulated slots")
+		seed      = flag.Uint64("seed", 1, "run seed")
+		asJSON    = flag.Bool("json", false, "print the report as JSON")
+		seriesOut = flag.String("series", "", "also write a per-slot backlog time series CSV to this file")
+	)
+	flag.Parse()
+
+	var tr voqsim.Traffic
+	switch *trafficK {
+	case "bernoulli":
+		tr = voqsim.BernoulliTrafficAtLoad(*load, *b)
+	case "uniform":
+		tr = voqsim.UniformTrafficAtLoad(*load, *maxFanout)
+	case "burst":
+		tr = voqsim.BurstTrafficAtLoad(*load, *b, *eOn)
+	case "mixed":
+		// Mixed has no at-load helper on the facade with fraction; use
+		// the probability form: p = load / meanFanout.
+		mean := *mcFrac*(2+float64(*maxFanout))/2 + (1 - *mcFrac)
+		tr = voqsim.MixedTraffic(*load/mean, *mcFrac, *maxFanout)
+	default:
+		fmt.Fprintf(os.Stderr, "voqsim: unknown traffic family %q\n", *trafficK)
+		os.Exit(2)
+	}
+
+	report, err := voqsim.Run(voqsim.Config{
+		Ports:     *n,
+		Scheduler: voqsim.Scheduler(*algo),
+		Traffic:   tr,
+		Slots:     *slots,
+		Seed:      *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "voqsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *seriesOut != "" {
+		if err := writeSeries(*seriesOut, *algo, *n, *slots, *seed, report.Load, *trafficK, *b, *maxFanout, *eOn, *mcFrac); err != nil {
+			fmt.Fprintf(os.Stderr, "voqsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(os.Stderr, "voqsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("algorithm:            %s\n", report.Scheduler)
+	fmt.Printf("traffic:              %s\n", report.Traffic)
+	fmt.Printf("switch:               %dx%d\n", report.Ports, report.Ports)
+	fmt.Printf("effective load:       %.4f\n", report.Load)
+	fmt.Printf("slots (warmup):       %d (%d)\n", report.Slots, report.WarmupSlots)
+	if report.Unstable {
+		fmt.Printf("stability:            UNSTABLE at slot %d — offered load not sustainable\n", report.UnstableAt)
+	} else {
+		fmt.Printf("stability:            stable\n")
+	}
+	fmt.Printf("avg input delay:      %.3f slots\n", report.AvgInputDelay)
+	fmt.Printf("avg output delay:     %.3f slots\n", report.AvgOutputDelay)
+	fmt.Printf("input delay p99:      <= %d slots\n", report.InputDelayP99)
+	fmt.Printf("avg queue size:       %.3f cells/port\n", report.AvgQueueSize)
+	fmt.Printf("max queue size:       %d cells\n", report.MaxQueueSize)
+	if report.MeanRounds > 0 {
+		fmt.Printf("mean rounds/slot:     %.3f\n", report.MeanRounds)
+	}
+	fmt.Printf("throughput:           %.4f copies/output/slot\n", report.Throughput)
+	fmt.Printf("completed packets:    %d\n", report.CompletedPackets)
+	fmt.Printf("delivered copies:     %d\n", report.DeliveredCopies)
+}
+
+// writeSeries re-runs the identical simulation with a series recorder
+// attached and writes the per-slot backlog CSV. The rerun is exact:
+// the engine is deterministic in the seed.
+func writeSeries(path, algo string, n int, slots int64, seed uint64, load float64, family string, b float64, maxFanout int, eOn, mcFrac float64) error {
+	var pat traffic.Pattern
+	var err error
+	switch family {
+	case "bernoulli":
+		pat, err = traffic.BernoulliAtLoad(load, b, n)
+	case "uniform":
+		pat, err = traffic.UniformAtLoad(load, maxFanout, n)
+	case "burst":
+		pat, err = traffic.BurstAtLoad(load, b, eOn, n)
+	case "mixed":
+		pat, err = traffic.MixedAtLoad(load, mcFrac, maxFanout, n)
+	default:
+		return fmt.Errorf("series output not supported for traffic family %q", family)
+	}
+	if err != nil {
+		return err
+	}
+	a, err := experiment.ByName(algo)
+	if err != nil {
+		return err
+	}
+	seedRoot := xrand.New(seed)
+	sw := a.New(n, seedRoot.Split("switch", 0))
+	runner := switchsim.New(sw, pat, switchsim.Config{Slots: slots, Seed: seed}, seedRoot.Split("traffic", 0))
+	stride := slots / 2000
+	rec := switchsim.NewSeriesRecorder(stride)
+	runner.Observe(rec)
+	runner.Run(algo)
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("series:               %s (%d points)\n", path, rec.Len())
+	return nil
+}

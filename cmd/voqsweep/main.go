@@ -1,0 +1,244 @@
+// Command voqsweep runs a custom load sweep — any traffic family, any
+// subset of algorithms — and prints the measured series as tables,
+// optionally as CSV/JSON.
+//
+// Usage:
+//
+//	voqsweep [flags]
+//
+//	-algos fifoms,tatra,islip,oqfifo   algorithms to compare
+//	-traffic bernoulli                 bernoulli | uniform | burst | mixed
+//	-loads 0.1,0.2,...                 swept effective loads
+//	-b, -maxfanout, -eon, -mcfrac      family shape parameters
+//	-n, -slots, -seed, -workers        run setup
+//	-metrics in_delay,avg_queue        metrics to print
+//	-csv FILE / -json FILE             exports
+//
+// Example — reproduce Figure 7's delay panel with extension baselines:
+//
+//	voqsweep -traffic uniform -maxfanout 8 -algos fifoms,tatra,islip,oqfifo,wba
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"voqsim/internal/experiment"
+	"voqsim/internal/scenario"
+	"voqsim/internal/traffic"
+)
+
+func main() {
+	var (
+		algosFlag   = flag.String("algos", "fifoms,tatra,islip,oqfifo", "comma-separated algorithms")
+		trafficK    = flag.String("traffic", "bernoulli", "traffic family: bernoulli|uniform|burst|mixed|hotspot|diagonal")
+		loadsFlag   = flag.String("loads", "0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9,0.95", "comma-separated effective loads")
+		b           = flag.Float64("b", 0.2, "per-output probability (bernoulli, burst)")
+		maxFanout   = flag.Int("maxfanout", 8, "maximum fanout (uniform, mixed)")
+		eOn         = flag.Float64("eon", 16, "mean burst length (burst)")
+		mcFrac      = flag.Float64("mcfrac", 0.5, "multicast fraction (mixed)")
+		skew        = flag.Float64("skew", 4, "hot/cold load ratio (hotspot)")
+		n           = flag.Int("n", 16, "switch size N")
+		slots       = flag.Int64("slots", 200_000, "slots per point")
+		seed        = flag.Uint64("seed", 2004, "base seed")
+		workers     = flag.Int("workers", 0, "parallel simulations (0 = all cores)")
+		metricsFlag = flag.String("metrics", "in_delay,out_delay,avg_queue,max_queue", "metrics to print")
+		csvPath     = flag.String("csv", "", "write long-form CSV to this file")
+		jsonPath    = flag.String("json", "", "write the full table as JSON to this file")
+		configPath  = flag.String("config", "", "run a scenario file instead of flag-built traffic (see internal/scenario)")
+	)
+	flag.Parse()
+
+	if *configPath != "" {
+		runScenario(*configPath, *metricsFlag, *csvPath, *jsonPath)
+		return
+	}
+
+	loads, err := parseLoads(*loadsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	algos, err := parseAlgos(*algosFlag)
+	if err != nil {
+		fatal(err)
+	}
+	pattern, title, err := patternFor(*trafficK, *b, *maxFanout, *eOn, *mcFrac, *skew)
+	if err != nil {
+		fatal(err)
+	}
+	metrics, err := parseMetrics(*metricsFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	sweep := &experiment.Sweep{
+		Name:       "sweep",
+		Title:      fmt.Sprintf("%s, %dx%d", title, *n, *n),
+		N:          *n,
+		Loads:      loads,
+		Algorithms: algos,
+		Slots:      *slots,
+		Seed:       *seed,
+		Workers:    *workers,
+		Pattern:    pattern,
+	}
+	tbl, err := sweep.Run()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(tbl.Format(metrics...))
+
+	if *csvPath != "" {
+		if err := writeFile(*csvPath, func(f *os.File) error {
+			return tbl.WriteCSV(f, metrics...)
+		}); err != nil {
+			fatal(err)
+		}
+	}
+	if *jsonPath != "" {
+		if err := writeFile(*jsonPath, func(f *os.File) error {
+			return tbl.WriteJSON(f)
+		}); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// runScenario executes a version-controlled scenario file.
+func runScenario(path, metricsFlag, csvPath, jsonPath string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	sc, err := scenario.Read(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	sweep, err := sc.Sweep()
+	if err != nil {
+		fatal(err)
+	}
+	metrics, err := parseMetrics(metricsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	tbl, err := sweep.Run()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(tbl.Format(metrics...))
+	if csvPath != "" {
+		if err := writeFile(csvPath, func(f *os.File) error {
+			return tbl.WriteCSV(f, metrics...)
+		}); err != nil {
+			fatal(err)
+		}
+	}
+	if jsonPath != "" {
+		if err := writeFile(jsonPath, func(f *os.File) error {
+			return tbl.WriteJSON(f)
+		}); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func parseLoads(s string) ([]float64, error) {
+	var loads []float64
+	for _, tok := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad load %q: %w", tok, err)
+		}
+		loads = append(loads, v)
+	}
+	return loads, nil
+}
+
+func parseAlgos(s string) ([]experiment.Algorithm, error) {
+	var algos []experiment.Algorithm
+	for _, tok := range strings.Split(s, ",") {
+		a, err := experiment.ByName(strings.TrimSpace(tok))
+		if err != nil {
+			return nil, err
+		}
+		algos = append(algos, a)
+	}
+	return algos, nil
+}
+
+func parseMetrics(s string) ([]experiment.Metric, error) {
+	known := map[string]experiment.Metric{
+		"in_delay":     experiment.InputDelay,
+		"out_delay":    experiment.OutputDelay,
+		"avg_queue":    experiment.AvgQueue,
+		"max_queue":    experiment.MaxQueue,
+		"rounds":       experiment.Rounds,
+		"throughput":   experiment.Throughput,
+		"buffer_bytes": experiment.BufferBytes,
+	}
+	var out []experiment.Metric
+	for _, tok := range strings.Split(s, ",") {
+		m, ok := known[strings.TrimSpace(tok)]
+		if !ok {
+			return nil, fmt.Errorf("unknown metric %q", tok)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+func patternFor(family string, b float64, maxFanout int, eOn, mcFrac, skew float64) (experiment.PatternFunc, string, error) {
+	switch family {
+	case "bernoulli":
+		return func(load float64, n int) (traffic.Pattern, error) {
+			return traffic.BernoulliAtLoad(load, b, n)
+		}, fmt.Sprintf("Bernoulli traffic, b=%g", b), nil
+	case "uniform":
+		return func(load float64, n int) (traffic.Pattern, error) {
+			return traffic.UniformAtLoad(load, maxFanout, n)
+		}, fmt.Sprintf("Uniform traffic, maxFanout=%d", maxFanout), nil
+	case "burst":
+		return func(load float64, n int) (traffic.Pattern, error) {
+			return traffic.BurstAtLoad(load, b, eOn, n)
+		}, fmt.Sprintf("Burst traffic, b=%g, Eon=%g", b, eOn), nil
+	case "mixed":
+		return func(load float64, n int) (traffic.Pattern, error) {
+			return traffic.MixedAtLoad(load, mcFrac, maxFanout, n)
+		}, fmt.Sprintf("Mixed traffic, mc=%g, maxFanout=%d", mcFrac, maxFanout), nil
+	case "hotspot":
+		return func(load float64, n int) (traffic.Pattern, error) {
+			return traffic.HotspotAtLoad(load, skew, n)
+		}, fmt.Sprintf("Hotspot traffic, skew=%g", skew), nil
+	case "diagonal":
+		return func(load float64, n int) (traffic.Pattern, error) {
+			if load > 1 {
+				return nil, fmt.Errorf("diagonal load %v exceeds 1", load)
+			}
+			return traffic.Diagonal{P: load}, nil
+		}, "Diagonal traffic", nil
+	default:
+		return nil, "", fmt.Errorf("unknown traffic family %q", family)
+	}
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "voqsweep: %v\n", err)
+	os.Exit(1)
+}

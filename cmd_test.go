@@ -1,0 +1,171 @@
+package voqsim
+
+// End-to-end tests of the command-line tools: each binary is built
+// once into a temp dir and driven through its primary flows. These
+// are the flows EXPERIMENTS.md tells readers to run, so they must not
+// rot.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	binDir    string
+	buildErr  error
+)
+
+// buildTools compiles every cmd/ binary once per test process.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		binDir, buildErr = os.MkdirTemp("", "voqsim-bins")
+		if buildErr != nil {
+			return
+		}
+		cmd := exec.Command("go", "build", "-o", binDir+string(os.PathSeparator), "./cmd/...")
+		cmd.Dir = "."
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = err
+			t.Logf("build output:\n%s", out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building tools: %v", buildErr)
+	}
+	return binDir
+}
+
+func runTool(t *testing.T, name string, stdin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(buildTools(t), name), args...)
+	if stdin != "" {
+		cmd.Stdin = strings.NewReader(stdin)
+	}
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIVoqsim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	out := runTool(t, "voqsim", "", "-algo", "fifoms", "-load", "0.6", "-slots", "5000")
+	for _, want := range []string{"algorithm:", "fifoms", "stability:", "stable", "throughput:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("voqsim output missing %q:\n%s", want, out)
+		}
+	}
+	// JSON mode emits a decodable report.
+	out = runTool(t, "voqsim", "", "-algo", "oqfifo", "-load", "0.5", "-slots", "2000", "-json")
+	if !strings.Contains(out, "\"Scheduler\": \"oqfifo\"") {
+		t.Fatalf("voqsim -json output:\n%s", out)
+	}
+}
+
+func TestCLIVoqsimSeries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	path := filepath.Join(t.TempDir(), "series.csv")
+	runTool(t, "voqsim", "", "-algo", "fifoms", "-load", "0.5", "-slots", "4000", "-series", path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "slot,backlog_cells") {
+		t.Fatalf("series file header:\n%.80s", data)
+	}
+}
+
+func TestCLIVoqsweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	csvPath := filepath.Join(t.TempDir(), "sweep.csv")
+	out := runTool(t, "voqsweep",
+		"", "-loads", "0.3,0.6", "-slots", "3000", "-algos", "fifoms,oqfifo",
+		"-metrics", "in_delay", "-csv", csvPath)
+	if !strings.Contains(out, "fifoms") || !strings.Contains(out, "0.6") {
+		t.Fatalf("voqsweep output:\n%s", out)
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "sweep,algorithm,load,metric,value") {
+		t.Fatalf("CSV header:\n%.80s", data)
+	}
+}
+
+func TestCLIVoqsweepScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	scenario := filepath.Join(t.TempDir(), "s.json")
+	err := os.WriteFile(scenario, []byte(`{
+		"name": "cli-test", "n": 8, "slots": 2000, "seed": 3,
+		"traffic": {"family": "uniform", "maxFanout": 4},
+		"algorithms": ["fifoms"], "loads": [0.5]
+	}`), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := runTool(t, "voqsweep", "", "-config", scenario, "-metrics", "throughput")
+	if !strings.Contains(out, "cli-test") || !strings.Contains(out, "fifoms") {
+		t.Fatalf("scenario output:\n%s", out)
+	}
+}
+
+func TestCLIVoqfigs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	outDir := t.TempDir()
+	out := runTool(t, "voqfigs", "", "-figs", "fig5", "-slots", "3000", "-plots", "-out", outDir)
+	for _, want := range []string{"fig5", "convergence", "shape check"} {
+		if !strings.Contains(strings.ToLower(out), want) {
+			t.Fatalf("voqfigs output missing %q:\n%s", want, out)
+		}
+	}
+	for _, f := range []string{"fig5.csv", "fig5.json"} {
+		if _, err := os.Stat(filepath.Join(outDir, f)); err != nil {
+			t.Fatalf("export %s missing: %v", f, err)
+		}
+	}
+}
+
+func TestCLIVoqtracePipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	trace := runTool(t, "voqtrace", "", "record", "-slots", "2000", "-load", "0.5", "-n", "8")
+	info := runTool(t, "voqtrace", trace, "info")
+	if !strings.Contains(info, "ports:        8") {
+		t.Fatalf("voqtrace info:\n%s", info)
+	}
+	run := runTool(t, "voqtrace", trace, "run", "-algo", "fifoms")
+	if !strings.Contains(run, "fifoms") || !strings.Contains(run, "stable") {
+		t.Fatalf("voqtrace run:\n%s", run)
+	}
+}
+
+func TestCLIVoqreportSkipExtensions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	out := runTool(t, "voqreport", "", "-slots", "2000", "-skip-extensions")
+	for _, want := range []string{"# EXPERIMENTS", "## fig4", "## fig8", "Verdict"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("voqreport output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package voqsim_test
+
+import (
+	"fmt"
+
+	"voqsim"
+)
+
+// ExampleRun simulates the paper's headline configuration: FIFOMS on a
+// 16x16 switch under Bernoulli multicast traffic at 80% load. The run
+// is seeded, so the printed numbers are reproducible.
+func ExampleRun() {
+	report, err := voqsim.Run(voqsim.Config{
+		Ports:     16,
+		Scheduler: voqsim.FIFOMS,
+		Traffic:   voqsim.BernoulliTrafficAtLoad(0.8, 0.2),
+		Slots:     50_000,
+		Seed:      1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("load %.1f, stable: %v\n", report.Load, !report.Unstable)
+	fmt.Printf("throughput within 2%% of load: %v\n",
+		report.Throughput > 0.98*report.Load && report.Throughput < 1.02*report.Load)
+	fmt.Printf("delay ordering (per-copy <= whole-packet): %v\n",
+		report.AvgOutputDelay <= report.AvgInputDelay)
+	// Output:
+	// load 0.8, stable: true
+	// throughput within 2% of load: true
+	// delay ordering (per-copy <= whole-packet): true
+}
+
+// ExampleCompare reproduces the paper's central comparison at one
+// operating point: FIFOMS needs less buffer space than iSLIP, which
+// stores one data cell per multicast copy.
+func ExampleCompare() {
+	reports, err := voqsim.Compare(voqsim.Config{
+		Ports:   16,
+		Traffic: voqsim.BernoulliTrafficAtLoad(0.6, 0.2),
+		Slots:   30_000,
+		Seed:    7,
+	}, voqsim.FIFOMS, voqsim.ISLIP)
+	if err != nil {
+		panic(err)
+	}
+	fifoms, islip := reports[0], reports[1]
+	fmt.Printf("fifoms stores less than islip: %v\n", fifoms.AvgQueueSize < islip.AvgQueueSize)
+	fmt.Printf("fifoms delivers faster than islip: %v\n", fifoms.AvgInputDelay < islip.AvgInputDelay)
+	// Output:
+	// fifoms stores less than islip: true
+	// fifoms delivers faster than islip: true
+}
+
+// ExampleTraffic_EffectiveLoad shows the paper's load formulas through
+// the Traffic type: Bernoulli load is p*b*N.
+func ExampleTraffic_EffectiveLoad() {
+	tr := voqsim.BernoulliTraffic(0.25, 0.2)
+	load, _ := tr.EffectiveLoad(16)
+	fmt.Printf("%.2f\n", load)
+	// Output:
+	// 0.80
+}
+
+// ExampleSchedulers lists the algorithm roster.
+func ExampleSchedulers() {
+	for _, s := range voqsim.Schedulers() {
+		fmt.Println(s)
+	}
+	// Output:
+	// 2drr
+	// eslip
+	// fifoms
+	// fifoms-nosplit
+	// islip
+	// lqfms
+	// oqfifo
+	// pim
+	// tatra
+	// wba
+}

@@ -1,0 +1,69 @@
+// Side-by-side comparison: every scheduler in the library under the
+// same traffic, seed for seed — the quickest way to see the paper's
+// headline result (and what the extension baselines add to it).
+//
+// Run with:
+//
+//	go run ./examples/comparison [load]
+//
+// The optional argument sets the effective load (default 0.7).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"voqsim"
+)
+
+func main() {
+	load := 0.7
+	if len(os.Args) > 1 {
+		v, err := strconv.ParseFloat(os.Args[1], 64)
+		if err != nil || v <= 0 {
+			log.Fatalf("bad load %q", os.Args[1])
+		}
+		load = v
+	}
+
+	cfg := voqsim.Config{
+		Ports:   16,
+		Traffic: voqsim.BernoulliTrafficAtLoad(load, 0.2),
+		Slots:   200_000,
+		Seed:    2004,
+	}
+
+	schedulers := []voqsim.Scheduler{
+		voqsim.FIFOMS, voqsim.TATRA, voqsim.ISLIP, voqsim.OQFIFO,
+		voqsim.PIM, voqsim.WBA, voqsim.FIFOMSNoSplit,
+	}
+	reports, err := voqsim.Compare(cfg, schedulers...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("All schedulers, 16x16, Bernoulli b=0.2, load %.2f, %d slots\n\n", load, cfg.Slots)
+	fmt.Printf("%-15s %10s %10s %10s %9s %8s %9s\n",
+		"scheduler", "in-delay", "out-delay", "avg queue", "max q", "rounds", "state")
+	for _, r := range reports {
+		state := "stable"
+		if r.Unstable {
+			state = "SAT"
+		}
+		rounds := "-"
+		if r.MeanRounds > 0 {
+			rounds = fmt.Sprintf("%.2f", r.MeanRounds)
+		}
+		fmt.Printf("%-15s %10.2f %10.2f %10.3f %9d %8s %9s\n",
+			r.Scheduler, r.AvgInputDelay, r.AvgOutputDelay, r.AvgQueueSize,
+			r.MaxQueueSize, rounds, state)
+	}
+
+	fmt.Println()
+	fmt.Println("Reading the table (paper, Section V): FIFOMS should track OQFIFO's")
+	fmt.Println("delay with the smallest queues; TATRA/WBA suffer HOL blocking at high")
+	fmt.Println("load; iSLIP/PIM pay the multicast-as-unicast penalty in both delay and")
+	fmt.Println("buffer space; the no-split ablation shows why fanout splitting matters.")
+}

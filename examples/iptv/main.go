@@ -1,0 +1,68 @@
+// IPTV head-end: the workload the paper's introduction motivates —
+// a router fanning live video channels out to many subscriber ports,
+// where every duplicated copy wastes bandwidth and every slot of
+// multicast latency is visible to viewers.
+//
+// The example models a 16-port distribution switch carrying popular
+// channels (large fanout, bursty group-joins) and compares the
+// multicast-aware FIFOMS against iSLIP, which forwards each channel
+// packet as independent unicast copies — the strategy a unicast-only
+// scheduler forces on an IPTV operator. It prints the latency a
+// subscriber sees and the buffer memory the line card needs.
+//
+// Run with:
+//
+//	go run ./examples/iptv
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"voqsim"
+)
+
+func main() {
+	const ports = 16
+
+	// A channel burst: when a popular event starts, packets for the
+	// channel arrive back to back (mean burst 16 slots) addressed to
+	// half the subscriber ports. Between events the feed is quiet.
+	// Total offered load: 60% of output capacity.
+	channelFeed := voqsim.BurstTrafficAtLoad(0.6, 0.5, 16)
+
+	fmt.Println("IPTV distribution, 16x16 switch, bursty channel feeds (load 0.6)")
+	fmt.Println()
+	fmt.Printf("%-10s %18s %18s %14s %12s\n",
+		"scheduler", "viewer delay", "sender done", "buffer/port", "stable?")
+
+	reports, err := voqsim.Compare(voqsim.Config{
+		Ports:   ports,
+		Traffic: channelFeed,
+		Slots:   200_000,
+		Seed:    7,
+	}, voqsim.FIFOMS, voqsim.ISLIP, voqsim.OQFIFO)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, r := range reports {
+		stable := "yes"
+		if r.Unstable {
+			stable = "NO"
+		}
+		fmt.Printf("%-10s %13.1f slots %13.1f slots %8.1f cells %12s\n",
+			r.Scheduler, r.AvgOutputDelay, r.AvgInputDelay, r.AvgQueueSize, stable)
+	}
+
+	fmt.Println()
+	fifoms, islip := reports[0], reports[1]
+	if !fifoms.Unstable && (islip.Unstable || islip.AvgOutputDelay > fifoms.AvgOutputDelay) {
+		factor := islip.AvgOutputDelay / fifoms.AvgOutputDelay
+		fmt.Printf("FIFOMS delivers each channel copy %.1fx faster than unicast-copy iSLIP\n", factor)
+		fmt.Printf("because one queued data cell feeds all subscriber ports at once\n")
+		fmt.Printf("(buffer per port: %.1f vs %.1f cells).\n", fifoms.AvgQueueSize, islip.AvgQueueSize)
+	} else {
+		fmt.Println("unexpected: iSLIP kept up with FIFOMS on this workload")
+	}
+}

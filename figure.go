@@ -1,0 +1,126 @@
+package voqsim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"voqsim/internal/asciiplot"
+	"voqsim/internal/experiment"
+)
+
+// FigureOptions tune a figure regeneration.
+type FigureOptions struct {
+	// Slots per sweep point; zero means 200 000 (paper: 1 000 000).
+	Slots int64
+	// Seed is the base seed (zero means 2004).
+	Seed uint64
+	// Ports overrides the switch size (zero means the paper's 16).
+	Ports int
+	// Extended adds the PIM/WBA/no-split baselines to the roster.
+	Extended bool
+	// Plots adds ASCII plots to the rendered text.
+	Plots bool
+	// Workers caps the parallel simulations (zero means all cores).
+	Workers int
+}
+
+// FigureResult is a regenerated evaluation figure.
+type FigureResult struct {
+	// Name is the figure id ("fig4" ... "fig8", or an extension name).
+	Name string
+	// Title describes the workload.
+	Title string
+	// Text is the rendered table (and plots, if requested).
+	Text string
+	// Violations lists the paper's qualitative claims that did NOT
+	// hold in this run; empty means the figure's shape matches.
+	Violations []string
+	// Series holds the raw measured values keyed "algorithm/metric",
+	// parallel to Loads; saturated points are +Inf.
+	Loads  []float64
+	Series map[string][]float64
+}
+
+// FigureNames lists the available figure and extension sweeps.
+func FigureNames() []string {
+	names := make([]string, 0)
+	for name := range experiment.Figures(experiment.Options{}) {
+		names = append(names, name)
+	}
+	for name := range experiment.Extensions(experiment.Options{}) {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Figure regenerates one of the paper's evaluation figures (fig4,
+// fig5, fig6, fig7, fig8) or extension sweeps (ablation-rounds,
+// ablation-splitting, mixed) and checks it against the paper's
+// qualitative claims.
+func Figure(name string, opts FigureOptions) (*FigureResult, error) {
+	eo := experiment.Options{
+		N: opts.Ports, Slots: opts.Slots, Seed: opts.Seed,
+		Extended: opts.Extended, Workers: opts.Workers,
+	}
+	sweeps := experiment.Figures(eo)
+	for n, sw := range experiment.Extensions(eo) {
+		sweeps[n] = sw
+	}
+	sweep, ok := sweeps[name]
+	if !ok {
+		return nil, fmt.Errorf("voqsim: unknown figure %q (have %s)", name, strings.Join(FigureNames(), ", "))
+	}
+	tbl, err := sweep.Run()
+	if err != nil {
+		return nil, err
+	}
+
+	metrics := experiment.FigureMetrics()
+	if name == "fig5" {
+		metrics = []experiment.Metric{experiment.Rounds}
+	}
+
+	var text strings.Builder
+	text.WriteString(tbl.Format(metrics...))
+	if opts.Plots {
+		for _, m := range metrics {
+			p := asciiplot.Plot{
+				Title:  fmt.Sprintf("%s — %s", tbl.Title, m.Label),
+				XLabel: "effective load",
+				YLabel: m.Name,
+				Xs:     tbl.Loads,
+				LogY:   m.Saturating,
+			}
+			for _, algo := range tbl.Algos {
+				ys, err := tbl.Series(algo, m)
+				if err != nil {
+					return nil, err
+				}
+				p.Series = append(p.Series, asciiplot.Series{Name: algo, Ys: ys})
+			}
+			text.WriteByte('\n')
+			text.WriteString(p.Render())
+		}
+	}
+
+	res := &FigureResult{
+		Name:       tbl.Name,
+		Title:      tbl.Title,
+		Text:       text.String(),
+		Violations: tbl.Check(),
+		Loads:      tbl.Loads,
+		Series:     make(map[string][]float64),
+	}
+	for _, algo := range tbl.Algos {
+		for _, m := range append(metrics, experiment.Throughput) {
+			ys, err := tbl.Series(algo, m)
+			if err != nil {
+				return nil, err
+			}
+			res.Series[algo+"/"+m.Name] = ys
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,3 @@
+module voqsim
+
+go 1.22

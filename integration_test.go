@@ -1,0 +1,156 @@
+package voqsim
+
+// Cross-architecture integration tests: every switch in the library is
+// driven through the public API and through recorded traces, and the
+// behaviours the architectures must share — conservation, identical
+// arrival sequences producing identical offered work, qualitative
+// orderings — are asserted across all of them at once.
+
+import (
+	"math"
+	"testing"
+
+	"voqsim/internal/experiment"
+	"voqsim/internal/switchsim"
+	"voqsim/internal/traffic"
+	"voqsim/internal/xrand"
+)
+
+func allSchedulers() []Scheduler {
+	return []Scheduler{FIFOMS, TATRA, ISLIP, OQFIFO, PIM, TDRR, WBA}
+}
+
+func TestEverySchedulerDeliversEverything(t *testing.T) {
+	// Record one trace and replay it through every architecture: each
+	// must deliver exactly the trace's copies once drained. The run is
+	// long enough that all queues empty at the recorded horizon's end
+	// because load is modest.
+	const n = 8
+	tr := traffic.Record(traffic.Uniform{P: 0.3, MaxFanout: 4}, n, 4000, xrand.New(15))
+	var offered int64
+	for _, a := range tr.Arrivals {
+		offered += int64(len(a.Dests))
+	}
+
+	for _, s := range allSchedulers() {
+		algo, err := experiment.ByName(string(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw := algo.New(n, xrand.New(1).Split("switch", 0))
+		// Drive the trace plus drain time through the raw engine.
+		cfg := switchsim.Config{Slots: tr.Slots + 3000, WarmupFrac: -1, Seed: 1}
+		res := switchsim.New(sw, tr.Pattern(), cfg, xrand.New(1)).Run(string(s))
+		if res.Delivered != offered {
+			t.Errorf("%s: delivered %d of %d offered copies", s, res.Delivered, offered)
+		}
+		if sw.BufferedCells() != 0 {
+			t.Errorf("%s: %d cells left after drain window", s, sw.BufferedCells())
+		}
+	}
+}
+
+func TestQualitativeOrderingAtModerateLoad(t *testing.T) {
+	// At multicast load 0.6 the paper's ordering must hold: OQ <=
+	// FIFOMS delay; FIFOMS < iSLIP delay; FIFOMS queue smallest of the
+	// input-queued designs.
+	reports, err := Compare(Config{
+		Ports:   16,
+		Traffic: BernoulliTrafficAtLoad(0.6, 0.2),
+		Slots:   40_000,
+		Seed:    17,
+	}, OQFIFO, FIFOMS, ISLIP, TATRA, PIM, TDRR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := map[Scheduler]Report{}
+	for _, r := range reports {
+		if r.Unstable {
+			t.Fatalf("%s unstable at load 0.6", r.Scheduler)
+		}
+		by[r.Scheduler] = r
+	}
+	if by[OQFIFO].AvgInputDelay > by[FIFOMS].AvgInputDelay*1.05 {
+		t.Errorf("OQ delay %v above FIFOMS %v", by[OQFIFO].AvgInputDelay, by[FIFOMS].AvgInputDelay)
+	}
+	for _, uni := range []Scheduler{ISLIP, PIM, TDRR} {
+		if by[uni].AvgInputDelay < by[FIFOMS].AvgInputDelay {
+			t.Errorf("%s delay %v below FIFOMS %v under multicast",
+				uni, by[uni].AvgInputDelay, by[FIFOMS].AvgInputDelay)
+		}
+		if by[uni].AvgQueueSize < by[FIFOMS].AvgQueueSize {
+			t.Errorf("%s queue %v below FIFOMS %v (copied cells must cost space)",
+				uni, by[uni].AvgQueueSize, by[FIFOMS].AvgQueueSize)
+		}
+	}
+}
+
+func TestThroughputMatchesOfferedLoadWhenStable(t *testing.T) {
+	for _, s := range allSchedulers() {
+		rep, err := Run(Config{
+			Ports:     16,
+			Scheduler: s,
+			Traffic:   BernoulliTrafficAtLoad(0.4, 0.2),
+			Slots:     30_000,
+			Seed:      19,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Unstable {
+			t.Errorf("%s unstable at 0.4", s)
+			continue
+		}
+		if math.Abs(rep.Throughput-0.4) > 0.05 {
+			t.Errorf("%s throughput %v, want ~0.4", s, rep.Throughput)
+		}
+	}
+}
+
+func TestMixedTrafficClassFairness(t *testing.T) {
+	// FIFOMS under mixed traffic: neither class may be starved, and
+	// the per-class means must bracket the overall mean.
+	rep, err := Run(Config{
+		Ports:     16,
+		Scheduler: FIFOMS,
+		Traffic:   MixedTraffic(0.2, 0.5, 8), // load = 0.2*3 = 0.6
+		Slots:     40_000,
+		Seed:      23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AvgUnicastDelay <= 0 || rep.AvgMulticastDelay <= 0 {
+		t.Fatalf("class delays not measured: uni=%v multi=%v",
+			rep.AvgUnicastDelay, rep.AvgMulticastDelay)
+	}
+	lo := math.Min(rep.AvgUnicastDelay, rep.AvgMulticastDelay)
+	hi := math.Max(rep.AvgUnicastDelay, rep.AvgMulticastDelay)
+	if rep.AvgInputDelay < lo-1e-9 || rep.AvgInputDelay > hi+1e-9 {
+		t.Fatalf("overall delay %v outside class bracket [%v, %v]",
+			rep.AvgInputDelay, lo, hi)
+	}
+	// A multicast packet completes only when its slowest copy lands,
+	// so its input-oriented delay is the larger class here; neither
+	// class should be an order of magnitude worse (starvation).
+	if hi > 20*lo {
+		t.Fatalf("class starvation: %v vs %v", lo, hi)
+	}
+}
+
+func TestHardwareArbiterThroughFacade(t *testing.T) {
+	// The round-capped names resolve through the facade too.
+	rep, err := Run(Config{
+		Ports:     8,
+		Scheduler: "fifoms-r1",
+		Traffic:   BernoulliTraffic(0.3, 0.25),
+		Slots:     5000,
+		Seed:      29,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MeanRounds > 1.0001 {
+		t.Fatalf("round-capped scheduler reported %v mean rounds", rep.MeanRounds)
+	}
+}

@@ -1,0 +1,106 @@
+// Package analytic provides closed-form queueing results used to
+// validate the simulator against theory. A simulation study is only
+// credible if the simulator reproduces the regimes where exact answers
+// are known; the tests in this repository check the engine against
+// these formulas:
+//
+//   - the output-queued switch under uniform Bernoulli unicast traffic
+//     is a discrete-time M/D/1-like queue with known mean wait (Karol,
+//     Hluchyj & Morgan 1987, eq. for output queueing);
+//   - the single-input-queued switch saturates at 2 - sqrt(2) ~ 0.586
+//     under the same traffic (same paper), the limit the reproduced
+//     paper quotes for TATRA in Section V.B;
+//   - a VOQ switch with a maximal-style scheduler sustains any
+//     admissible uniform load (McKeown et al. 1999), the 100%-
+//     throughput claim the paper makes for FIFOMS.
+package analytic
+
+import "math"
+
+// HOLSaturation is the saturation throughput of a single-input-queued
+// switch with FIFO queues under uniform i.i.d. Bernoulli unicast
+// traffic as N -> infinity: 2 - sqrt(2) ~ 0.5858 (Karol et al. 1987).
+// Finite N saturates slightly higher (0.6553 for N=2, decreasing
+// toward the limit).
+func HOLSaturation() float64 { return 2 - math.Sqrt2 }
+
+// HOLSaturationN returns the known finite-N saturation throughputs for
+// small switches (Karol et al. 1987, Table I), falling back to the
+// asymptotic limit for sizes not tabulated. Useful for choosing test
+// thresholds.
+func HOLSaturationN(n int) float64 {
+	table := map[int]float64{
+		1: 1.0000,
+		2: 0.7500,
+		3: 0.6825,
+		4: 0.6553,
+		5: 0.6399,
+		6: 0.6302,
+		7: 0.6234,
+		8: 0.6184,
+	}
+	if v, ok := table[n]; ok {
+		return v
+	}
+	return HOLSaturation()
+}
+
+// OQWait returns the mean steady-state waiting time (in slots,
+// excluding the departure slot itself) of a cell in an output queue of
+// an N x N output-queued switch under uniform Bernoulli unicast
+// traffic at offered load p per output (Karol et al. 1987, eq. (2)):
+//
+//	W = (N-1)/N * p / (2 * (1 - p))
+//
+// The simulator's delay convention counts the departure slot, so the
+// simulated mean delay should approach W + 1. As N grows the arrival
+// process approaches Poisson and W approaches the M/D/1 wait.
+// OQWait panics if p is outside [0, 1).
+func OQWait(n int, p float64) float64 {
+	if p < 0 || p >= 1 {
+		panic("analytic: OQWait needs 0 <= p < 1")
+	}
+	if n <= 0 {
+		panic("analytic: OQWait needs positive N")
+	}
+	return (float64(n-1) / float64(n)) * p / (2 * (1 - p))
+}
+
+// OQDelay is OQWait plus the departure slot, directly comparable to
+// the simulator's input/output-oriented delay under unicast traffic.
+func OQDelay(n int, p float64) float64 { return OQWait(n, p) + 1 }
+
+// MD1Wait returns the mean wait of the continuous M/D/1 queue at
+// utilisation rho (service time 1): rho / (2 (1 - rho)). It is the
+// N -> infinity limit of OQWait and a convenient upper-envelope check.
+func MD1Wait(rho float64) float64 {
+	if rho < 0 || rho >= 1 {
+		panic("analytic: MD1Wait needs 0 <= rho < 1")
+	}
+	return rho / (2 * (1 - rho))
+}
+
+// GeomBurstMeanLength sanity-checks burst parameterisation: a state
+// left with probability 1/mean each slot has geometric length with the
+// given mean. Exposed for the traffic tests.
+func GeomBurstMeanLength(exitProb float64) float64 {
+	if exitProb <= 0 || exitProb > 1 {
+		panic("analytic: exit probability outside (0, 1]")
+	}
+	return 1 / exitProb
+}
+
+// EffectiveLoadBernoulli, EffectiveLoadUniform and EffectiveLoadBurst
+// restate the paper's load formulas (Section V) so tests can check the
+// traffic generators against an independently written source of truth.
+func EffectiveLoadBernoulli(p, b float64, n int) float64 { return p * b * float64(n) }
+
+// EffectiveLoadUniform returns p*(1+maxFanout)/2.
+func EffectiveLoadUniform(p float64, maxFanout int) float64 {
+	return p * (1 + float64(maxFanout)) / 2
+}
+
+// EffectiveLoadBurst returns b*n*eOn/(eOff+eOn).
+func EffectiveLoadBurst(eOff, eOn, b float64, n int) float64 {
+	return b * float64(n) * eOn / (eOff + eOn)
+}

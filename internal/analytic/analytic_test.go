@@ -1,0 +1,96 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHOLSaturation(t *testing.T) {
+	if got := HOLSaturation(); math.Abs(got-0.5857864376) > 1e-9 {
+		t.Fatalf("HOLSaturation = %v", got)
+	}
+	if HOLSaturationN(2) != 0.75 {
+		t.Fatalf("HOLSaturationN(2) = %v", HOLSaturationN(2))
+	}
+	if HOLSaturationN(100) != HOLSaturation() {
+		t.Fatal("untabulated N should fall back to the limit")
+	}
+	// Monotone decreasing toward the limit.
+	prev := HOLSaturationN(1)
+	for n := 2; n <= 8; n++ {
+		cur := HOLSaturationN(n)
+		if cur >= prev {
+			t.Fatalf("HOLSaturationN not decreasing at %d: %v >= %v", n, cur, prev)
+		}
+		if cur < HOLSaturation() {
+			t.Fatalf("HOLSaturationN(%d) below the asymptotic limit", n)
+		}
+		prev = cur
+	}
+}
+
+func TestOQWaitKnownValues(t *testing.T) {
+	// At p -> 0 the wait vanishes; at p = 0.5 with large N it is 0.5.
+	if got := OQWait(16, 0); got != 0 {
+		t.Fatalf("OQWait(16, 0) = %v", got)
+	}
+	got := OQWait(1<<20, 0.5)
+	if math.Abs(got-0.5) > 1e-3 {
+		t.Fatalf("OQWait(large, 0.5) = %v, want ~0.5", got)
+	}
+	// N=1: a single output fed by its own input never queues.
+	if got := OQWait(1, 0.9); got != 0 {
+		t.Fatalf("OQWait(1, 0.9) = %v", got)
+	}
+}
+
+func TestOQDelayAddsService(t *testing.T) {
+	if got := OQDelay(16, 0.5); math.Abs(got-(OQWait(16, 0.5)+1)) > 1e-15 {
+		t.Fatalf("OQDelay = %v", got)
+	}
+}
+
+func TestOQWaitApproachesMD1(t *testing.T) {
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		if diff := math.Abs(OQWait(1<<20, p) - MD1Wait(p)); diff > 1e-4 {
+			t.Fatalf("OQWait(large, %v) differs from MD1 by %v", p, diff)
+		}
+		if OQWait(16, p) > MD1Wait(p) {
+			t.Fatalf("finite-N wait above the M/D/1 envelope at p=%v", p)
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"OQWaitP1":      func() { OQWait(16, 1) },
+		"OQWaitNeg":     func() { OQWait(16, -0.1) },
+		"OQWaitN0":      func() { OQWait(0, 0.5) },
+		"MD1Wait1":      func() { MD1Wait(1) },
+		"BurstExitZero": func() { GeomBurstMeanLength(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLoadFormulas(t *testing.T) {
+	if got := EffectiveLoadBernoulli(0.25, 0.2, 16); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("bernoulli load = %v", got)
+	}
+	if got := EffectiveLoadUniform(0.2, 8); math.Abs(got-0.9) > 1e-12 {
+		t.Fatalf("uniform load = %v", got)
+	}
+	if got := EffectiveLoadBurst(48, 16, 0.5, 16); math.Abs(got-2.0) > 1e-12 {
+		t.Fatalf("burst load = %v", got)
+	}
+	if got := GeomBurstMeanLength(1.0 / 16); got != 16 {
+		t.Fatalf("burst mean length = %v", got)
+	}
+}

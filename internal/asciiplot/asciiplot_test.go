@@ -1,0 +1,107 @@
+package asciiplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	p := Plot{
+		Title:  "test plot",
+		XLabel: "load",
+		YLabel: "delay",
+		Xs:     []float64{0.1, 0.5, 0.9},
+		Series: []Series{
+			{Name: "a", Ys: []float64{1, 2, 3}},
+			{Name: "b", Ys: []float64{3, 2, 1}},
+		},
+	}
+	out := p.Render()
+	for _, want := range []string{"test plot", "* a", "o b", "x: load", "y: delay"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("markers not drawn")
+	}
+}
+
+func TestRenderHandlesSaturationAndNaN(t *testing.T) {
+	p := Plot{
+		Xs: []float64{0, 1, 2},
+		Series: []Series{
+			{Name: "s", Ys: []float64{1, math.Inf(1), math.NaN()}},
+		},
+	}
+	out := p.Render()
+	if out == "" {
+		t.Fatal("empty render")
+	}
+	// The Inf point must land on the top chart row.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[0], "*") {
+		t.Fatalf("saturated point not on top row:\n%s", out)
+	}
+}
+
+func TestRenderDegenerateInputs(t *testing.T) {
+	for name, p := range map[string]Plot{
+		"empty":    {},
+		"constant": {Xs: []float64{1, 2}, Series: []Series{{Name: "c", Ys: []float64{5, 5}}}},
+		"allInf":   {Xs: []float64{1, 2}, Series: []Series{{Name: "i", Ys: []float64{math.Inf(1), math.Inf(1)}}}},
+		"singleX":  {Xs: []float64{3}, Series: []Series{{Name: "s", Ys: []float64{1}}}},
+	} {
+		out := p.Render()
+		if out == "" {
+			t.Fatalf("%s: empty render", name)
+		}
+		if strings.Contains(out, "NaN") {
+			t.Fatalf("%s: NaN leaked into render:\n%s", name, out)
+		}
+	}
+}
+
+func TestLogYClampsNonPositive(t *testing.T) {
+	p := Plot{
+		LogY:   true,
+		YLabel: "delay",
+		Xs:     []float64{1, 2, 3},
+		Series: []Series{
+			{Name: "s", Ys: []float64{0, 1, 1000}},
+		},
+	}
+	out := p.Render()
+	if !strings.Contains(out, "(log10)") {
+		t.Fatalf("log axis not labelled:\n%s", out)
+	}
+}
+
+func TestCustomDimensions(t *testing.T) {
+	p := Plot{
+		Height: 5, Width: 20,
+		Xs:     []float64{0, 1},
+		Series: []Series{{Name: "s", Ys: []float64{0, 1}}},
+	}
+	out := p.Render()
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "|") {
+			rows++
+		}
+	}
+	if rows != 5 {
+		t.Fatalf("chart has %d rows, want 5:\n%s", rows, out)
+	}
+}
+
+func TestManySeriesCycleMarkers(t *testing.T) {
+	p := Plot{Xs: []float64{0, 1}}
+	for i := 0; i < 10; i++ {
+		p.Series = append(p.Series, Series{Name: "s", Ys: []float64{float64(i), float64(i)}})
+	}
+	if out := p.Render(); out == "" {
+		t.Fatal("empty render with many series")
+	}
+}

@@ -1,0 +1,130 @@
+// Package cioq implements a combined input-output queued (CIOQ)
+// switch: a multicast VOQ input stage scheduled by any core.Arbiter,
+// a fabric running at speedup S, and FIFO output queues draining one
+// cell per slot to the line.
+//
+// CIOQ is the architecture spectrum between the paper's two poles: at
+// S = 1 the output queues never build up and the switch behaves like
+// the pure input-queued design; at S = N every backlogged cell crosses
+// immediately and the switch degenerates to output queueing. The
+// classic result that a speedup of 2 lets a CIOQ switch emulate an OQ
+// switch motivates the extension experiment this package backs: how
+// much speedup FIFOMS needs before its delay curve sits on OQFIFO's.
+//
+// Within one slot the input stage runs S scheduling-and-transfer
+// phases. Each phase is a full arbitration over the current VOQ state,
+// so an input may send (and an output may receive into its queue) up
+// to S cells per slot; the output line still transmits exactly one
+// cell per slot, which is where queueing reappears.
+package cioq
+
+import (
+	"fmt"
+
+	"voqsim/internal/cell"
+	"voqsim/internal/core"
+	"voqsim/internal/fifoq"
+	"voqsim/internal/xrand"
+)
+
+// queuedCopy is a cell resident in an output queue, retaining its
+// origin for the final Delivery record.
+type queuedCopy struct {
+	id cell.PacketID
+	in int
+}
+
+// Switch is the CIOQ switch. It satisfies the simulation engine's
+// Switch interface.
+type Switch struct {
+	inner   *core.Switch
+	speedup int
+	outq    []fifoq.Queue[queuedCopy]
+	name    string
+}
+
+// New returns an n x n CIOQ switch with the given fabric speedup,
+// scheduling its input stage with arb. root seeds the arbiter's
+// randomness.
+func New(n, speedup int, arb core.Arbiter, root *xrand.Rand) *Switch {
+	if speedup < 1 {
+		panic(fmt.Sprintf("cioq: speedup %d < 1", speedup))
+	}
+	if speedup > n {
+		speedup = n // more phases than outputs cannot transfer more
+	}
+	return &Switch{
+		inner:   core.NewSwitch(n, arb, root),
+		speedup: speedup,
+		outq:    make([]fifoq.Queue[queuedCopy], n),
+		name:    fmt.Sprintf("cioq-s%d-%s", speedup, arb.Name()),
+	}
+}
+
+// Ports returns the switch size N.
+func (s *Switch) Ports() int { return s.inner.Ports() }
+
+// Name identifies the configuration in reports, e.g. "cioq-s2-fifoms".
+func (s *Switch) Name() string { return s.name }
+
+// Speedup returns the fabric speedup S.
+func (s *Switch) Speedup() int { return s.speedup }
+
+// Arrive enqueues a packet at the input stage.
+func (s *Switch) Arrive(p *cell.Packet) { s.inner.Arrive(p) }
+
+// Step runs one slot: S input-stage phases moving cells into the
+// output queues, then one line transmission per output.
+func (s *Switch) Step(slot int64, deliver func(cell.Delivery)) {
+	for phase := 0; phase < s.speedup; phase++ {
+		s.inner.Step(slot, func(d cell.Delivery) {
+			s.outq[d.Out].Push(queuedCopy{id: d.ID, in: d.In})
+		})
+	}
+	for out := range s.outq {
+		if s.outq[out].Empty() {
+			continue
+		}
+		c := s.outq[out].Pop()
+		deliver(cell.Delivery{ID: c.id, In: c.in, Out: out, Slot: slot})
+	}
+}
+
+// LastRounds reports the input stage's most recent arbitration rounds
+// (of the final phase), so the engine can track convergence.
+func (s *Switch) LastRounds() int { return s.inner.LastRounds() }
+
+// QueueSizes reports the per-input data-cell occupancy of the input
+// stage — the buffer the architecture is trying to keep small; output
+// queue depth is available via OutputQueueSizes.
+func (s *Switch) QueueSizes(dst []int) []int { return s.inner.QueueSizes(dst) }
+
+// OutputQueueSizes fills dst with the per-output queue depths.
+func (s *Switch) OutputQueueSizes(dst []int) []int {
+	for i := range s.outq {
+		dst[i] = s.outq[i].Len()
+	}
+	return dst
+}
+
+// BufferedCells counts cells anywhere in the switch (input data cells
+// plus output-queue copies), the backlog signal for instability
+// detection.
+func (s *Switch) BufferedCells() int64 {
+	total := s.inner.BufferedCells()
+	for i := range s.outq {
+		total += int64(s.outq[i].Len())
+	}
+	return total
+}
+
+// BufferedBytes returns the buffer memory in use across both stages:
+// the input stage's shared-cell accounting plus one payload copy per
+// output-queue entry.
+func (s *Switch) BufferedBytes() int64 {
+	total := s.inner.BufferedBytes()
+	for i := range s.outq {
+		total += int64(s.outq[i].Len()) * cell.PayloadSize
+	}
+	return total
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"math"
+
+	"voqsim/internal/xrand"
+)
+
+// FIFOMS is the paper's First-In-First-Out Multicast Scheduling
+// algorithm (Section III, Table 2): an iterative two-step matcher.
+//
+// In each round, every still-free input port finds the smallest time
+// stamp among the HOL address cells of its VOQs whose output ports are
+// still free, and requests exactly those outputs (all such cells belong
+// to one multicast packet, so an input never risks being asked for two
+// different data cells). Every still-free output port grants the
+// request with the smallest time stamp, breaking ties uniformly at
+// random. Granted inputs and outputs are reserved for the slot, and
+// rounds repeat until one produces no grant. There is no accept step:
+// all grants an input collects in a round are for the same packet, so
+// they can all stand — this is both what exploits the crossbar's
+// multicast capability and what saves FIFOMS one message exchange per
+// round compared to iSLIP/PIM.
+//
+// The zero value is ready to use; FIFOMS keeps no state between slots
+// (its fairness comes entirely from time stamps).
+type FIFOMS struct {
+	// MaxRounds, if positive, caps the number of request/grant rounds
+	// per slot. The paper's algorithm iterates to convergence (at most
+	// N rounds); the cap exists for the convergence-ablation
+	// experiments. Zero means unlimited.
+	MaxRounds int
+
+	// NoFanoutSplitting, if true, makes an input request only when
+	// *all* remaining destinations of its oldest packet are free, and
+	// withdraws the slot's grants unless every requested output grants
+	// — the no-splitting discipline whose throughput loss the paper's
+	// conclusion warns about. Used by the splitting ablation.
+	NoFanoutSplitting bool
+
+	// DeterministicTies makes outputs break equal-time-stamp ties by
+	// lowest input index instead of uniformly at random. This is what
+	// a fixed-priority hardware comparator tree does (Section IV.A);
+	// the hw package's gate-level control unit is checked against
+	// FIFOMS in this mode. The paper's simulations use random ties,
+	// which avoid systematic port bias.
+	DeterministicTies bool
+
+	// scratch, sized on first use
+	inputFree  []bool
+	outputFree []bool
+	minTS      []int64
+	granted    []int // per-output provisional grant within a round
+	tieCount   []int
+	reqOuts    []int // scratch for the no-splitting variant
+}
+
+// Name implements Arbiter.
+func (f *FIFOMS) Name() string {
+	if f.NoFanoutSplitting {
+		return "fifoms-nosplit"
+	}
+	return "fifoms"
+}
+
+// Mode implements Arbiter: FIFOMS runs on the paper's shared-data-cell
+// queue structure.
+func (f *FIFOMS) Mode() PreprocessMode { return ModeShared }
+
+func (f *FIFOMS) ensure(n int) {
+	if len(f.inputFree) == n {
+		return
+	}
+	f.inputFree = make([]bool, n)
+	f.outputFree = make([]bool, n)
+	f.minTS = make([]int64, n)
+	f.granted = make([]int, n)
+	f.tieCount = make([]int, n)
+	f.reqOuts = make([]int, 0, n)
+}
+
+// Match implements Arbiter.
+func (f *FIFOMS) Match(s *Switch, _ int64, r *xrand.Rand, m *Matching) {
+	n := s.Ports()
+	f.ensure(n)
+	for i := 0; i < n; i++ {
+		f.inputFree[i] = true
+		f.outputFree[i] = true
+	}
+
+	maxRounds := f.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = math.MaxInt
+	}
+
+	for round := 0; round < maxRounds; round++ {
+		// Request step: each free input locates the smallest HOL time
+		// stamp over its free-output VOQs (Table 2's
+		// smallest_time_stamp). The no-splitting variant instead
+		// identifies its oldest packet over *all* VOQs — under
+		// all-or-nothing delivery that packet's cells are necessarily
+		// at the HOL of every VOQ it occupies — and only requests when
+		// every one of its destinations is free.
+		for in := 0; in < n; in++ {
+			f.minTS[in] = -1
+			if !f.inputFree[in] {
+				continue
+			}
+			best := int64(math.MaxInt64)
+			found := false
+			for out := 0; out < n; out++ {
+				if !f.NoFanoutSplitting && !f.outputFree[out] {
+					continue
+				}
+				if hol := s.HOL(in, out); hol != nil && hol.TimeStamp < best {
+					best = hol.TimeStamp
+					found = true
+				}
+			}
+			if found {
+				f.minTS[in] = best
+			}
+		}
+
+		if f.NoFanoutSplitting {
+			f.filterNonSplittable(s, n)
+		}
+
+		// Grant step: each free output grants the smallest-time-stamp
+		// request, ties broken uniformly at random (reservoir sampling
+		// keeps it single-pass).
+		anyGrant := false
+		for out := 0; out < n; out++ {
+			f.granted[out] = None
+			if !f.outputFree[out] {
+				continue
+			}
+			bestTS := int64(math.MaxInt64)
+			for in := 0; in < n; in++ {
+				if f.minTS[in] < 0 {
+					continue
+				}
+				hol := s.HOL(in, out)
+				if hol == nil || hol.TimeStamp != f.minTS[in] {
+					continue // this input did not request this output
+				}
+				switch {
+				case hol.TimeStamp < bestTS:
+					bestTS = hol.TimeStamp
+					f.granted[out] = in
+					f.tieCount[out] = 1
+				case hol.TimeStamp == bestTS:
+					// Equal stamps: keep the lowest index in
+					// deterministic mode (the first one found, since
+					// inputs are scanned in order); otherwise sample
+					// uniformly over the ties.
+					if !f.DeterministicTies {
+						f.tieCount[out]++
+						if r.Intn(f.tieCount[out]) == 0 {
+							f.granted[out] = in
+						}
+					}
+				}
+			}
+			if f.granted[out] != None {
+				anyGrant = true
+			}
+		}
+		if !anyGrant {
+			break
+		}
+
+		if f.NoFanoutSplitting {
+			f.withdrawPartialGrants(s, n)
+			anyGrant = false
+			for out := 0; out < n; out++ {
+				if f.granted[out] != None {
+					anyGrant = true
+				}
+			}
+			if !anyGrant {
+				// All grants this round were partial and withdrawn; a
+				// further round would recompute the identical request
+				// set, so the slot has converged.
+				m.Rounds++
+				break
+			}
+		}
+
+		// Reserve the matched ports and record the grants.
+		for out := 0; out < n; out++ {
+			in := f.granted[out]
+			if in == None {
+				continue
+			}
+			m.OutIn[out] = in
+			f.outputFree[out] = false
+			f.inputFree[in] = false
+		}
+		m.Rounds++
+	}
+}
+
+// filterNonSplittable clears the requests of inputs whose oldest
+// packet cannot currently reach *all* of its remaining destinations
+// (some destination output is already reserved this slot).
+func (f *FIFOMS) filterNonSplittable(s *Switch, n int) {
+	for in := 0; in < n; in++ {
+		if f.minTS[in] < 0 {
+			continue
+		}
+		// The oldest packet's remaining destinations are exactly the
+		// VOQs whose HOL carries minTS (younger siblings queue behind).
+		for out := 0; out < n; out++ {
+			if hol := s.HOL(in, out); hol != nil && hol.TimeStamp == f.minTS[in] && !f.outputFree[out] {
+				f.minTS[in] = -1
+				break
+			}
+		}
+	}
+}
+
+// withdrawPartialGrants enforces all-or-nothing delivery for the
+// no-splitting ablation: if any requested output of an input's packet
+// was granted to someone else, the input's grants this round are
+// withdrawn (the packet waits whole).
+func (f *FIFOMS) withdrawPartialGrants(s *Switch, n int) {
+	for in := 0; in < n; in++ {
+		if f.minTS[in] < 0 {
+			continue
+		}
+		f.reqOuts = f.reqOuts[:0]
+		complete := true
+		for out := 0; out < n; out++ {
+			hol := s.HOL(in, out)
+			if hol == nil || hol.TimeStamp != f.minTS[in] || !f.outputFree[out] {
+				continue
+			}
+			f.reqOuts = append(f.reqOuts, out)
+			if f.granted[out] != in {
+				complete = false
+			}
+		}
+		if !complete {
+			for _, out := range f.reqOuts {
+				if f.granted[out] == in {
+					f.granted[out] = None
+				}
+			}
+		}
+	}
+}

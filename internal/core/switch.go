@@ -1,0 +1,311 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"voqsim/internal/cell"
+	"voqsim/internal/crossbar"
+	"voqsim/internal/fifoq"
+	"voqsim/internal/xrand"
+)
+
+// inputPort is the buffer state of one input port under the paper's
+// queue structure (Fig. 2): N virtual output queues of address cells
+// plus the shared data-cell buffer, of which only the live-cell count
+// and byte total need materialising.
+type inputPort struct {
+	voqs      []fifoq.Queue[*cell.AddressCell]
+	dataCells int // live data cells (the paper's queue-size metric)
+	addrCells int // live address cells across all VOQs
+
+	// lastArrival guards the queue structure's core assumption in
+	// shared mode: at most one packet arrives per input per slot, so a
+	// time stamp identifies a packet within one input (Section II).
+	lastArrival int64
+}
+
+// Switch is a multicast VOQ packet switch: the queue structure of
+// Section II joined to a pluggable arbiter (FIFOMS by default) and a
+// multicast-capable crossbar. Create one with NewSwitch; it is not
+// safe for concurrent use.
+type Switch struct {
+	n       int
+	arbiter Arbiter
+	mode    PreprocessMode
+	ports   []inputPort
+	fabric  *crossbar.Fabric
+	cfg     *crossbar.Config
+	match   *Matching
+	rnd     *xrand.Rand
+
+	lastRounds  int
+	totalRounds int64
+	activeSlots int64 // slots in which any cell was queued at arbitration time
+
+	// scratch reused every slot
+	grantsByIn [][]int
+	sizes      []int
+}
+
+// QueueCountTraditional returns the number of queues a traditional
+// VOQ switch needs per input port to distinguish every multicast
+// destination set: 2^n - 1 (Section I). The value saturates at
+// MaxInt64 for n >= 63, where the point is made regardless.
+func QueueCountTraditional(n int) int64 {
+	if n <= 0 {
+		panic("core: non-positive switch size")
+	}
+	if n >= 63 {
+		return math.MaxInt64
+	}
+	return int64(1)<<uint(n) - 1
+}
+
+// QueueCountPaper returns the number of queues per input port under
+// the paper's structure: n address-cell queues (Section II). The
+// comparison with QueueCountTraditional is the paper's feasibility
+// argument — 16 queues instead of 65535 for a 16-port switch.
+func QueueCountPaper(n int) int64 {
+	if n <= 0 {
+		panic("core: non-positive switch size")
+	}
+	return int64(n)
+}
+
+// NewSwitch returns an n x n multicast VOQ switch scheduled by the
+// given arbiter. root seeds the arbiter's tie-breaking randomness.
+func NewSwitch(n int, arb Arbiter, root *xrand.Rand) *Switch {
+	if n <= 0 {
+		panic("core: non-positive switch size")
+	}
+	s := &Switch{
+		n:       n,
+		arbiter: arb,
+		mode:    arb.Mode(),
+		ports:   make([]inputPort, n),
+		fabric:  crossbar.NewFabric(n),
+		cfg:     crossbar.NewConfig(n),
+		match:   NewMatching(n),
+		rnd:     root.Split("arbiter", 0),
+	}
+	for i := range s.ports {
+		s.ports[i].voqs = make([]fifoq.Queue[*cell.AddressCell], n)
+		s.ports[i].lastArrival = -1
+	}
+	s.grantsByIn = make([][]int, n)
+	for i := range s.grantsByIn {
+		s.grantsByIn[i] = make([]int, 0, n)
+	}
+	s.sizes = make([]int, n)
+	return s
+}
+
+// Ports returns the switch size N.
+func (s *Switch) Ports() int { return s.n }
+
+// Arbiter returns the scheduling algorithm in use.
+func (s *Switch) Arbiter() Arbiter { return s.arbiter }
+
+// Fabric exposes the crossbar for utilisation reporting.
+func (s *Switch) Fabric() *crossbar.Fabric { return s.fabric }
+
+// Arrive preprocesses a packet into the input buffers following
+// Table 1 of the paper. In ModeShared one data cell is created and one
+// address cell per destination is appended to the corresponding VOQ;
+// in ModeCopied every destination gets a private data cell, modelling
+// schedulers that treat multicast as independent unicasts.
+func (s *Switch) Arrive(p *cell.Packet) {
+	if p.Input < 0 || p.Input >= s.n {
+		panic(fmt.Sprintf("core: arrival at invalid input %d", p.Input))
+	}
+	if p.Dests.Universe() != s.n {
+		panic(fmt.Sprintf("core: packet destination universe %d on %d-port switch", p.Dests.Universe(), s.n))
+	}
+	fanout := p.Dests.Count()
+	if fanout == 0 {
+		panic("core: arrival with empty destination set")
+	}
+	port := &s.ports[p.Input]
+	switch s.mode {
+	case ModeShared:
+		// A slotted switch receives at most one fixed-size packet per
+		// input per slot, and FIFOMS relies on it: address cells with
+		// equal stamps at one input MUST belong to one packet, or an
+		// input could be granted two data cells in a slot. Reject
+		// violations at the door rather than corrupting a schedule.
+		if p.Arrival <= port.lastArrival {
+			panic(fmt.Sprintf("core: packet arrived at input %d in slot %d, not after the previous arrival (slot %d); the shared queue structure admits one arrival per input per slot",
+				p.Input, p.Arrival, port.lastArrival))
+		}
+		port.lastArrival = p.Arrival
+		data := &cell.DataCell{Packet: p, FanoutCounter: fanout}
+		port.dataCells++
+		p.Dests.ForEach(func(out int) {
+			port.voqs[out].Push(&cell.AddressCell{TimeStamp: p.Arrival, Data: data, Output: out})
+			port.addrCells++
+		})
+	case ModeCopied:
+		p.Dests.ForEach(func(out int) {
+			data := &cell.DataCell{Packet: p, FanoutCounter: 1}
+			port.dataCells++
+			port.voqs[out].Push(&cell.AddressCell{TimeStamp: p.Arrival, Data: data, Output: out})
+			port.addrCells++
+		})
+	default:
+		panic("core: unknown preprocess mode")
+	}
+}
+
+// HOL returns the head-of-line address cell of input in's VOQ for
+// output out, or nil when that queue is empty. Arbiters read the
+// switch exclusively through this accessor.
+func (s *Switch) HOL(in, out int) *cell.AddressCell {
+	q := &s.ports[in].voqs[out]
+	if q.Empty() {
+		return nil
+	}
+	return q.Front()
+}
+
+// VOQLen returns the length of input in's VOQ for output out.
+func (s *Switch) VOQLen(in, out int) int { return s.ports[in].voqs[out].Len() }
+
+// Step runs one time slot after arrivals have been delivered with
+// Arrive: arbitration, crossbar configuration, data transfer and
+// post-transmission processing. Every transferred copy is reported
+// through deliver.
+func (s *Switch) Step(slot int64, deliver func(cell.Delivery)) {
+	anyQueued := false
+	for i := range s.ports {
+		if s.ports[i].addrCells > 0 {
+			anyQueued = true
+			break
+		}
+	}
+
+	s.match.Clear()
+	if anyQueued {
+		s.arbiter.Match(s, slot, s.rnd, s.match)
+		s.activeSlots++
+		s.totalRounds += int64(s.match.Rounds)
+	}
+	s.lastRounds = s.match.Rounds
+
+	// Set the crosspoints (validates one-driver-per-output).
+	s.cfg.Reset()
+	for in := range s.grantsByIn {
+		s.grantsByIn[in] = s.grantsByIn[in][:0]
+	}
+	for out, in := range s.match.OutIn {
+		if in == None {
+			continue
+		}
+		if in < 0 || in >= s.n {
+			panic(fmt.Sprintf("core: arbiter granted invalid input %d", in))
+		}
+		s.cfg.Connect(in, out)
+		s.grantsByIn[in] = append(s.grantsByIn[in], out)
+	}
+	s.fabric.Apply(s.cfg)
+
+	// Data transmission and post-transmission processing (Table 2).
+	for in, outs := range s.grantsByIn {
+		if len(outs) == 0 {
+			continue
+		}
+		port := &s.ports[in]
+		var data *cell.DataCell
+		for _, out := range outs {
+			q := &port.voqs[out]
+			if q.Empty() {
+				panic(fmt.Sprintf("core: grant for empty VOQ (%d,%d)", in, out))
+			}
+			ac := q.Pop()
+			port.addrCells--
+			switch s.mode {
+			case ModeShared:
+				// Invariant (Section III.B): every address cell an input
+				// sends in one slot must point at the same data cell,
+				// because the crossbar can replicate only one cell.
+				if data == nil {
+					data = ac.Data
+				} else if data != ac.Data {
+					panic(fmt.Sprintf("core: arbiter %s granted two data cells to input %d in one slot",
+						s.arbiter.Name(), in))
+				}
+			case ModeCopied:
+				// Independent unicast copies: at most one grant per input.
+				if data != nil {
+					panic(fmt.Sprintf("core: copied-mode arbiter %s granted input %d twice", s.arbiter.Name(), in))
+				}
+				data = ac.Data
+			}
+			// In ModeShared the data cell is exhausted exactly when the
+			// packet's last copy leaves; in ModeCopied each copy has a
+			// private fanout-1 data cell, so Last is per-cell and packet
+			// completion is tracked by the statistics layer.
+			last := ac.Data.Served()
+			if last {
+				port.dataCells--
+			}
+			deliver(cell.Delivery{ID: ac.Data.Packet.ID, In: in, Out: out, Slot: slot, Last: last})
+		}
+	}
+}
+
+// LastRounds returns the number of arbitration rounds of the most
+// recent slot (0 for an idle slot).
+func (s *Switch) LastRounds() int { return s.lastRounds }
+
+// MeanRounds returns the average arbitration rounds per active slot
+// (a slot counts as active when any cell was queued), the quantity
+// plotted in Figure 5.
+func (s *Switch) MeanRounds() float64 {
+	if s.activeSlots == 0 {
+		return 0
+	}
+	return float64(s.totalRounds) / float64(s.activeSlots)
+}
+
+// QueueSizes fills dst (which must have length N) with the paper's
+// per-input queue-size metric: the number of data cells resident in
+// each input port's buffer.
+func (s *Switch) QueueSizes(dst []int) []int {
+	for i := range s.ports {
+		dst[i] = s.ports[i].dataCells
+	}
+	return dst
+}
+
+// BufferedCells returns the total number of data cells buffered across
+// all input ports; the engine uses it for instability detection.
+func (s *Switch) BufferedCells() int64 {
+	var total int64
+	for i := range s.ports {
+		total += int64(s.ports[i].dataCells)
+	}
+	return total
+}
+
+// BufferedAddressCells returns the total address cells across all
+// VOQs, the additional (small) space cost the queue structure pays for
+// multicast support (Section IV.B).
+func (s *Switch) BufferedAddressCells() int64 {
+	var total int64
+	for i := range s.ports {
+		total += int64(s.ports[i].addrCells)
+	}
+	return total
+}
+
+// BufferedBytes returns the total buffer memory in use across the
+// input ports under Section IV.B's accounting: one PayloadSize-byte
+// block per live data cell plus AddressCellSize bytes per address
+// cell. In ModeShared a fanout-k packet costs PayloadSize +
+// k*AddressCellSize; in ModeCopied it costs k*(PayloadSize +
+// AddressCellSize) — the space comparison behind the paper's queue
+// structure.
+func (s *Switch) BufferedBytes() int64 {
+	return s.BufferedCells()*cell.PayloadSize + s.BufferedAddressCells()*cell.AddressCellSize
+}

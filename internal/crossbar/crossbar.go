@@ -1,0 +1,196 @@
+// Package crossbar models an N x N multicast-capable crossbar
+// switching fabric.
+//
+// A crossbar connects input ports to output ports through crosspoints.
+// Physically, closing crosspoint (i, j) drives output j from input i;
+// because an input line can drive any number of closed crosspoints in
+// the same slot, a crossbar is natively multicast-capable — exactly the
+// capability FIFOMS is designed to exploit — while each *output* can
+// listen to at most one input at a time.
+//
+// The package separates the per-slot crosspoint Config (built by a
+// scheduler) from the Fabric (which validates and "applies" the
+// configuration, and accounts for utilisation). Applying a
+// configuration in which two inputs drive one output is a hard error:
+// it corresponds to shorting two drivers in hardware and always
+// indicates a scheduler bug.
+package crossbar
+
+import "fmt"
+
+// Unconnected marks an output with no closed crosspoint in a slot.
+const Unconnected = -1
+
+// Config is one slot's crosspoint setting: for every output port, the
+// input port driving it, or Unconnected. The zero value is unusable;
+// create configs with NewConfig and recycle them with Reset.
+type Config struct {
+	source []int // per output: driving input or Unconnected
+	closed int   // number of connected outputs
+}
+
+// NewConfig returns an empty configuration for an n-port fabric.
+func NewConfig(n int) *Config {
+	if n <= 0 {
+		panic("crossbar: non-positive port count")
+	}
+	c := &Config{source: make([]int, n)}
+	c.Reset()
+	return c
+}
+
+// Ports returns the fabric size the configuration is for.
+func (c *Config) Ports() int { return len(c.source) }
+
+// Reset opens every crosspoint.
+func (c *Config) Reset() {
+	for i := range c.source {
+		c.source[i] = Unconnected
+	}
+	c.closed = 0
+}
+
+// Connect closes crosspoint (in, out). Connecting an already-driven
+// output panics: output contention must be resolved by the scheduler,
+// never silently overwritten by the fabric.
+func (c *Config) Connect(in, out int) {
+	n := len(c.source)
+	if in < 0 || in >= n || out < 0 || out >= n {
+		panic(fmt.Sprintf("crossbar: crosspoint (%d,%d) outside %dx%d fabric", in, out, n, n))
+	}
+	if c.source[out] != Unconnected {
+		panic(fmt.Sprintf("crossbar: output %d already driven by input %d, refusing input %d",
+			out, c.source[out], in))
+	}
+	c.source[out] = in
+	c.closed++
+}
+
+// SourceOf returns the input driving out, or Unconnected.
+func (c *Config) SourceOf(out int) int { return c.source[out] }
+
+// ConnectedOutputs returns the number of outputs with a closed
+// crosspoint.
+func (c *Config) ConnectedOutputs() int { return c.closed }
+
+// Validate checks structural sanity: every source is either
+// Unconnected or a valid input index. (The one-driver-per-output
+// invariant is enforced by construction in Connect.)
+func (c *Config) Validate() error {
+	n := len(c.source)
+	closed := 0
+	for out, in := range c.source {
+		if in == Unconnected {
+			continue
+		}
+		closed++
+		if in < 0 || in >= n {
+			return fmt.Errorf("crossbar: output %d driven by invalid input %d", out, in)
+		}
+	}
+	if closed != c.closed {
+		return fmt.Errorf("crossbar: closed-crosspoint count %d does not match sources (%d)", c.closed, closed)
+	}
+	return nil
+}
+
+// FanoutOf returns how many outputs input in drives in this
+// configuration — >1 means the slot uses the fabric's multicast
+// capability.
+func (c *Config) FanoutOf(in int) int {
+	f := 0
+	for _, src := range c.source {
+		if src == in {
+			f++
+		}
+	}
+	return f
+}
+
+// Fabric is the crossbar itself. It applies one Config per slot and
+// accumulates utilisation statistics, which the experiment harness uses
+// to report fabric efficiency and multicast usage.
+type Fabric struct {
+	n int
+
+	slots          int64 // configurations applied
+	copiesCarried  int64 // closed crosspoints over all slots
+	cellsCarried   int64 // distinct sending inputs over all slots
+	multicastSlots int64 // slots in which some input drove >1 output
+
+	activeInputs []bool // scratch, reused across Apply calls
+	inputFanout  []int  // scratch
+}
+
+// NewFabric returns an n x n fabric.
+func NewFabric(n int) *Fabric {
+	if n <= 0 {
+		panic("crossbar: non-positive port count")
+	}
+	return &Fabric{n: n, activeInputs: make([]bool, n), inputFanout: make([]int, n)}
+}
+
+// Ports returns n.
+func (f *Fabric) Ports() int { return f.n }
+
+// Apply validates cfg against the fabric and records one slot's
+// transfer. It returns the number of distinct cells (sending inputs)
+// and copies (driven outputs) the slot carried.
+func (f *Fabric) Apply(cfg *Config) (cells, copies int) {
+	if cfg.Ports() != f.n {
+		panic(fmt.Sprintf("crossbar: %d-port config applied to %d-port fabric", cfg.Ports(), f.n))
+	}
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	for i := range f.activeInputs {
+		f.activeInputs[i] = false
+		f.inputFanout[i] = 0
+	}
+	multicast := false
+	for out := 0; out < f.n; out++ {
+		in := cfg.SourceOf(out)
+		if in == Unconnected {
+			continue
+		}
+		copies++
+		if !f.activeInputs[in] {
+			f.activeInputs[in] = true
+			cells++
+		}
+		f.inputFanout[in]++
+		if f.inputFanout[in] > 1 {
+			multicast = true
+		}
+	}
+	f.slots++
+	f.copiesCarried += int64(copies)
+	f.cellsCarried += int64(cells)
+	if multicast {
+		f.multicastSlots++
+	}
+	return cells, copies
+}
+
+// Utilisation returns the mean fraction of outputs driven per applied
+// slot, or 0 before any slot.
+func (f *Fabric) Utilisation() float64 {
+	if f.slots == 0 {
+		return 0
+	}
+	return float64(f.copiesCarried) / float64(f.slots) / float64(f.n)
+}
+
+// CopiesCarried returns the total closed crosspoints across all slots.
+func (f *Fabric) CopiesCarried() int64 { return f.copiesCarried }
+
+// CellsCarried returns the total distinct sending inputs across all
+// slots (a multicast cell counts once regardless of fanout).
+func (f *Fabric) CellsCarried() int64 { return f.cellsCarried }
+
+// MulticastSlots returns how many applied slots used multicast
+// expansion (some input driving more than one output).
+func (f *Fabric) MulticastSlots() int64 { return f.multicastSlots }
+
+// Slots returns the number of configurations applied.
+func (f *Fabric) Slots() int64 { return f.slots }

@@ -1,0 +1,160 @@
+package crossbar
+
+import (
+	"testing"
+	"testing/quick"
+
+	"voqsim/internal/xrand"
+)
+
+func TestConnectAndSourceOf(t *testing.T) {
+	c := NewConfig(4)
+	if c.Ports() != 4 || c.ConnectedOutputs() != 0 {
+		t.Fatal("fresh config wrong")
+	}
+	c.Connect(1, 2)
+	c.Connect(1, 3) // multicast: same input, second output
+	c.Connect(0, 0)
+	if c.SourceOf(2) != 1 || c.SourceOf(3) != 1 || c.SourceOf(0) != 0 {
+		t.Fatal("SourceOf wrong")
+	}
+	if c.SourceOf(1) != Unconnected {
+		t.Fatal("untouched output connected")
+	}
+	if c.ConnectedOutputs() != 3 {
+		t.Fatalf("ConnectedOutputs = %d", c.ConnectedOutputs())
+	}
+	if c.FanoutOf(1) != 2 || c.FanoutOf(0) != 1 || c.FanoutOf(3) != 0 {
+		t.Fatal("FanoutOf wrong")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutputContentionPanics(t *testing.T) {
+	c := NewConfig(4)
+	c.Connect(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double-driving an output did not panic")
+		}
+	}()
+	c.Connect(2, 1)
+}
+
+func TestConnectOutOfRangePanics(t *testing.T) {
+	for name, fn := range map[string]func(c *Config){
+		"inNeg":  func(c *Config) { c.Connect(-1, 0) },
+		"inBig":  func(c *Config) { c.Connect(4, 0) },
+		"outNeg": func(c *Config) { c.Connect(0, -1) },
+		"outBig": func(c *Config) { c.Connect(0, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn(NewConfig(4))
+		}()
+	}
+}
+
+func TestResetReuses(t *testing.T) {
+	c := NewConfig(4)
+	c.Connect(0, 0)
+	c.Reset()
+	if c.ConnectedOutputs() != 0 || c.SourceOf(0) != Unconnected {
+		t.Fatal("Reset incomplete")
+	}
+	c.Connect(3, 0) // must not panic after reset
+}
+
+func TestFabricApplyCounts(t *testing.T) {
+	f := NewFabric(4)
+	c := NewConfig(4)
+	c.Connect(1, 0)
+	c.Connect(1, 2)
+	c.Connect(3, 3)
+	cells, copies := f.Apply(c)
+	if cells != 2 || copies != 3 {
+		t.Fatalf("Apply = (%d cells, %d copies), want (2, 3)", cells, copies)
+	}
+	if f.CellsCarried() != 2 || f.CopiesCarried() != 3 || f.Slots() != 1 {
+		t.Fatal("fabric counters wrong")
+	}
+	if f.MulticastSlots() != 1 {
+		t.Fatal("multicast slot not counted")
+	}
+	if got, want := f.Utilisation(), 3.0/4.0; got != want {
+		t.Fatalf("Utilisation = %v, want %v", got, want)
+	}
+
+	// A unicast-only slot must not bump the multicast counter.
+	c.Reset()
+	c.Connect(0, 1)
+	f.Apply(c)
+	if f.MulticastSlots() != 1 {
+		t.Fatal("unicast slot counted as multicast")
+	}
+}
+
+func TestFabricSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size mismatch did not panic")
+		}
+	}()
+	NewFabric(8).Apply(NewConfig(4))
+}
+
+func TestEmptySlot(t *testing.T) {
+	f := NewFabric(4)
+	cells, copies := f.Apply(NewConfig(4))
+	if cells != 0 || copies != 0 {
+		t.Fatal("empty slot carried traffic")
+	}
+	if f.Utilisation() != 0 {
+		t.Fatal("empty slot utilisation nonzero")
+	}
+}
+
+// Property: for any random valid configuration, Apply's copy count
+// equals connected outputs and its cell count equals distinct inputs.
+func TestApplyCountsProperty(t *testing.T) {
+	r := xrand.New(77)
+	f := func(seed uint16, nRaw uint8) bool {
+		n := int(nRaw%16) + 1
+		rr := r.Split("cfg", int(seed))
+		cfg := NewConfig(n)
+		distinct := map[int]bool{}
+		want := 0
+		for out := 0; out < n; out++ {
+			if rr.Bool(0.6) {
+				in := rr.Intn(n)
+				cfg.Connect(in, out)
+				distinct[in] = true
+				want++
+			}
+		}
+		fab := NewFabric(n)
+		cells, copies := fab.Apply(cfg)
+		return copies == want && cells == len(distinct) && cfg.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkApply16(b *testing.B) {
+	f := NewFabric(16)
+	c := NewConfig(16)
+	for out := 0; out < 16; out++ {
+		c.Connect(out%4, out)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Apply(c)
+	}
+}

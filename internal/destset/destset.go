@@ -1,0 +1,223 @@
+// Package destset implements sets of destination output ports.
+//
+// A multicast packet on an N-port switch carries a fanout set, a subset
+// of {0, ..., N-1}. These sets are consulted on every scheduling
+// decision, so they are represented as packed bit vectors: membership,
+// insertion and removal are O(1), and iteration and popcount are O(N/64).
+// N is bounded only by memory; the simulator uses N up to a few thousand.
+package destset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"voqsim/internal/xrand"
+)
+
+// Set is a mutable subset of {0..N-1} output ports. The zero value is
+// unusable; create sets with New. Set values share no storage unless
+// explicitly aliased; use Clone for an independent copy.
+type Set struct {
+	n     int
+	words []uint64
+}
+
+// New returns the empty set over the universe {0..n-1}. It panics if
+// n is not positive.
+func New(n int) *Set {
+	if n <= 0 {
+		panic("destset: non-positive universe size")
+	}
+	return &Set{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// FromMembers returns a set over {0..n-1} containing exactly the given
+// members. It panics on out-of-range members.
+func FromMembers(n int, members ...int) *Set {
+	s := New(n)
+	for _, m := range members {
+		s.Add(m)
+	}
+	return s
+}
+
+// Universe returns the size n of the universe the set ranges over.
+func (s *Set) Universe() int { return s.n }
+
+// check panics if port is outside the universe. Out-of-range ports in
+// this simulator always indicate a wiring bug, never bad external
+// input, so a panic is the right failure mode.
+func (s *Set) check(port int) {
+	if port < 0 || port >= s.n {
+		panic(fmt.Sprintf("destset: port %d outside universe of %d", port, s.n))
+	}
+}
+
+// Add inserts port into the set.
+func (s *Set) Add(port int) {
+	s.check(port)
+	s.words[port>>6] |= 1 << uint(port&63)
+}
+
+// Remove deletes port from the set; removing an absent port is a no-op.
+func (s *Set) Remove(port int) {
+	s.check(port)
+	s.words[port>>6] &^= 1 << uint(port&63)
+}
+
+// Contains reports whether port is a member.
+func (s *Set) Contains(port int) bool {
+	s.check(port)
+	return s.words[port>>6]&(1<<uint(port&63)) != 0
+}
+
+// Count returns the number of members (the fanout).
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Empty reports whether the set has no members.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear removes all members.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{n: s.n, words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// Equal reports whether s and o have the same universe and members.
+func (s *Set) Equal(o *Set) bool {
+	if s.n != o.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// UnionWith adds every member of o to s. The universes must match.
+func (s *Set) UnionWith(o *Set) {
+	s.sameUniverse(o)
+	for i, w := range o.words {
+		s.words[i] |= w
+	}
+}
+
+// IntersectWith removes from s every member absent from o.
+func (s *Set) IntersectWith(o *Set) {
+	s.sameUniverse(o)
+	for i, w := range o.words {
+		s.words[i] &= w
+	}
+}
+
+// SubtractWith removes every member of o from s.
+func (s *Set) SubtractWith(o *Set) {
+	s.sameUniverse(o)
+	for i, w := range o.words {
+		s.words[i] &^= w
+	}
+}
+
+func (s *Set) sameUniverse(o *Set) {
+	if s.n != o.n {
+		panic(fmt.Sprintf("destset: universe mismatch %d vs %d", s.n, o.n))
+	}
+}
+
+// ForEach calls fn for every member in ascending order.
+func (s *Set) ForEach(fn func(port int)) {
+	for wi, w := range s.words {
+		base := wi << 6
+		for w != 0 {
+			fn(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// Members appends the members in ascending order to dst and returns
+// the extended slice. Pass a reused buffer to avoid allocation.
+func (s *Set) Members(dst []int) []int {
+	s.ForEach(func(p int) { dst = append(dst, p) })
+	return dst
+}
+
+// Min returns the smallest member, or -1 if the set is empty.
+func (s *Set) Min() int {
+	for wi, w := range s.words {
+		if w != 0 {
+			return wi<<6 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// String renders the set like "{0,3,7}/16" for debugging and logs.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(p int) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", p)
+	})
+	fmt.Fprintf(&b, "}/%d", s.n)
+	return b.String()
+}
+
+// RandomBernoulli fills s with a fresh draw in which each port of the
+// universe is included independently with probability b. The previous
+// contents are discarded. The result may be empty; callers that need a
+// non-empty fanout must handle that case (see the traffic package for
+// why empty draws are mapped to "no arrival").
+func (s *Set) RandomBernoulli(r *xrand.Rand, b float64) {
+	s.Clear()
+	for p := 0; p < s.n; p++ {
+		if r.Bool(b) {
+			s.Add(p)
+		}
+	}
+}
+
+// RandomKSubset fills s with a uniform random k-subset of the universe.
+// The previous contents are discarded. It panics if k is outside
+// [0, n]. scratch, if non-nil and large enough, avoids an allocation.
+func (s *Set) RandomKSubset(r *xrand.Rand, k int, scratch []int) {
+	if k < 0 || k > s.n {
+		panic(fmt.Sprintf("destset: k-subset size %d outside [0,%d]", k, s.n))
+	}
+	s.Clear()
+	if scratch == nil || cap(scratch) < k {
+		scratch = make([]int, 0, k)
+	}
+	for _, p := range r.Sample(scratch, s.n, k) {
+		s.Add(p)
+	}
+}

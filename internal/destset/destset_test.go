@@ -1,0 +1,266 @@
+package destset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"voqsim/internal/xrand"
+)
+
+func TestAddContainsRemove(t *testing.T) {
+	s := New(100)
+	for _, p := range []int{0, 1, 63, 64, 65, 99} {
+		if s.Contains(p) {
+			t.Fatalf("fresh set contains %d", p)
+		}
+		s.Add(p)
+		if !s.Contains(p) {
+			t.Fatalf("added %d not contained", p)
+		}
+	}
+	if got := s.Count(); got != 6 {
+		t.Fatalf("Count = %d, want 6", got)
+	}
+	s.Remove(64)
+	if s.Contains(64) || s.Count() != 5 {
+		t.Fatalf("remove failed: %v", s)
+	}
+	s.Remove(64) // removing absent member is a no-op
+	if s.Count() != 5 {
+		t.Fatal("double remove changed count")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	for name, fn := range map[string]func(*Set){
+		"Add":      func(s *Set) { s.Add(16) },
+		"AddNeg":   func(s *Set) { s.Add(-1) },
+		"Remove":   func(s *Set) { s.Remove(16) },
+		"Contains": func(s *Set) { s.Contains(100) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s out of range did not panic", name)
+				}
+			}()
+			fn(New(16))
+		}()
+	}
+}
+
+func TestNewPanicsOnBadUniverse(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestEmptyClear(t *testing.T) {
+	s := FromMembers(16, 3, 9)
+	if s.Empty() {
+		t.Fatal("non-empty set reports Empty")
+	}
+	s.Clear()
+	if !s.Empty() || s.Count() != 0 {
+		t.Fatal("Clear did not empty the set")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := FromMembers(70, 1, 65)
+	b := a.Clone()
+	b.Add(2)
+	if a.Contains(2) {
+		t.Fatal("Clone shares storage")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Fatal("Clone not equal to original")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !FromMembers(16, 1, 2).Equal(FromMembers(16, 2, 1)) {
+		t.Fatal("order-insensitive equality failed")
+	}
+	if FromMembers(16, 1).Equal(FromMembers(16, 2)) {
+		t.Fatal("distinct sets equal")
+	}
+	if FromMembers(16, 1).Equal(FromMembers(17, 1)) {
+		t.Fatal("distinct universes equal")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := FromMembers(130, 0, 64, 128)
+	b := FromMembers(130, 64, 129)
+
+	u := a.Clone()
+	u.UnionWith(b)
+	if !u.Equal(FromMembers(130, 0, 64, 128, 129)) {
+		t.Fatalf("union = %v", u)
+	}
+
+	i := a.Clone()
+	i.IntersectWith(b)
+	if !i.Equal(FromMembers(130, 64)) {
+		t.Fatalf("intersection = %v", i)
+	}
+
+	d := a.Clone()
+	d.SubtractWith(b)
+	if !d.Equal(FromMembers(130, 0, 128)) {
+		t.Fatalf("difference = %v", d)
+	}
+}
+
+func TestUniverseMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("universe mismatch did not panic")
+		}
+	}()
+	New(16).UnionWith(New(17))
+}
+
+func TestForEachAscendingAndMembers(t *testing.T) {
+	s := FromMembers(200, 5, 0, 199, 64, 63)
+	var got []int
+	s.ForEach(func(p int) { got = append(got, p) })
+	want := []int{0, 5, 63, 64, 199}
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach visited %v, want %v", got, want)
+		}
+	}
+	m := s.Members(nil)
+	for i := range want {
+		if m[i] != want[i] {
+			t.Fatalf("Members = %v", m)
+		}
+	}
+}
+
+func TestMin(t *testing.T) {
+	if New(16).Min() != -1 {
+		t.Fatal("empty Min != -1")
+	}
+	if got := FromMembers(200, 130, 70).Min(); got != 70 {
+		t.Fatalf("Min = %d", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := FromMembers(16, 0, 3).String(); got != "{0,3}/16" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := New(4).String(); got != "{}/4" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// Property: Count equals the number of ForEach visits, and every visited
+// member answers Contains.
+func TestCountConsistentProperty(t *testing.T) {
+	r := xrand.New(99)
+	f := func(nRaw uint8, seed uint16) bool {
+		n := int(nRaw%150) + 1
+		s := New(n)
+		rr := r.Split("prop", int(seed))
+		for i := 0; i < n/2; i++ {
+			s.Add(rr.Intn(n))
+		}
+		visits := 0
+		ok := true
+		s.ForEach(func(p int) {
+			visits++
+			if !s.Contains(p) {
+				ok = false
+			}
+		})
+		return ok && visits == s.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: union/intersection/difference sizes obey inclusion-exclusion.
+func TestInclusionExclusionProperty(t *testing.T) {
+	r := xrand.New(123)
+	f := func(seed uint16) bool {
+		const n = 67
+		rr := r.Split("ie", int(seed))
+		a, b := New(n), New(n)
+		a.RandomBernoulli(rr, 0.3)
+		b.RandomBernoulli(rr, 0.3)
+		u := a.Clone()
+		u.UnionWith(b)
+		i := a.Clone()
+		i.IntersectWith(b)
+		return u.Count()+i.Count() == a.Count()+b.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomBernoulliRate(t *testing.T) {
+	r := xrand.New(7)
+	const n, trials, b = 64, 5000, 0.2
+	s := New(n)
+	total := 0
+	for i := 0; i < trials; i++ {
+		s.RandomBernoulli(r, b)
+		total += s.Count()
+	}
+	mean := float64(total) / trials
+	want := b * n
+	if math.Abs(mean-want) > 0.2 {
+		t.Fatalf("mean fanout %v, want %v", mean, want)
+	}
+}
+
+func TestRandomKSubset(t *testing.T) {
+	r := xrand.New(8)
+	s := New(40)
+	scratch := make([]int, 0, 40)
+	for k := 0; k <= 40; k += 5 {
+		s.RandomKSubset(r, k, scratch)
+		if s.Count() != k {
+			t.Fatalf("k-subset of size %d has %d members", k, s.Count())
+		}
+	}
+}
+
+func TestRandomKSubsetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized k did not panic")
+		}
+	}()
+	New(4).RandomKSubset(xrand.New(1), 5, nil)
+}
+
+func BenchmarkForEach16(b *testing.B) {
+	s := FromMembers(16, 0, 2, 5, 9, 15)
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		s.ForEach(func(p int) { sink += p })
+	}
+	_ = sink
+}
+
+func BenchmarkRandomBernoulli16(b *testing.B) {
+	r := xrand.New(1)
+	s := New(16)
+	for i := 0; i < b.N; i++ {
+		s.RandomBernoulli(r, 0.2)
+	}
+}

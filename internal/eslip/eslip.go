@@ -1,0 +1,296 @@
+// Package eslip implements an ESLIP-style combined unicast/multicast
+// scheduler (McKeown, "A Fast Switched Backplane for a Gigabit
+// Switched Router"; the scheduler of the Cisco 12000 line cards) as an
+// extension baseline: the industrial contemporary of the reproduced
+// paper's FIFOMS.
+//
+// Queue structure: each input keeps N unicast VOQs plus ONE multicast
+// FIFO queue whose head packet carries a residual fanout. Multicast
+// payloads are stored once (like the paper's data cells); unicast
+// cells one each.
+//
+// Scheduling (per slot, iterative):
+//
+//   - Requests: each free input's HOL multicast packet requests every
+//     free output in its residual fanout; each non-empty unicast VOQ
+//     with a free output requests that output.
+//   - Grants: outputs prefer one traffic class per slot, alternating
+//     each slot (ESLIP's frame alternation). A multicast grant uses
+//     ONE multicast pointer shared by all outputs — that is ESLIP's
+//     trick for making independent output decisions converge on the
+//     same multicast packet, playing the role FIFOMS gives to time
+//     stamps. Unicast grants use per-output round-robin pointers as in
+//     iSLIP.
+//   - Accepts: an input that received multicast grants for its HOL
+//     packet takes all of them (one payload, fanout splitting for the
+//     rest); otherwise it accepts one unicast grant by its round-robin
+//     accept pointer.
+//
+// Pointer updates follow the iSLIP discipline (move only on accepted
+// first-iteration grants); the shared multicast pointer advances past
+// an input only when that input's HOL multicast packet has been fully
+// served, which preserves ESLIP's fanout-splitting fairness.
+package eslip
+
+import (
+	"fmt"
+
+	"voqsim/internal/cell"
+	"voqsim/internal/destset"
+	"voqsim/internal/fifoq"
+)
+
+// mcEntry is a queued multicast packet with its unserved destinations.
+type mcEntry struct {
+	p         *cell.Packet
+	remaining *destset.Set
+}
+
+// uniCell is one queued unicast cell.
+type uniCell struct {
+	p *cell.Packet
+}
+
+// Switch is the ESLIP switch. It satisfies the simulation engine's
+// Switch interface.
+type Switch struct {
+	n int
+
+	uniVOQ [][]fifoq.Queue[uniCell] // [input][output]
+	mcQ    []fifoq.Queue[*mcEntry]  // one multicast queue per input
+
+	grantPtr  []int // per output, unicast RR
+	acceptPtr []int // per input, unicast RR
+	mcPtr     int   // shared multicast pointer
+
+	lastRounds  int
+	totalRounds int64
+	activeSlots int64
+
+	// scratch
+	inputFree  []bool
+	outputFree []bool
+	uniGrant   []int // per output: provisionally granted input (unicast)
+	mcGrant    []int // per output: provisionally granted input (multicast)
+	served     []int // per input: multicast copies served this slot
+}
+
+// New returns an n x n ESLIP switch.
+func New(n int) *Switch {
+	if n <= 0 {
+		panic("eslip: non-positive switch size")
+	}
+	s := &Switch{
+		n:          n,
+		uniVOQ:     make([][]fifoq.Queue[uniCell], n),
+		mcQ:        make([]fifoq.Queue[*mcEntry], n),
+		grantPtr:   make([]int, n),
+		acceptPtr:  make([]int, n),
+		inputFree:  make([]bool, n),
+		outputFree: make([]bool, n),
+		uniGrant:   make([]int, n),
+		mcGrant:    make([]int, n),
+		served:     make([]int, n),
+	}
+	for i := range s.uniVOQ {
+		s.uniVOQ[i] = make([]fifoq.Queue[uniCell], n)
+	}
+	return s
+}
+
+// Ports returns the switch size N.
+func (s *Switch) Ports() int { return s.n }
+
+// Name identifies the algorithm in reports.
+func (s *Switch) Name() string { return "eslip" }
+
+// Arrive enqueues a packet: unicast cells enter their VOQ, multicast
+// packets enter the input's multicast queue whole.
+func (s *Switch) Arrive(p *cell.Packet) {
+	if p.Input < 0 || p.Input >= s.n {
+		panic(fmt.Sprintf("eslip: arrival at invalid input %d", p.Input))
+	}
+	fanout := p.Dests.Count()
+	switch {
+	case fanout == 0:
+		panic("eslip: arrival with empty destination set")
+	case fanout == 1:
+		s.uniVOQ[p.Input][p.Dests.Min()].Push(uniCell{p: p})
+	default:
+		s.mcQ[p.Input].Push(&mcEntry{p: p, remaining: p.Dests.Clone()})
+	}
+}
+
+// Step runs one slot of iterative scheduling and transfer.
+func (s *Switch) Step(slot int64, deliver func(cell.Delivery)) {
+	n := s.n
+	for i := 0; i < n; i++ {
+		s.inputFree[i] = true
+		s.outputFree[i] = true
+		s.served[i] = 0
+	}
+	preferMulticast := slot%2 == 0
+	rounds := 0
+	busy := s.BufferedCells() > 0
+
+	for iter := 0; ; iter++ {
+		// Grant phase.
+		anyGrant := false
+		for out := 0; out < n; out++ {
+			s.uniGrant[out] = -1
+			s.mcGrant[out] = -1
+			if !s.outputFree[out] {
+				continue
+			}
+			// Multicast candidate: the requesting input closest to the
+			// shared pointer.
+			for k := 0; k < n; k++ {
+				in := (s.mcPtr + k) % n
+				if !s.inputFree[in] || s.mcQ[in].Empty() {
+					continue
+				}
+				if s.mcQ[in].Front().remaining.Contains(out) {
+					s.mcGrant[out] = in
+					break
+				}
+			}
+			// Unicast candidate: iSLIP-style per-output pointer.
+			for k := 0; k < n; k++ {
+				in := (s.grantPtr[out] + k) % n
+				if s.inputFree[in] && s.uniVOQ[in][out].Len() > 0 {
+					s.uniGrant[out] = in
+					break
+				}
+			}
+			// Class preference: keep only one grant per output.
+			mc, uni := s.mcGrant[out], s.uniGrant[out]
+			if mc >= 0 && uni >= 0 {
+				if preferMulticast {
+					s.uniGrant[out] = -1
+				} else {
+					s.mcGrant[out] = -1
+				}
+			}
+			if mc >= 0 || uni >= 0 {
+				anyGrant = true
+			}
+		}
+		if !anyGrant {
+			break
+		}
+
+		// Accept phase.
+		matched := false
+		for in := 0; in < n; in++ {
+			if !s.inputFree[in] {
+				continue
+			}
+			// Collect multicast grants for this input's HOL packet.
+			tookMulticast := false
+			for out := 0; out < n; out++ {
+				if s.mcGrant[out] != in {
+					continue
+				}
+				e := s.mcQ[in].Front()
+				e.remaining.Remove(out)
+				s.outputFree[out] = false
+				deliver(cell.Delivery{ID: e.p.ID, In: in, Out: out, Slot: slot, Last: e.remaining.Empty()})
+				s.served[in]++
+				tookMulticast = true
+				matched = true
+			}
+			if tookMulticast {
+				s.inputFree[in] = false
+				continue
+			}
+			// Otherwise accept one unicast grant round-robin.
+			for k := 0; k < n; k++ {
+				out := (s.acceptPtr[in] + k) % n
+				if s.uniGrant[out] != in || !s.outputFree[out] {
+					continue
+				}
+				c := s.uniVOQ[in][out].Pop()
+				s.outputFree[out] = false
+				s.inputFree[in] = false
+				deliver(cell.Delivery{ID: c.p.ID, In: in, Out: out, Slot: slot, Last: true})
+				matched = true
+				if iter == 0 {
+					s.grantPtr[out] = (in + 1) % n
+					s.acceptPtr[in] = (out + 1) % n
+				}
+				break
+			}
+		}
+		if !matched {
+			break
+		}
+		rounds++
+	}
+
+	// Post-transmission: fully-served multicast packets leave their
+	// queues (a residue stays at HOL for fanout splitting), and the
+	// shared pointer advances past its input only when that input's
+	// packet completed — ESLIP's completion rule, which lets a split
+	// packet keep top priority until its residue drains.
+	for in := 0; in < n; in++ {
+		if !s.mcQ[in].Empty() && s.mcQ[in].Front().remaining.Empty() {
+			s.mcQ[in].Pop()
+			if in == s.mcPtr {
+				s.mcPtr = (s.mcPtr + 1) % n
+			}
+		}
+	}
+
+	s.lastRounds = rounds
+	if busy {
+		s.activeSlots++
+		s.totalRounds += int64(rounds)
+	}
+}
+
+// LastRounds reports the previous slot's iteration count.
+func (s *Switch) LastRounds() int { return s.lastRounds }
+
+// QueueSizes reports per-input buffered payloads: multicast packets
+// (stored once) plus unicast cells — comparable to the paper's
+// data-cell metric.
+func (s *Switch) QueueSizes(dst []int) []int {
+	for in := 0; in < s.n; in++ {
+		total := s.mcQ[in].Len()
+		for out := 0; out < s.n; out++ {
+			total += s.uniVOQ[in][out].Len()
+		}
+		dst[in] = total
+	}
+	return dst
+}
+
+// BufferedCells returns the total buffered payloads.
+func (s *Switch) BufferedCells() int64 {
+	var total int64
+	for in := 0; in < s.n; in++ {
+		total += int64(s.mcQ[in].Len())
+		for out := 0; out < s.n; out++ {
+			total += int64(s.uniVOQ[in][out].Len())
+		}
+	}
+	return total
+}
+
+// BufferedBytes accounts payloads once per packet (multicast) or cell
+// (unicast) plus an address-cell-sized bookkeeping entry per pending
+// destination.
+func (s *Switch) BufferedBytes() int64 {
+	var payloads, pending int64
+	for in := 0; in < s.n; in++ {
+		s.mcQ[in].ForEach(func(e *mcEntry) {
+			payloads++
+			pending += int64(e.remaining.Count())
+		})
+		for out := 0; out < s.n; out++ {
+			payloads += int64(s.uniVOQ[in][out].Len())
+			pending += int64(s.uniVOQ[in][out].Len())
+		}
+	}
+	return payloads*cell.PayloadSize + pending*cell.AddressCellSize
+}

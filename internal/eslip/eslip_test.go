@@ -1,0 +1,228 @@
+package eslip
+
+import (
+	"testing"
+
+	"voqsim/internal/cell"
+	"voqsim/internal/destset"
+	"voqsim/internal/switchsim"
+	"voqsim/internal/traffic"
+	"voqsim/internal/xrand"
+)
+
+var nextID cell.PacketID
+
+func mkPacket(in int, arrival int64, n int, dests ...int) *cell.Packet {
+	nextID++
+	return &cell.Packet{ID: nextID, Input: in, Arrival: arrival, Dests: destset.FromMembers(n, dests...)}
+}
+
+func collect(s *Switch, slot int64) []cell.Delivery {
+	var out []cell.Delivery
+	s.Step(slot, func(d cell.Delivery) { out = append(out, d) })
+	return out
+}
+
+func TestUnicastDelivered(t *testing.T) {
+	s := New(4)
+	p := mkPacket(0, 0, 4, 2)
+	s.Arrive(p)
+	ds := collect(s, 0)
+	if len(ds) != 1 || ds[0].Out != 2 || !ds[0].Last {
+		t.Fatalf("deliveries %+v", ds)
+	}
+	if s.BufferedCells() != 0 {
+		t.Fatal("residue left")
+	}
+}
+
+func TestLoneMulticastOneSlot(t *testing.T) {
+	// Unlike iSLIP's unicast copies, ESLIP sends an uncontended
+	// multicast packet to all destinations in one slot.
+	s := New(4)
+	p := mkPacket(1, 0, 4, 0, 2, 3)
+	s.Arrive(p)
+	if s.BufferedCells() != 1 {
+		t.Fatalf("multicast stored as %d payloads, want 1", s.BufferedCells())
+	}
+	ds := collect(s, 0)
+	if len(ds) != 3 {
+		t.Fatalf("delivered %d copies, want 3", len(ds))
+	}
+	lastCount := 0
+	for _, d := range ds {
+		if d.ID != p.ID {
+			t.Fatalf("bad delivery %+v", d)
+		}
+		if d.Last {
+			lastCount++
+		}
+	}
+	if lastCount != 1 {
+		t.Fatalf("%d deliveries marked Last", lastCount)
+	}
+}
+
+func TestFanoutSplitting(t *testing.T) {
+	// The multicast packet loses output 1 to nothing (it is alone) —
+	// construct contention instead: input 1's multicast {0,1} vs input
+	// 0's multicast {1}. fanout-1 packets go to VOQs, so use two
+	// multicasts overlapping on output 1 in a multicast-preferred slot.
+	s := New(2)
+	a := mkPacket(0, 0, 2, 0, 1)
+	b := mkPacket(1, 0, 2, 0, 1)
+	s.Arrive(a)
+	s.Arrive(b)
+	// Slot 0 prefers multicast; the shared pointer (0) favours input
+	// 0, which wins both outputs. Input 1 waits whole.
+	ds := collect(s, 0)
+	if len(ds) != 2 {
+		t.Fatalf("slot 0 delivered %d copies", len(ds))
+	}
+	for _, d := range ds {
+		if d.ID != a.ID {
+			t.Fatalf("pointer-favoured input lost: %+v", d)
+		}
+	}
+	// Slot 1: input 1's turn.
+	ds = collect(s, 1)
+	if len(ds) != 2 || ds[0].ID != b.ID {
+		t.Fatalf("slot 1 deliveries %+v", ds)
+	}
+	if s.BufferedCells() != 0 {
+		t.Fatal("residue left")
+	}
+}
+
+func TestSharedPointerConvergesOutputs(t *testing.T) {
+	// Many inputs hold multicast packets with overlapping fanouts; in
+	// each multicast-preferred slot all outputs must converge on ONE
+	// input (the pointer's), giving that packet full delivery.
+	const n = 4
+	s := New(n)
+	for in := 0; in < n; in++ {
+		s.Arrive(mkPacket(in, 0, n, 0, 1, 2, 3))
+	}
+	for slot := int64(0); slot < 2*n; slot += 2 { // even slots prefer multicast
+		ds := collect(s, slot)
+		if len(ds) == 0 {
+			continue
+		}
+		first := ds[0].In
+		for _, d := range ds {
+			if d.In != first {
+				t.Fatalf("slot %d: outputs split between inputs %d and %d", slot, first, d.In)
+			}
+		}
+		if len(ds) != n {
+			t.Fatalf("slot %d: converged input delivered %d of %d copies", slot, len(ds), n)
+		}
+	}
+	if s.BufferedCells() != 0 {
+		t.Fatalf("backlog %d after %d multicast-preferred slots", s.BufferedCells(), n)
+	}
+}
+
+func TestClassAlternation(t *testing.T) {
+	// A unicast cell and a multicast packet contending for output 0:
+	// the even slot serves the multicast first (preferred), the odd
+	// slot the unicast.
+	s := New(2)
+	mc := mkPacket(0, 0, 2, 0, 1)
+	uni := mkPacket(1, 0, 2, 0)
+	s.Arrive(mc)
+	s.Arrive(uni)
+	ds := collect(s, 0) // multicast preferred
+	got := map[int]cell.PacketID{}
+	for _, d := range ds {
+		got[d.Out] = d.ID
+	}
+	if got[0] != mc.ID {
+		t.Fatalf("even slot output 0 served %v, want multicast", got)
+	}
+	ds = collect(s, 1)
+	if len(ds) != 1 || ds[0].ID != uni.ID {
+		t.Fatalf("odd slot deliveries %+v", ds)
+	}
+}
+
+func TestUnicastPointersDesynchronise(t *testing.T) {
+	const n = 2
+	s := New(n)
+	var slot int64
+	copies := 0
+	for ; slot < 6; slot++ {
+		for in := 0; in < n; in++ {
+			s.Arrive(mkPacket(in, slot, n, 0))
+			s.Arrive(mkPacket(in, slot, n, 1))
+		}
+		got := len(collect(s, slot))
+		if slot >= 1 {
+			copies += got
+		}
+	}
+	// After the first slot the pointers must sustain full matchings.
+	if copies < int(5*n) {
+		t.Fatalf("only %d copies over 5 backlogged slots", copies)
+	}
+}
+
+func TestConservation(t *testing.T) {
+	s := New(4)
+	r := xrand.New(9)
+	offered, delivered := 0, 0
+	var slot int64
+	for ; slot < 600; slot++ {
+		for in := 0; in < 4; in++ {
+			d := destset.New(4)
+			d.RandomBernoulli(r, 0.25)
+			if d.Empty() {
+				continue
+			}
+			nextID++
+			offered += d.Count()
+			s.Arrive(&cell.Packet{ID: nextID, Input: in, Arrival: slot, Dests: d})
+		}
+		s.Step(slot, func(cell.Delivery) { delivered++ })
+	}
+	for ; s.BufferedCells() > 0 && slot < 100000; slot++ {
+		s.Step(slot, func(cell.Delivery) { delivered++ })
+	}
+	if delivered != offered {
+		t.Fatalf("delivered %d of %d copies", delivered, offered)
+	}
+}
+
+func TestStableUnderPaperTraffic(t *testing.T) {
+	pat := traffic.Bernoulli{P: 0.25, B: 0.2} // load 0.8
+	res := switchsim.New(New(16), pat, switchsim.Config{Slots: 30_000, Seed: 3}, xrand.New(3)).Run("eslip")
+	if res.Unstable {
+		t.Fatal("eslip unstable at load 0.8")
+	}
+	if res.Throughput < 0.78 {
+		t.Fatalf("throughput %v", res.Throughput)
+	}
+	if res.Rounds.Count == 0 {
+		t.Fatal("rounds not recorded")
+	}
+	if res.AvgBufferBytes <= 0 {
+		t.Fatal("bytes not recorded")
+	}
+}
+
+func TestValidationPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"badN":       func() { New(0) },
+		"badInput":   func() { New(4).Arrive(&cell.Packet{ID: 1, Input: 4, Dests: destset.FromMembers(4, 0)}) },
+		"emptyDests": func() { New(4).Arrive(&cell.Packet{ID: 1, Input: 0, Dests: destset.New(4)}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

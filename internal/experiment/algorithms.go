@@ -1,0 +1,139 @@
+// Package experiment defines the paper's experiments as data: the
+// algorithm roster, the load sweeps behind every figure of Section V,
+// a parallel sweep runner, and formatters that render the measured
+// series as tables, CSV and JSON.
+//
+// Each figure is a Sweep: a traffic family parameterised by effective
+// load, a list of scheduling algorithms, and the slot budget. Sweeps
+// fan the (algorithm x load) grid out over a worker pool — points are
+// independent simulations, so the sweep scales linearly with cores —
+// while keeping results bit-reproducible: every point derives its own
+// seed from the sweep seed, never from scheduling order.
+package experiment
+
+import (
+	"fmt"
+
+	"voqsim/internal/cioq"
+	"voqsim/internal/core"
+	"voqsim/internal/eslip"
+	"voqsim/internal/oq"
+	"voqsim/internal/sched/islip"
+	"voqsim/internal/sched/lqfms"
+	"voqsim/internal/sched/pim"
+	"voqsim/internal/sched/tdrr"
+	"voqsim/internal/switchsim"
+	"voqsim/internal/tatra"
+	"voqsim/internal/wba"
+	"voqsim/internal/xrand"
+)
+
+// Algorithm names a scheduler and knows how to build a fresh switch
+// running it. New must return an independent instance every call; runs
+// never share switch state.
+type Algorithm struct {
+	Name string
+	New  func(n int, root *xrand.Rand) switchsim.Switch
+}
+
+// The built-in roster. The first four are the paper's comparison set;
+// the rest are extension baselines and ablations.
+var (
+	// FIFOMS is the paper's algorithm on the multicast VOQ structure.
+	FIFOMS = Algorithm{Name: "fifoms", New: func(n int, root *xrand.Rand) switchsim.Switch {
+		return core.NewSwitch(n, &core.FIFOMS{}, root)
+	}}
+	// TATRA is the multicast baseline on a single-input-queued switch.
+	TATRA = Algorithm{Name: "tatra", New: func(n int, root *xrand.Rand) switchsim.Switch {
+		return tatra.New(n)
+	}}
+	// ISLIP treats multicast as independent unicast copies on the VOQ
+	// structure.
+	ISLIP = Algorithm{Name: "islip", New: func(n int, root *xrand.Rand) switchsim.Switch {
+		return core.NewSwitch(n, islip.New(), root)
+	}}
+	// OQFIFO is the output-queued benchmark.
+	OQFIFO = Algorithm{Name: "oqfifo", New: func(n int, root *xrand.Rand) switchsim.Switch {
+		return oq.New(n)
+	}}
+
+	// PIM is the randomised unicast VOQ baseline (extension).
+	PIM = Algorithm{Name: "pim", New: func(n int, root *xrand.Rand) switchsim.Switch {
+		return core.NewSwitch(n, pim.New(), root)
+	}}
+	// LQFMS swaps FIFOMS's time-stamp criterion for VOQ backlog on the
+	// identical queue structure (design-alternative ablation).
+	LQFMS = Algorithm{Name: "lqfms", New: func(n int, root *xrand.Rand) switchsim.Switch {
+		return core.NewSwitch(n, lqfms.New(), root)
+	}}
+	// TDRR is the two-dimensional round-robin unicast VOQ baseline
+	// (reference [9] of the paper; extension).
+	TDRR = Algorithm{Name: "2drr", New: func(n int, root *xrand.Rand) switchsim.Switch {
+		return core.NewSwitch(n, tdrr.New(), root)
+	}}
+	// ESLIP is the industrial combined unicast/multicast scheduler
+	// (Cisco 12000 style): unicast VOQs + one multicast queue per
+	// input, shared multicast pointer (extension).
+	ESLIP = Algorithm{Name: "eslip", New: func(n int, root *xrand.Rand) switchsim.Switch {
+		return eslip.New(n)
+	}}
+	// WBA is the weight-based multicast baseline on the single-queue
+	// structure (extension).
+	WBA = Algorithm{Name: "wba", New: func(n int, root *xrand.Rand) switchsim.Switch {
+		return wba.New(n, root)
+	}}
+	// FIFOMSNoSplit is the all-or-nothing ablation of FIFOMS.
+	FIFOMSNoSplit = Algorithm{Name: "fifoms-nosplit", New: func(n int, root *xrand.Rand) switchsim.Switch {
+		return core.NewSwitch(n, &core.FIFOMS{NoFanoutSplitting: true}, root)
+	}}
+)
+
+// CIOQ returns a combined input-output queued switch with the given
+// fabric speedup, FIFOMS-scheduled at the input stage. Named
+// "cioq-sK" in reports and ByName.
+func CIOQ(speedup int) Algorithm {
+	return Algorithm{
+		Name: fmt.Sprintf("cioq-s%d", speedup),
+		New: func(n int, root *xrand.Rand) switchsim.Switch {
+			return cioq.New(n, speedup, &core.FIFOMS{}, root)
+		},
+	}
+}
+
+// FIFOMSRounds returns the FIFOMS variant capped at the given number
+// of request/grant rounds per slot (the convergence ablation).
+func FIFOMSRounds(maxRounds int) Algorithm {
+	return Algorithm{
+		Name: fmt.Sprintf("fifoms-r%d", maxRounds),
+		New: func(n int, root *xrand.Rand) switchsim.Switch {
+			return core.NewSwitch(n, &core.FIFOMS{MaxRounds: maxRounds}, root)
+		},
+	}
+}
+
+// PaperAlgorithms returns the paper's comparison set in the order the
+// figures plot them: FIFOMS, TATRA, iSLIP, OQFIFO.
+func PaperAlgorithms() []Algorithm { return []Algorithm{FIFOMS, TATRA, ISLIP, OQFIFO} }
+
+// AllAlgorithms returns the paper set plus the extension baselines.
+func AllAlgorithms() []Algorithm {
+	return []Algorithm{FIFOMS, TATRA, ISLIP, OQFIFO, PIM, TDRR, WBA, LQFMS, ESLIP, FIFOMSNoSplit}
+}
+
+// ByName returns the algorithm with the given name from the full
+// roster (including round-capped FIFOMS variants written "fifoms-rK").
+func ByName(name string) (Algorithm, error) {
+	for _, a := range AllAlgorithms() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	var k int
+	if _, err := fmt.Sscanf(name, "fifoms-r%d", &k); err == nil && k > 0 {
+		return FIFOMSRounds(k), nil
+	}
+	if _, err := fmt.Sscanf(name, "cioq-s%d", &k); err == nil && k > 0 {
+		return CIOQ(k), nil
+	}
+	return Algorithm{}, fmt.Errorf("experiment: unknown algorithm %q", name)
+}

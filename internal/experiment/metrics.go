@@ -1,0 +1,81 @@
+package experiment
+
+import (
+	"math"
+
+	"voqsim/internal/switchsim"
+)
+
+// Metric selects one scalar from a run's results for plotting. The
+// four standard metrics are the paper's subfigures (a)-(d); Rounds is
+// Figure 5; Throughput backs the saturation experiment.
+type Metric struct {
+	// Name is the short id used in report headers, e.g. "in_delay".
+	Name string
+	// Label is the axis label matching the paper's wording.
+	Label string
+	// Of extracts the value from stable results.
+	Of func(r switchsim.Results) float64
+	// Saturating metrics (delays, queues) are reported as +Inf for
+	// unstable points, where the time average does not converge.
+	Saturating bool
+}
+
+// ValueOf applies the metric to a point, mapping skipped and (for
+// saturating metrics) unstable points to +Inf.
+func (m Metric) ValueOf(pt Point) float64 {
+	if pt.Skipped != "" {
+		return math.Inf(1)
+	}
+	if m.Saturating && pt.Results.Unstable {
+		return math.Inf(1)
+	}
+	return m.Of(pt.Results)
+}
+
+// The standard metrics.
+var (
+	InputDelay = Metric{
+		Name: "in_delay", Label: "average input oriented delay (slots)",
+		Of:         func(r switchsim.Results) float64 { return r.InputDelay.Mean },
+		Saturating: true,
+	}
+	OutputDelay = Metric{
+		Name: "out_delay", Label: "average output oriented delay (slots)",
+		Of:         func(r switchsim.Results) float64 { return r.OutputDelay.Mean },
+		Saturating: true,
+	}
+	AvgQueue = Metric{
+		Name: "avg_queue", Label: "average queue size (cells)",
+		Of:         func(r switchsim.Results) float64 { return r.AvgQueue },
+		Saturating: true,
+	}
+	MaxQueue = Metric{
+		Name: "max_queue", Label: "maximum queue size (cells)",
+		Of:         func(r switchsim.Results) float64 { return float64(r.MaxQueue) },
+		Saturating: true,
+	}
+	Rounds = Metric{
+		Name: "rounds", Label: "average convergence rounds",
+		Of: func(r switchsim.Results) float64 { return r.Rounds.Mean },
+		// Rounds stay finite and meaningful even past saturation; the
+		// paper plots iSLIP's rounds beyond its stability point.
+		Saturating: false,
+	}
+	BufferBytes = Metric{
+		Name: "buffer_bytes", Label: "average buffer memory (bytes/port)",
+		Of:         func(r switchsim.Results) float64 { return r.AvgBufferBytes },
+		Saturating: true,
+	}
+	Throughput = Metric{
+		Name: "throughput", Label: "delivered copies per output per slot",
+		Of:         func(r switchsim.Results) float64 { return r.Throughput },
+		Saturating: false,
+	}
+)
+
+// FigureMetrics returns the four subfigure metrics (a)-(d) shared by
+// Figures 4, 6, 7 and 8.
+func FigureMetrics() []Metric {
+	return []Metric{InputDelay, OutputDelay, AvgQueue, MaxQueue}
+}

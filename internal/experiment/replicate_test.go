@@ -1,0 +1,94 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"voqsim/internal/analytic"
+	"voqsim/internal/traffic"
+)
+
+func TestReplicateEstimates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs many replications")
+	}
+	sum, err := Replicate(ReplicateConfig{
+		Algorithm: OQFIFO,
+		Pattern: func(load float64, n int) (traffic.Pattern, error) {
+			return traffic.UniformAtLoad(load, 1, n)
+		},
+		Load:         0.5,
+		N:            16,
+		Replications: 8,
+		Slots:        30_000,
+		Seed:         13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Unstable != 0 {
+		t.Fatalf("%d unstable replications at load 0.5", sum.Unstable)
+	}
+	if sum.InDelay.R != 8 {
+		t.Fatalf("R = %d", sum.InDelay.R)
+	}
+	// The interval over independent replications should cover the
+	// Karol closed form for the OQ switch.
+	want := analytic.OQDelay(16, 0.5)
+	if !sum.InDelay.Covers(want) && math.Abs(sum.InDelay.Mean-want) > 0.05 {
+		t.Fatalf("OQ delay estimate %v +- %v misses theory %v",
+			sum.InDelay.Mean, sum.InDelay.HalfWidth, want)
+	}
+	if sum.InDelay.HalfWidth <= 0 || math.IsNaN(sum.InDelay.HalfWidth) {
+		t.Fatalf("degenerate half width %v", sum.InDelay.HalfWidth)
+	}
+}
+
+func TestReplicateDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs replications twice")
+	}
+	run := func(workers int) *ReplicateSummary {
+		sum, err := Replicate(ReplicateConfig{
+			Algorithm: FIFOMS,
+			Pattern: func(load float64, n int) (traffic.Pattern, error) {
+				return traffic.BernoulliAtLoad(load, 0.25, n)
+			},
+			Load: 0.6, N: 8, Replications: 4, Slots: 5000, Seed: 5, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum
+	}
+	a, b := run(1), run(4)
+	for i := range a.Runs {
+		if a.Runs[i] != b.Runs[i] {
+			t.Fatalf("replication %d differs with worker count", i)
+		}
+	}
+}
+
+func TestReplicateValidation(t *testing.T) {
+	if _, err := Replicate(ReplicateConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	if _, err := Replicate(ReplicateConfig{
+		Algorithm: FIFOMS, N: 16, Load: 9,
+		Pattern: func(load float64, n int) (traffic.Pattern, error) {
+			return traffic.BernoulliAtLoad(load, 0.2, n)
+		},
+	}); err == nil {
+		t.Fatal("unreachable load accepted")
+	}
+}
+
+func TestEstimateCovers(t *testing.T) {
+	e := Estimate{Mean: 5, HalfWidth: 1}
+	if !e.Covers(5.5) || e.Covers(6.5) {
+		t.Fatal("Covers wrong")
+	}
+	if (Estimate{Mean: 5, HalfWidth: math.NaN()}).Covers(5) {
+		t.Fatal("NaN interval covers")
+	}
+}

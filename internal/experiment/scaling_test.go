@@ -1,0 +1,101 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"voqsim/internal/traffic"
+)
+
+func TestScalingSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-size sweep")
+	}
+	points, err := Scaling(ScalingConfig{
+		Sizes: []int{4, 8, 16},
+		Load:  0.7,
+		Slots: 10_000,
+		Seed:  3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("%d points", len(points))
+	}
+	for _, v := range CheckScaling(points) {
+		t.Errorf("scaling claim violated: %s", v)
+	}
+	for _, p := range points {
+		if p.MeanRounds < 1 {
+			t.Errorf("N=%d: mean rounds %v below 1", p.N, p.MeanRounds)
+		}
+		if p.TreeSlotPs >= p.SerialSlotPs && p.N > 2 {
+			t.Errorf("N=%d: tree latency %v not below serial %v", p.N, p.TreeSlotPs, p.SerialSlotPs)
+		}
+	}
+	out := FormatScaling(points)
+	if !strings.Contains(out, "mean rounds") || !strings.Contains(out, "16") {
+		t.Fatalf("FormatScaling:\n%s", out)
+	}
+}
+
+func TestScalingUnreachableLoad(t *testing.T) {
+	_, err := Scaling(ScalingConfig{
+		Sizes: []int{4},
+		Load:  0.9,
+		B:     0.1, // needs p = 0.9/(0.1*4) = 2.25 > 1
+		Slots: 1000,
+	})
+	if err == nil {
+		t.Fatal("unreachable scaling load accepted")
+	}
+}
+
+func TestScalingDefaults(t *testing.T) {
+	c := ScalingConfig{}.withDefaults()
+	if len(c.Sizes) == 0 || c.Load != 0.7 || c.B != 0.2 || c.Slots != 100_000 || c.Seed != 2004 {
+		t.Fatalf("defaults: %+v", c)
+	}
+}
+
+func TestSaturationSearch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bisection runs many simulations")
+	}
+	results, err := Saturation(SaturationConfig{
+		N: 16,
+		Pattern: func(load float64, n int) (traffic.Pattern, error) {
+			return traffic.UniformAtLoad(load, 1, n) // pure unicast
+		},
+		Algorithms: []Algorithm{FIFOMS, TATRA},
+		Slots:      15_000,
+		Seed:       5,
+		Precision:  0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	for _, r := range results {
+		byName[r.Algorithm] = r.MaxLoad
+	}
+	// FIFOMS sustains near-full unicast load; TATRA stalls near the
+	// HOL bound (~0.6 for N=16).
+	if byName["fifoms"] < 0.9 {
+		t.Errorf("fifoms saturation %.2f, want >= 0.9", byName["fifoms"])
+	}
+	if byName["tatra"] < 0.45 || byName["tatra"] > 0.75 {
+		t.Errorf("tatra saturation %.2f, want ~0.6 (HOL bound)", byName["tatra"])
+	}
+	out := FormatSaturation(results)
+	if !strings.Contains(out, "fifoms") {
+		t.Fatalf("FormatSaturation:\n%s", out)
+	}
+}
+
+func TestSaturationValidation(t *testing.T) {
+	if _, err := Saturation(SaturationConfig{}); err == nil {
+		t.Fatal("empty saturation config accepted")
+	}
+}

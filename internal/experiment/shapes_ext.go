@@ -1,0 +1,110 @@
+package experiment
+
+// Shape checkers for the extension sweeps. Like the figure checkers,
+// they encode the qualitative claims the extension experiments exist
+// to demonstrate, with slack for reduced slot budgets.
+
+// CheckAblationSplitting: fanout splitting is necessary for high
+// throughput — the no-splitting variant saturates well before FIFOMS.
+func (t *Table) CheckAblationSplitting() []string {
+	var v []string
+	check(&v, t.stableAt("fifoms", 0.9), "fifoms unstable at 0.9")
+	check(&v, t.unstableByLoad("fifoms-nosplit", 0.8), "no-splitting variant survived to 0.8")
+	check(&v, t.stableAt("fifoms-nosplit", 0.3), "no-splitting variant unstable even at 0.3")
+	return v
+}
+
+// CheckAblationRounds: extra rounds only matter near saturation; at
+// moderate load one round is within a whisker of full convergence.
+func (t *Table) CheckAblationRounds() []string {
+	var v []string
+	lowOne := t.metricAt("fifoms-r1", InputDelay, 0.4)
+	lowFull := t.metricAt("fifoms", InputDelay, 0.4)
+	check(&v, lowOne <= lowFull*1.15+0.1,
+		"one round (%.2f) already costs >15%% delay at load 0.4 vs %.2f", lowOne, lowFull)
+	highOne := t.metricAt("fifoms-r1", InputDelay, 0.9)
+	highFull := t.metricAt("fifoms", InputDelay, 0.9)
+	check(&v, highFull <= highOne+0.5,
+		"full convergence (%.2f) worse than one round (%.2f) at load 0.9", highFull, highOne)
+	return v
+}
+
+// CheckAblationCriterion: the FIFO time stamp buys multicast latency
+// over longest-queue weighting without losing stability.
+func (t *Table) CheckAblationCriterion() []string {
+	var v []string
+	f, l := t.metricAt("fifoms", InputDelay, 0.8), t.metricAt("lqfms", InputDelay, 0.8)
+	check(&v, f <= l*1.05+0.1, "fifoms delay %.2f above lqfms %.2f at load 0.8", f, l)
+	check(&v, t.stableAt("fifoms", 0.9), "fifoms unstable at 0.9")
+	check(&v, t.stableAt("lqfms", 0.9), "lqfms unstable at 0.9 (backlog weighting should hold throughput)")
+	return v
+}
+
+// CheckSpeedup: CIOQ speedup 2 sits essentially on the OQ delay curve
+// and never behind the pure input-queued switch.
+func (t *Table) CheckSpeedup() []string {
+	var v []string
+	const load = 0.9
+	s2 := t.metricAt("cioq-s2", InputDelay, load)
+	iq := t.metricAt("fifoms", InputDelay, load)
+	oqd := t.metricAt("oqfifo", InputDelay, load)
+	check(&v, s2 <= iq*1.05+0.1, "speedup 2 delay %.2f above pure IQ %.2f", s2, iq)
+	check(&v, s2 <= oqd*1.4+0.5, "speedup 2 delay %.2f far off the OQ curve %.2f", s2, oqd)
+	return v
+}
+
+// CheckIndustry: ESLIP beats iSLIP's unicast copies on multicast
+// latency, FIFOMS beats ESLIP (whose single multicast FIFO
+// reintroduces HOL blocking among multicast packets).
+func (t *Table) CheckIndustry() []string {
+	var v []string
+	const load = 0.6
+	f := t.metricAt("fifoms", InputDelay, load)
+	e := t.metricAt("eslip", InputDelay, load)
+	i := t.metricAt("islip", InputDelay, load)
+	check(&v, f <= e*1.05+0.1, "fifoms delay %.2f above eslip %.2f at load %.2f", f, e, load)
+	check(&v, e <= i, "eslip delay %.2f above islip %.2f — multicast queue gave no benefit", e, i)
+	return v
+}
+
+// CheckMemory: Section IV.B's space claims — FIFOMS's shared data cell
+// keeps its byte footprint a small fraction of iSLIP's copies and no
+// worse than OQ's per-queue copies at moderate load.
+func (t *Table) CheckMemory() []string {
+	var v []string
+	const load = 0.7
+	f := t.metricAt("fifoms", BufferBytes, load)
+	i := t.metricAt("islip", BufferBytes, load)
+	o := t.metricAt("oqfifo", BufferBytes, load)
+	check(&v, i >= 3*f, "islip bytes %.0f not >> fifoms %.0f", i, f)
+	check(&v, f <= o*1.1+16, "fifoms bytes %.0f above oqfifo %.0f", f, o)
+	return v
+}
+
+// CheckHotspot: one output at the target load with cold outputs at a
+// quarter of it is easily admissible — every architecture must hold it
+// (the x-axis is the HOT output's load, so average load is low), with
+// FIFOMS keeping its multicast delay advantage over iSLIP.
+func (t *Table) CheckHotspot() []string {
+	var v []string
+	for _, algo := range []string{"fifoms", "tatra", "islip", "oqfifo"} {
+		check(&v, t.stableAt(algo, 0.9), "%s unstable at hotspot load 0.9", algo)
+	}
+	f, i := t.metricAt("fifoms", InputDelay, 0.8), t.metricAt("islip", InputDelay, 0.8)
+	check(&v, f <= i, "fifoms hotspot delay %.2f above islip %.2f", f, i)
+	o := t.metricAt("oqfifo", InputDelay, 0.8)
+	check(&v, f <= o*1.3+0.2, "fifoms hotspot delay %.2f far above oqfifo %.2f", f, o)
+	return v
+}
+
+// CheckMixed: under a half-unicast mix, the single-FIFO multicast
+// schedulers hit HOL blocking before FIFOMS does.
+func (t *Table) CheckMixed() []string {
+	var v []string
+	check(&v, t.stableAt("fifoms", 0.9), "fifoms unstable at mixed load 0.9")
+	check(&v, t.unstableByLoad("tatra", 0.95), "tatra never saturated under mixed traffic")
+	check(&v, t.stableAt("tatra", 0.5), "tatra unstable at mixed load 0.5")
+	f, i := t.metricAt("fifoms", InputDelay, 0.6), t.metricAt("islip", InputDelay, 0.6)
+	check(&v, f <= i, "fifoms mixed delay %.2f above islip %.2f", f, i)
+	return v
+}

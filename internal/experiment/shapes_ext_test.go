@@ -1,0 +1,55 @@
+package experiment
+
+import "testing"
+
+func TestSpeedupShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure shape checks take seconds")
+	}
+	assertShape(t, runShape(t, Speedup(shapeOptions())))
+}
+
+func TestIndustryShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure shape checks take seconds")
+	}
+	assertShape(t, runShape(t, Industry(shapeOptions())))
+}
+
+func TestMemoryShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure shape checks take seconds")
+	}
+	assertShape(t, runShape(t, Memory(shapeOptions())))
+}
+
+func TestMixedShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure shape checks take seconds")
+	}
+	assertShape(t, runShape(t, MixedTraffic(shapeOptions())))
+}
+
+func TestAblationCriterionShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure shape checks take seconds")
+	}
+	assertShape(t, runShape(t, AblationCriterion(shapeOptions())))
+}
+
+// The original per-function ablation tests cover rounds/splitting
+// claims directly; exercise the new dispatch path for them too.
+func TestAblationDispatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure shape checks take seconds")
+	}
+	assertShape(t, runShape(t, AblationRounds(shapeOptions())))
+	assertShape(t, runShape(t, AblationSplitting(shapeOptions())))
+}
+
+func TestHotspotShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure shape checks take seconds")
+	}
+	assertShape(t, runShape(t, HotspotTraffic(shapeOptions())))
+}

@@ -1,0 +1,148 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"voqsim/internal/switchsim"
+	"voqsim/internal/traffic"
+	"voqsim/internal/xrand"
+)
+
+// PatternFunc builds the traffic pattern offering the given effective
+// load on an n-port switch, or reports that the load is not offerable
+// under the family's fixed shape parameters.
+type PatternFunc func(load float64, n int) (traffic.Pattern, error)
+
+// Sweep is one experiment: a traffic family swept over loads and run
+// under several algorithms. The zero values of Slots, Workers and
+// UnstableCellLimit select sensible defaults.
+type Sweep struct {
+	Name        string // short id, e.g. "fig4"
+	Title       string // human description for report headers
+	N           int    // switch size (the paper: 16)
+	Loads       []float64
+	Pattern     PatternFunc
+	Algorithms  []Algorithm
+	Slots       int64  // slots per point (default 200k)
+	Seed        uint64 // base seed; every point derives its own
+	Workers     int    // parallel points (default GOMAXPROCS)
+	UnstableCap int64  // backlog ceiling (default 1000*N)
+}
+
+// Point is one measured (algorithm, load) grid cell.
+type Point struct {
+	Algorithm string            `json:"algorithm"`
+	Load      float64           `json:"load"`
+	Skipped   string            `json:"skipped,omitempty"` // non-empty when the load is unreachable
+	Results   switchsim.Results `json:"results"`
+}
+
+// Table is a completed sweep: Points[a][l] holds algorithm a at load l.
+type Table struct {
+	Name   string    `json:"name"`
+	Title  string    `json:"title"`
+	N      int       `json:"n"`
+	Loads  []float64 `json:"loads"`
+	Algos  []string  `json:"algorithms"`
+	Points [][]Point `json:"points"`
+}
+
+// Run executes every (algorithm, load) point of the sweep on a worker
+// pool and returns the assembled table. Results are deterministic for
+// a fixed Sweep regardless of worker count.
+func (s *Sweep) Run() (*Table, error) {
+	if s.N <= 0 {
+		return nil, fmt.Errorf("experiment: sweep %q has no switch size", s.Name)
+	}
+	if len(s.Loads) == 0 || len(s.Algorithms) == 0 {
+		return nil, fmt.Errorf("experiment: sweep %q has an empty grid", s.Name)
+	}
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	tbl := &Table{Name: s.Name, Title: s.Title, N: s.N, Loads: s.Loads}
+	tbl.Points = make([][]Point, len(s.Algorithms))
+	for i, a := range s.Algorithms {
+		tbl.Algos = append(tbl.Algos, a.Name)
+		tbl.Points[i] = make([]Point, len(s.Loads))
+	}
+
+	type job struct{ ai, li int }
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				tbl.Points[j.ai][j.li] = s.runPoint(j.ai, j.li)
+			}
+		}()
+	}
+	for ai := range s.Algorithms {
+		for li := range s.Loads {
+			jobs <- job{ai, li}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return tbl, nil
+}
+
+// runPoint simulates one grid cell. The point seed mixes the sweep
+// seed with the grid coordinates so that (a) every point is
+// independent and (b) re-running the sweep — with any worker count —
+// reproduces it exactly.
+func (s *Sweep) runPoint(ai, li int) Point {
+	algo := s.Algorithms[ai]
+	load := s.Loads[li]
+	pt := Point{Algorithm: algo.Name, Load: load}
+
+	pat, err := s.Pattern(load, s.N)
+	if err != nil {
+		pt.Skipped = err.Error()
+		return pt
+	}
+
+	seed := s.Seed ^ (uint64(ai)+1)*0x9e3779b97f4a7c15 ^ (uint64(li)+1)*0xd6e8feb86659fd93
+	trafficRoot := xrand.New(seed).Split("run-traffic", 0)
+	switchRoot := xrand.New(seed).Split("run-switch", 0)
+
+	sw := algo.New(s.N, switchRoot)
+	cfg := switchsim.Config{Slots: s.Slots, Seed: seed, UnstableCellLimit: s.UnstableCap}
+	pt.Results = switchsim.New(sw, pat, cfg, trafficRoot).Run(algo.Name)
+	return pt
+}
+
+// Get returns the point for the given algorithm name and load index.
+func (t *Table) Get(algo string, li int) (Point, error) {
+	for ai, name := range t.Algos {
+		if name == algo {
+			if li < 0 || li >= len(t.Loads) {
+				return Point{}, fmt.Errorf("experiment: load index %d outside %d", li, len(t.Loads))
+			}
+			return t.Points[ai][li], nil
+		}
+	}
+	return Point{}, fmt.Errorf("experiment: algorithm %q not in table %q", algo, t.Name)
+}
+
+// Series extracts one metric for one algorithm across all loads.
+// Skipped or (for Saturating metrics) unstable points yield +Inf.
+func (t *Table) Series(algo string, m Metric) ([]float64, error) {
+	for ai, name := range t.Algos {
+		if name != algo {
+			continue
+		}
+		out := make([]float64, len(t.Loads))
+		for li, pt := range t.Points[ai] {
+			out[li] = m.ValueOf(pt)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("experiment: algorithm %q not in table %q", algo, t.Name)
+}

@@ -1,0 +1,156 @@
+package hw
+
+import (
+	"math/bits"
+
+	"voqsim/internal/core"
+	"voqsim/internal/xrand"
+)
+
+// ControlUnit is the FIFOMS scheduler control unit of Fig. 3 as a
+// core.Arbiter: per-input comparator trees select the smallest HOL
+// time stamp among free-output VOQs (the request stage), per-output
+// comparator trees select the smallest-stamp request (the grant
+// stage), and grants feed back to start the next round. Ties resolve
+// to the lowest index, as fixed-priority comparator wiring does.
+//
+// ControlUnit must schedule exactly like core.FIFOMS with
+// DeterministicTies (the differential test asserts this); what it adds
+// is structural accounting — comparator evaluations and critical-path
+// depth per slot — for the Section IV complexity analysis.
+type ControlUnit struct {
+	Latency LatencyModel
+
+	// accumulated accounting
+	comparisons int64 // comparator evaluations (tree nodes exercised)
+	depthPs     int64 // accumulated critical-path latency
+	slots       int64
+
+	// scratch
+	inputFree  []bool
+	outputFree []bool
+	minTS      []int64
+	reqValid   []bool
+	reqTS      []int64
+}
+
+// NewControlUnit returns a control unit with the default latency model.
+func NewControlUnit() *ControlUnit { return &ControlUnit{Latency: DefaultLatency} }
+
+// Name implements core.Arbiter.
+func (c *ControlUnit) Name() string { return "fifoms-hw" }
+
+// Mode implements core.Arbiter.
+func (c *ControlUnit) Mode() core.PreprocessMode { return core.ModeShared }
+
+func (c *ControlUnit) ensure(n int) {
+	if len(c.inputFree) == n {
+		return
+	}
+	c.inputFree = make([]bool, n)
+	c.outputFree = make([]bool, n)
+	c.minTS = make([]int64, n)
+	c.reqValid = make([]bool, n)
+	c.reqTS = make([]int64, n)
+}
+
+// Match implements core.Arbiter with explicit comparator-tree stages.
+func (c *ControlUnit) Match(s *core.Switch, _ int64, _ *xrand.Rand, m *core.Matching) {
+	n := s.Ports()
+	c.ensure(n)
+	for i := 0; i < n; i++ {
+		c.inputFree[i] = true
+		c.outputFree[i] = true
+	}
+
+	values := make([]int64, n)
+	valid := make([]bool, n)
+
+	for {
+		// Request stage: one comparator tree per free input over the
+		// HOL stamps of its free-output VOQs.
+		for in := 0; in < n; in++ {
+			c.minTS[in] = -1
+			if !c.inputFree[in] {
+				continue
+			}
+			for out := 0; out < n; out++ {
+				valid[out] = false
+				if !c.outputFree[out] {
+					continue
+				}
+				if hol := s.HOL(in, out); hol != nil {
+					valid[out] = true
+					values[out] = hol.TimeStamp
+				}
+			}
+			r := TreeMin(values, valid)
+			c.comparisons += int64(n - 1)
+			if r.Index != NoIndex {
+				c.minTS[in] = r.Value
+			}
+		}
+
+		// Grant stage: one comparator tree per free output over the
+		// requests it received (inputs whose selected stamp matches a
+		// HOL cell for this output).
+		anyGrant := false
+		for out := 0; out < n; out++ {
+			if !c.outputFree[out] {
+				continue
+			}
+			for in := 0; in < n; in++ {
+				c.reqValid[in] = false
+				if c.minTS[in] < 0 {
+					continue
+				}
+				if hol := s.HOL(in, out); hol != nil && hol.TimeStamp == c.minTS[in] {
+					c.reqValid[in] = true
+					c.reqTS[in] = hol.TimeStamp
+				}
+			}
+			r := TreeMin(c.reqTS, c.reqValid)
+			c.comparisons += int64(n - 1)
+			if r.Index == NoIndex {
+				continue
+			}
+			m.OutIn[out] = r.Index
+			anyGrant = true
+		}
+		if !anyGrant {
+			break
+		}
+		// Feedback: reserve the granted ports for the next round.
+		for out := 0; out < n; out++ {
+			if in := m.OutIn[out]; in != core.None && c.outputFree[out] {
+				c.outputFree[out] = false
+				c.inputFree[in] = false
+			}
+		}
+		m.Rounds++
+	}
+
+	c.slots++
+	c.depthPs += int64(float64(m.Rounds)) * c.Latency.RoundLatencyPs(n)
+}
+
+// Comparisons returns the total comparator evaluations so far.
+func (c *ControlUnit) Comparisons() int64 { return c.comparisons }
+
+// MeanSlotLatencyPs returns the average scheduling latency per slot in
+// picoseconds under the configured latency model.
+func (c *ControlUnit) MeanSlotLatencyPs() float64 {
+	if c.slots == 0 {
+		return 0
+	}
+	return float64(c.depthPs) / float64(c.slots)
+}
+
+// TreeDepth returns ceil(log2 n), the comparator depth of one
+// selection stage on an n-port switch.
+func TreeDepth(n int) int {
+	if n <= 0 {
+		panic("hw: non-positive port count")
+	}
+	return bits.Len(uint(n - 1))
+}

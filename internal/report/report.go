@@ -1,0 +1,239 @@
+// Package report generates the reproduction report: it runs every
+// figure of the paper's evaluation (plus the extension experiments),
+// renders the measured series, and records each figure's
+// paper-versus-measured verdict in Markdown. The checked-in
+// EXPERIMENTS.md is produced by this package via cmd/voqreport.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"voqsim/internal/experiment"
+	"voqsim/internal/traffic"
+)
+
+// Options configure the report run.
+type Options struct {
+	// Slots per sweep point (zero: 200k; the paper used 1e6).
+	Slots int64
+	// Seed is the base seed (zero: 2004).
+	Seed uint64
+	// Workers caps parallel simulations.
+	Workers int
+	// SkipExtensions restricts the report to the paper's five figures.
+	SkipExtensions bool
+}
+
+// paperClaims holds, per figure, the qualitative statements of
+// Section V that the shape checkers verify.
+var paperClaims = map[string][]string{
+	"fig4": {
+		"FIFOMS closely matches OQFIFO in input- and output-oriented delay",
+		"FIFOMS has the smallest average and maximum queue size of all four algorithms",
+		"TATRA's delay blows up and it goes unstable beyond ~0.8 load (HOL blocking)",
+		"iSLIP has much longer delay than all other algorithms (multicast as unicast copies)",
+	},
+	"fig5": {
+		"both FIFOMS and iSLIP converge in far fewer than N rounds",
+		"convergence rounds are insensitive to load while the scheduler is stable",
+		"FIFOMS and iSLIP take roughly the same number of rounds",
+	},
+	"fig6": {
+		"TATRA reaches only ~55% load under pure unicast (theory: 0.586)",
+		"FIFOMS matches (or beats) iSLIP's delay despite being a multicast design",
+		"FIFOMS needs the least buffer space",
+	},
+	"fig7": {
+		"FIFOMS has the shortest delay among the input-queued algorithms",
+		"FIFOMS beats even OQFIFO on buffer requirement at maxFanout=8",
+		"TATRA performs better than under unicast (more placement choices)",
+	},
+	"fig8": {
+		"all algorithms saturate earlier under bursts",
+		"iSLIP saturates at a load too small to be seen in the delay plots",
+		"FIFOMS outperforms TATRA on delay but not OQFIFO",
+		"FIFOMS keeps the smallest queues",
+	},
+	"ablation-rounds": {
+		"(extension) capping FIFOMS iterations costs delay only near saturation",
+	},
+	"ablation-splitting": {
+		"(extension) disabling fanout splitting collapses throughput (paper SVI: splitting is necessary)",
+	},
+	"ablation-criterion": {
+		"(extension) swapping the FIFO time stamp for longest-queue weighting loses multicast latency, not throughput",
+	},
+	"speedup": {
+		"(extension) CIOQ fabric speedup 2 brings FIFOMS's delay curve essentially onto OQFIFO's",
+	},
+	"hotspot": {
+		"(extension) non-uniform hotspot traffic: the load axis is the hot output's load; uniform-traffic throughput guarantees do not transfer verbatim",
+	},
+	"industry": {
+		"(extension) ESLIP (industrial: unicast VOQs + one multicast FIFO, shared pointer) beats iSLIP's copies but reintroduces HOL blocking among multicast packets, which FIFOMS's per-output address queues avoid",
+	},
+	"memory": {
+		"(extension, Section IV.B) the shared data cell keeps FIFOMS's buffer bytes a small fraction of iSLIP's copied cells and at or below OQ's per-queue copies",
+	},
+	"mixed": {
+		"(extension) mixed unicast/multicast traffic: single-FIFO schedulers lose throughput to HOL blocking",
+	},
+}
+
+// Generate runs the experiments and writes the Markdown report.
+func Generate(o Options, w io.Writer) error {
+	eo := experiment.Options{Slots: o.Slots, Seed: o.Seed, Workers: o.Workers}
+	slots := o.Slots
+	if slots <= 0 {
+		slots = 200_000
+	}
+
+	fmt.Fprintf(w, "# EXPERIMENTS — paper vs. measured\n\n")
+	fmt.Fprintf(w, "Reproduction of the evaluation of *FIFO Based Multicast Scheduling\n")
+	fmt.Fprintf(w, "Algorithm for VOQ Packet Switches* (Pan & Yang, ICPP 2004).\n\n")
+	fmt.Fprintf(w, "Setup: %d slots per point (paper: 10^6), warmup = half the run,\n", slots)
+	fmt.Fprintf(w, "16x16 switch, base seed %d. Absolute numbers differ from the paper's\n", eoSeed(eo))
+	fmt.Fprintf(w, "(different random streams and slot budgets); the *shape* claims below\n")
+	fmt.Fprintf(w, "are what the reproduction is checked against. Regenerate with:\n\n")
+	fmt.Fprintf(w, "    go run ./cmd/voqreport -slots %d\n\n", slots)
+
+	sweeps := experiment.Figures(eo)
+	names := []string{"fig4", "fig5", "fig6", "fig7", "fig8"}
+	if !o.SkipExtensions {
+		for n, s := range experiment.Extensions(eo) {
+			sweeps[n] = s
+		}
+		names = append(names, "ablation-rounds", "ablation-splitting", "ablation-criterion",
+			"speedup", "hotspot", "industry", "memory", "mixed")
+	}
+
+	for _, name := range names {
+		sweep := sweeps[name]
+		tbl, err := sweep.Run()
+		if err != nil {
+			return fmt.Errorf("report: running %s: %w", name, err)
+		}
+		if err := writeFigure(w, name, tbl); err != nil {
+			return err
+		}
+	}
+
+	if !o.SkipExtensions {
+		if err := writeSaturation(w, eo, slots); err != nil {
+			return err
+		}
+		if err := writeScaling(w, eo, slots); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func eoSeed(eo experiment.Options) uint64 {
+	if eo.Seed == 0 {
+		return 2004
+	}
+	return eo.Seed
+}
+
+func writeFigure(w io.Writer, name string, tbl *experiment.Table) error {
+	fmt.Fprintf(w, "## %s — %s\n\n", name, tbl.Title)
+
+	if claims := paperClaims[name]; len(claims) > 0 {
+		fmt.Fprintf(w, "Paper claims:\n\n")
+		for _, c := range claims {
+			fmt.Fprintf(w, "- %s\n", c)
+		}
+		fmt.Fprintln(w)
+	}
+
+	metrics := experiment.FigureMetrics()
+	switch name {
+	case "fig5":
+		metrics = []experiment.Metric{experiment.Rounds}
+	case "memory":
+		metrics = []experiment.Metric{experiment.BufferBytes, experiment.AvgQueue}
+	}
+	fmt.Fprintf(w, "Measured (`sat` marks saturated/unstable points):\n\n")
+	fmt.Fprintf(w, "```\n%s```\n\n", tbl.Format(metrics...))
+
+	violations := tbl.Check()
+	if len(violations) == 0 {
+		fmt.Fprintf(w, "**Verdict: REPRODUCED** — every checked claim holds.\n\n")
+	} else {
+		fmt.Fprintf(w, "**Verdict: %d claim(s) NOT reproduced:**\n\n", len(violations))
+		for _, v := range violations {
+			fmt.Fprintf(w, "- %s\n", v)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func writeSaturation(w io.Writer, eo experiment.Options, slots int64) error {
+	fmt.Fprintf(w, "## saturation — maximum sustainable load (extension)\n\n")
+	fmt.Fprintf(w, "Bisected stability boundary per algorithm; backs the paper's prose\n")
+	fmt.Fprintf(w, "(\"TATRA can only reach ... about 55%%\" under unicast, \"FIFOMS achieves\n")
+	fmt.Fprintf(w, "100%% throughput under uniformly distributed traffic\").\n\n")
+
+	families := []struct {
+		title   string
+		pattern experiment.PatternFunc
+	}{
+		{"unicast (uniform, maxFanout=1)", func(load float64, n int) (traffic.Pattern, error) {
+			return traffic.UniformAtLoad(load, 1, n)
+		}},
+		{"multicast (Bernoulli, b=0.2)", func(load float64, n int) (traffic.Pattern, error) {
+			return traffic.BernoulliAtLoad(load, 0.2, n)
+		}},
+	}
+	probe := slots / 4
+	if probe < 20_000 {
+		probe = 20_000
+	}
+	for _, fam := range families {
+		results, err := experiment.Saturation(experiment.SaturationConfig{
+			N:          16,
+			Pattern:    fam.pattern,
+			Algorithms: experiment.AllAlgorithms(),
+			Slots:      probe,
+			Seed:       eoSeed(eo),
+			Workers:    eo.Workers,
+		})
+		if err != nil {
+			return fmt.Errorf("report: saturation: %w", err)
+		}
+		sort.Slice(results, func(i, j int) bool { return results[i].MaxLoad > results[j].MaxLoad })
+		fmt.Fprintf(w, "%s:\n\n```\n%s```\n\n", fam.title, experiment.FormatSaturation(results))
+	}
+	return nil
+}
+
+func writeScaling(w io.Writer, eo experiment.Options, slots int64) error {
+	fmt.Fprintf(w, "## scaling — convergence rounds vs. switch size (Section IV.C)\n\n")
+	fmt.Fprintf(w, "FIFOMS at load 0.7 (Bernoulli b=0.2): average rounds stay far below N\n")
+	fmt.Fprintf(w, "and grow sub-linearly, so with parallel comparator trees (O(log N) per\n")
+	fmt.Fprintf(w, "round) the hardware scheduling budget grows slowly; the serial column\n")
+	fmt.Fprintf(w, "is the O(N)-per-round alternative the paper mentions.\n\n")
+
+	scaleSlots := slots / 2
+	if scaleSlots < 20_000 {
+		scaleSlots = 20_000
+	}
+	points, err := experiment.Scaling(experiment.ScalingConfig{
+		Slots: scaleSlots, Seed: eoSeed(eo), Workers: eo.Workers,
+	})
+	if err != nil {
+		return fmt.Errorf("report: scaling: %w", err)
+	}
+	fmt.Fprintf(w, "```\n%s```\n\n", experiment.FormatScaling(points))
+	if violations := experiment.CheckScaling(points); len(violations) == 0 {
+		fmt.Fprintf(w, "**Verdict: REPRODUCED** — rounds stay far below N and grow sub-linearly.\n\n")
+	} else {
+		fmt.Fprintf(w, "**Verdict: violations:** %s\n\n", strings.Join(violations, "; "))
+	}
+	return nil
+}

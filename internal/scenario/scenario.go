@@ -1,0 +1,180 @@
+// Package scenario defines a JSON file format for complete experiment
+// specifications — switch size, traffic family and parameters,
+// algorithm roster, load grid and budgets — so that experiments can be
+// version-controlled, shared and re-run exactly, rather than encoded
+// in shell history.
+//
+// A scenario file looks like:
+//
+//	{
+//	  "name": "my-sweep",
+//	  "n": 16,
+//	  "slots": 200000,
+//	  "seed": 7,
+//	  "traffic": {"family": "bernoulli", "b": 0.2},
+//	  "algorithms": ["fifoms", "tatra", "islip", "oqfifo"],
+//	  "loads": [0.1, 0.3, 0.5, 0.7, 0.9]
+//	}
+//
+// Family-specific parameters: bernoulli/burst take "b"; uniform and
+// mixed take "maxFanout"; burst takes "eOn"; mixed takes
+// "multicastFrac"; hotspot takes "skew". Unknown fields are rejected,
+// so typos fail loudly instead of silently running defaults.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"voqsim/internal/experiment"
+	"voqsim/internal/traffic"
+)
+
+// TrafficSpec is the traffic part of a scenario.
+type TrafficSpec struct {
+	Family        string  `json:"family"`
+	B             float64 `json:"b,omitempty"`
+	MaxFanout     int     `json:"maxFanout,omitempty"`
+	EOn           float64 `json:"eOn,omitempty"`
+	MulticastFrac float64 `json:"multicastFrac,omitempty"`
+	Skew          float64 `json:"skew,omitempty"`
+}
+
+// Scenario is one experiment specification.
+type Scenario struct {
+	Name       string      `json:"name"`
+	N          int         `json:"n"`
+	Slots      int64       `json:"slots,omitempty"`
+	Seed       uint64      `json:"seed,omitempty"`
+	Workers    int         `json:"workers,omitempty"`
+	Traffic    TrafficSpec `json:"traffic"`
+	Algorithms []string    `json:"algorithms"`
+	Loads      []float64   `json:"loads"`
+}
+
+// Read parses and validates a scenario. Unknown JSON fields are
+// errors.
+func Read(r io.Reader) (*Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: decoding: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks the scenario's structural constraints (the traffic
+// parameters themselves are validated when the sweep resolves each
+// load).
+func (s *Scenario) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: missing name")
+	}
+	if s.N <= 0 {
+		return fmt.Errorf("scenario %q: n must be positive", s.Name)
+	}
+	if len(s.Algorithms) == 0 {
+		return fmt.Errorf("scenario %q: no algorithms", s.Name)
+	}
+	if len(s.Loads) == 0 {
+		return fmt.Errorf("scenario %q: no loads", s.Name)
+	}
+	for _, l := range s.Loads {
+		if l <= 0 {
+			return fmt.Errorf("scenario %q: non-positive load %v", s.Name, l)
+		}
+	}
+	if _, err := s.patternFunc(); err != nil {
+		return err
+	}
+	for _, a := range s.Algorithms {
+		if _, err := experiment.ByName(a); err != nil {
+			return fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+	}
+	return nil
+}
+
+func (s *Scenario) patternFunc() (experiment.PatternFunc, error) {
+	t := s.Traffic
+	switch t.Family {
+	case "bernoulli":
+		return func(load float64, n int) (traffic.Pattern, error) {
+			return traffic.BernoulliAtLoad(load, t.B, n)
+		}, nil
+	case "uniform":
+		return func(load float64, n int) (traffic.Pattern, error) {
+			return traffic.UniformAtLoad(load, t.MaxFanout, n)
+		}, nil
+	case "burst":
+		return func(load float64, n int) (traffic.Pattern, error) {
+			return traffic.BurstAtLoad(load, t.B, t.EOn, n)
+		}, nil
+	case "mixed":
+		return func(load float64, n int) (traffic.Pattern, error) {
+			return traffic.MixedAtLoad(load, t.MulticastFrac, t.MaxFanout, n)
+		}, nil
+	case "hotspot":
+		return func(load float64, n int) (traffic.Pattern, error) {
+			return traffic.HotspotAtLoad(load, t.Skew, n)
+		}, nil
+	case "diagonal":
+		return func(load float64, n int) (traffic.Pattern, error) {
+			if load > 1 {
+				return nil, fmt.Errorf("scenario: diagonal load %v exceeds 1", load)
+			}
+			return traffic.Diagonal{P: load}, nil
+		}, nil
+	default:
+		return nil, fmt.Errorf("scenario %q: unknown traffic family %q", s.Name, t.Family)
+	}
+}
+
+// Sweep converts the scenario into a runnable experiment sweep.
+func (s *Scenario) Sweep() (*experiment.Sweep, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	pattern, err := s.patternFunc()
+	if err != nil {
+		return nil, err
+	}
+	algos := make([]experiment.Algorithm, 0, len(s.Algorithms))
+	for _, name := range s.Algorithms {
+		a, err := experiment.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		algos = append(algos, a)
+	}
+	return &experiment.Sweep{
+		Name:       s.Name,
+		Title:      fmt.Sprintf("%s (%s, %dx%d)", s.Name, s.Traffic.Family, s.N, s.N),
+		N:          s.N,
+		Loads:      s.Loads,
+		Algorithms: algos,
+		Slots:      s.Slots,
+		Seed:       s.Seed,
+		Workers:    s.Workers,
+		Pattern:    pattern,
+	}, nil
+}
+
+// Write encodes the scenario as indented JSON (the canonical file
+// form).
+func (s *Scenario) Write(w io.Writer) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("scenario: encoding: %w", err)
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}

@@ -1,0 +1,101 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const valid = `{
+  "name": "test-sweep",
+  "n": 8,
+  "slots": 2000,
+  "seed": 7,
+  "traffic": {"family": "bernoulli", "b": 0.25},
+  "algorithms": ["fifoms", "oqfifo"],
+  "loads": [0.3, 0.6]
+}`
+
+func TestReadValid(t *testing.T) {
+	s, err := Read(strings.NewReader(valid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "test-sweep" || s.N != 8 || len(s.Loads) != 2 {
+		t.Fatalf("parsed %+v", s)
+	}
+}
+
+func TestSweepRuns(t *testing.T) {
+	s, err := Read(strings.NewReader(valid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := s.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := sw.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Points) != 2 || len(tbl.Points[0]) != 2 {
+		t.Fatalf("grid %dx%d", len(tbl.Points), len(tbl.Points[0]))
+	}
+	if tbl.Points[0][0].Results.Completed == 0 {
+		t.Fatal("no packets completed")
+	}
+}
+
+func TestAllFamiliesAccepted(t *testing.T) {
+	for family, tr := range map[string]string{
+		"bernoulli": `{"family": "bernoulli", "b": 0.2}`,
+		"uniform":   `{"family": "uniform", "maxFanout": 4}`,
+		"burst":     `{"family": "burst", "b": 0.5, "eOn": 16}`,
+		"mixed":     `{"family": "mixed", "multicastFrac": 0.5, "maxFanout": 4}`,
+		"hotspot":   `{"family": "hotspot", "skew": 4}`,
+		"diagonal":  `{"family": "diagonal"}`,
+	} {
+		raw := `{"name":"x","n":8,"traffic":` + tr + `,"algorithms":["fifoms"],"loads":[0.5]}`
+		if _, err := Read(strings.NewReader(raw)); err != nil {
+			t.Errorf("%s rejected: %v", family, err)
+		}
+	}
+}
+
+func TestRejections(t *testing.T) {
+	cases := map[string]string{
+		"unknownField": `{"name":"x","n":8,"bogus":1,"traffic":{"family":"diagonal"},"algorithms":["fifoms"],"loads":[0.5]}`,
+		"noName":       `{"n":8,"traffic":{"family":"diagonal"},"algorithms":["fifoms"],"loads":[0.5]}`,
+		"badN":         `{"name":"x","n":0,"traffic":{"family":"diagonal"},"algorithms":["fifoms"],"loads":[0.5]}`,
+		"noAlgos":      `{"name":"x","n":8,"traffic":{"family":"diagonal"},"algorithms":[],"loads":[0.5]}`,
+		"badAlgo":      `{"name":"x","n":8,"traffic":{"family":"diagonal"},"algorithms":["nope"],"loads":[0.5]}`,
+		"noLoads":      `{"name":"x","n":8,"traffic":{"family":"diagonal"},"algorithms":["fifoms"],"loads":[]}`,
+		"badLoad":      `{"name":"x","n":8,"traffic":{"family":"diagonal"},"algorithms":["fifoms"],"loads":[-1]}`,
+		"badFamily":    `{"name":"x","n":8,"traffic":{"family":"warp"},"algorithms":["fifoms"],"loads":[0.5]}`,
+		"garbage":      `{`,
+	}
+	for name, raw := range cases {
+		if _, err := Read(strings.NewReader(raw)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	s, err := Read(strings.NewReader(valid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != s.Name || got.Traffic != s.Traffic || len(got.Loads) != len(s.Loads) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, s)
+	}
+}

@@ -1,0 +1,124 @@
+// Package islip implements the iSLIP scheduling algorithm (McKeown,
+// IEEE/ACM ToN 1999) as a core.Arbiter, the paper's VOQ unicast
+// baseline.
+//
+// iSLIP is an iterative three-step matcher with rotating priorities.
+// In each iteration every unmatched input requests all outputs whose
+// VOQ is non-empty; every unmatched output grants the requesting input
+// closest (clockwise) to its grant pointer; every unmatched input
+// accepts the granting output closest to its accept pointer. Pointers
+// advance one position past the matched partner, and — the "i" of
+// iSLIP — only when the grant was accepted in the *first* iteration,
+// which is what desynchronises the pointers and yields 100% throughput
+// under admissible uniform unicast traffic.
+//
+// Following the paper's evaluation setup, iSLIP schedules a multicast
+// packet "as separate (independent) unicast packets": it runs in
+// ModeCopied, so a fanout-k arrival occupies k data cells and each copy
+// is matched on its own. The cost in buffer space and multicast delay
+// relative to FIFOMS is exactly what Figures 4, 7 and 8 expose.
+package islip
+
+import (
+	"voqsim/internal/core"
+	"voqsim/internal/xrand"
+)
+
+// Arbiter is the iSLIP matcher. Its pointer state persists across
+// slots; create one per switch with New.
+type Arbiter struct {
+	// Iterations, if positive, caps the iterations per slot; zero
+	// iterates to convergence, which for iSLIP takes at most N rounds
+	// (and on average about log2 N).
+	Iterations int
+
+	grantPtr  []int
+	acceptPtr []int
+
+	inputFree  []bool
+	outputFree []bool
+	grantTo    []int
+}
+
+// New returns an iSLIP arbiter that iterates to convergence.
+func New() *Arbiter { return &Arbiter{} }
+
+// Name implements core.Arbiter.
+func (a *Arbiter) Name() string { return "islip" }
+
+// Mode implements core.Arbiter: multicast handled as independent
+// unicast copies.
+func (a *Arbiter) Mode() core.PreprocessMode { return core.ModeCopied }
+
+func (a *Arbiter) ensure(n int) {
+	if len(a.grantPtr) == n {
+		return
+	}
+	a.grantPtr = make([]int, n)
+	a.acceptPtr = make([]int, n)
+	a.inputFree = make([]bool, n)
+	a.outputFree = make([]bool, n)
+	a.grantTo = make([]int, n)
+}
+
+// Match implements core.Arbiter.
+func (a *Arbiter) Match(s *core.Switch, _ int64, _ *xrand.Rand, m *core.Matching) {
+	n := s.Ports()
+	a.ensure(n)
+	for i := 0; i < n; i++ {
+		a.inputFree[i] = true
+		a.outputFree[i] = true
+	}
+	maxIter := a.Iterations
+	if maxIter <= 0 {
+		maxIter = n
+	}
+
+	for iter := 0; iter < maxIter; iter++ {
+		// Grant step: each unmatched output picks, round-robin from its
+		// grant pointer, the first unmatched input with a cell for it.
+		// (Requests are implicit: input i requests output j iff VOQ(i,j)
+		// is non-empty.)
+		for out := 0; out < n; out++ {
+			a.grantTo[out] = core.None
+			if !a.outputFree[out] {
+				continue
+			}
+			for k := 0; k < n; k++ {
+				in := (a.grantPtr[out] + k) % n
+				if a.inputFree[in] && s.VOQLen(in, out) > 0 {
+					a.grantTo[out] = in
+					break
+				}
+			}
+		}
+
+		// Accept step: each unmatched input picks, round-robin from its
+		// accept pointer, the first output that granted it.
+		matched := false
+		for in := 0; in < n; in++ {
+			if !a.inputFree[in] {
+				continue
+			}
+			for k := 0; k < n; k++ {
+				out := (a.acceptPtr[in] + k) % n
+				if a.grantTo[out] != in {
+					continue
+				}
+				m.OutIn[out] = in
+				a.inputFree[in] = false
+				a.outputFree[out] = false
+				matched = true
+				if iter == 0 {
+					a.grantPtr[out] = (in + 1) % n
+					a.acceptPtr[in] = (out + 1) % n
+				}
+				break
+			}
+		}
+		if !matched {
+			break
+		}
+		m.Rounds++
+	}
+}

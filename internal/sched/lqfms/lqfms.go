@@ -1,0 +1,148 @@
+// Package lqfms implements Longest-Queue-First Multicast Scheduling,
+// a design-alternative ablation for the reproduced paper's central
+// choice: FIFOMS coordinates the independent per-output grant
+// decisions through *arrival time stamps*; LQFMS keeps the identical
+// switch structure, request discipline and iteration but weights by
+// *VOQ backlog* instead (queue-length weights are the classic
+// throughput-optimal signal from the maximum-weight-matching
+// literature [2]).
+//
+// The comparison isolates what the time-stamp criterion buys: queue
+// lengths at the destinations of one multicast packet generally
+// differ, so LQFMS's outputs often grant *different* packets where
+// FIFOMS's outputs converge on the oldest one — fewer one-slot
+// multicast deliveries, more fanout splitting, longer input-oriented
+// delay. LQFMS also loses FIFOMS's starvation-freedom: a short queue
+// can be outweighed indefinitely. (Delivered throughput stays high —
+// backlog weighting is good at that — which is exactly why the
+// ablation is interesting: latency and fairness, not raw throughput,
+// are where the FIFO rule earns its keep.)
+//
+// Within one input, candidate cells must still all belong to one
+// packet (one data cell per input per slot); LQFMS selects the HOL
+// packet of the input's *longest* VOQ among free outputs, then
+// requests every free output whose HOL cell is that same packet.
+package lqfms
+
+import (
+	"voqsim/internal/core"
+	"voqsim/internal/xrand"
+)
+
+// Arbiter is the LQFMS matcher. Stateless between slots; create with
+// New.
+type Arbiter struct {
+	// MaxRounds, if positive, caps the request/grant rounds per slot;
+	// zero iterates to convergence.
+	MaxRounds int
+
+	inputFree  []bool
+	outputFree []bool
+	chosenTS   []int64 // per input: time stamp of the selected packet, -1 = none
+	granted    []int
+	tieCount   []int
+}
+
+// New returns an LQFMS arbiter.
+func New() *Arbiter { return &Arbiter{} }
+
+// Name implements core.Arbiter.
+func (a *Arbiter) Name() string { return "lqfms" }
+
+// Mode implements core.Arbiter: the paper's shared queue structure.
+func (a *Arbiter) Mode() core.PreprocessMode { return core.ModeShared }
+
+func (a *Arbiter) ensure(n int) {
+	if len(a.inputFree) == n {
+		return
+	}
+	a.inputFree = make([]bool, n)
+	a.outputFree = make([]bool, n)
+	a.chosenTS = make([]int64, n)
+	a.granted = make([]int, n)
+	a.tieCount = make([]int, n)
+}
+
+// Match implements core.Arbiter.
+func (a *Arbiter) Match(s *core.Switch, _ int64, r *xrand.Rand, m *core.Matching) {
+	n := s.Ports()
+	a.ensure(n)
+	for i := 0; i < n; i++ {
+		a.inputFree[i] = true
+		a.outputFree[i] = true
+	}
+	maxRounds := a.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = n
+	}
+
+	for round := 0; round < maxRounds; round++ {
+		// Request step: each free input picks the packet at the HOL of
+		// its longest free-output VOQ (ties to the lower output index)
+		// and requests every free output whose HOL is that packet.
+		for in := 0; in < n; in++ {
+			a.chosenTS[in] = -1
+			if !a.inputFree[in] {
+				continue
+			}
+			bestLen := 0
+			for out := 0; out < n; out++ {
+				if !a.outputFree[out] {
+					continue
+				}
+				if l := s.VOQLen(in, out); l > bestLen {
+					bestLen = l
+					a.chosenTS[in] = s.HOL(in, out).TimeStamp
+				}
+			}
+		}
+
+		// Grant step: each free output grants the request backed by the
+		// longest VOQ, ties uniform.
+		anyGrant := false
+		for out := 0; out < n; out++ {
+			a.granted[out] = core.None
+			if !a.outputFree[out] {
+				continue
+			}
+			bestLen := 0
+			for in := 0; in < n; in++ {
+				if a.chosenTS[in] < 0 {
+					continue
+				}
+				hol := s.HOL(in, out)
+				if hol == nil || hol.TimeStamp != a.chosenTS[in] {
+					continue // this input's packet has no cell here
+				}
+				l := s.VOQLen(in, out)
+				switch {
+				case l > bestLen:
+					bestLen = l
+					a.granted[out] = in
+					a.tieCount[out] = 1
+				case l == bestLen && l > 0:
+					a.tieCount[out]++
+					if r.Intn(a.tieCount[out]) == 0 {
+						a.granted[out] = in
+					}
+				}
+			}
+			if a.granted[out] != core.None {
+				anyGrant = true
+			}
+		}
+		if !anyGrant {
+			break
+		}
+		for out := 0; out < n; out++ {
+			in := a.granted[out]
+			if in == core.None {
+				continue
+			}
+			m.OutIn[out] = in
+			a.outputFree[out] = false
+			a.inputFree[in] = false
+		}
+		m.Rounds++
+	}
+}

@@ -1,0 +1,117 @@
+// Package pim implements Parallel Iterative Matching (Anderson, Owicki,
+// Saxe and Thacker, ACM TOCS 1993), the randomised ancestor of iSLIP,
+// as a core.Arbiter. It serves as a second unicast VOQ baseline for
+// the extension experiments.
+//
+// Each iteration: every unmatched input requests all outputs with a
+// queued cell; every unmatched output grants one requesting input
+// uniformly at random; every unmatched input accepts one granting
+// output uniformly at random. Like iSLIP it runs in ModeCopied,
+// treating multicast packets as independent unicast copies.
+package pim
+
+import (
+	"voqsim/internal/core"
+	"voqsim/internal/xrand"
+)
+
+// Arbiter is the PIM matcher. It is stateless between slots; all
+// randomness comes from the switch's arbiter stream.
+type Arbiter struct {
+	// Iterations, if positive, caps iterations per slot; zero iterates
+	// to convergence (PIM converges in O(log N) expected iterations).
+	Iterations int
+
+	inputFree  []bool
+	outputFree []bool
+	grantTo    []int
+	acceptPick []int
+	acceptTies []int
+}
+
+// New returns a PIM arbiter that iterates to convergence.
+func New() *Arbiter { return &Arbiter{} }
+
+// Name implements core.Arbiter.
+func (a *Arbiter) Name() string { return "pim" }
+
+// Mode implements core.Arbiter.
+func (a *Arbiter) Mode() core.PreprocessMode { return core.ModeCopied }
+
+func (a *Arbiter) ensure(n int) {
+	if len(a.inputFree) == n {
+		return
+	}
+	a.inputFree = make([]bool, n)
+	a.outputFree = make([]bool, n)
+	a.grantTo = make([]int, n)
+	a.acceptPick = make([]int, n)
+	a.acceptTies = make([]int, n)
+}
+
+// Match implements core.Arbiter.
+func (a *Arbiter) Match(s *core.Switch, _ int64, r *xrand.Rand, m *core.Matching) {
+	n := s.Ports()
+	a.ensure(n)
+	for i := 0; i < n; i++ {
+		a.inputFree[i] = true
+		a.outputFree[i] = true
+	}
+	maxIter := a.Iterations
+	if maxIter <= 0 {
+		maxIter = n
+	}
+
+	for iter := 0; iter < maxIter; iter++ {
+		// Grant: each free output picks uniformly among free inputs
+		// with a queued cell for it (single-pass reservoir sampling).
+		for out := 0; out < n; out++ {
+			a.grantTo[out] = core.None
+			if !a.outputFree[out] {
+				continue
+			}
+			seen := 0
+			for in := 0; in < n; in++ {
+				if a.inputFree[in] && s.VOQLen(in, out) > 0 {
+					seen++
+					if r.Intn(seen) == 0 {
+						a.grantTo[out] = in
+					}
+				}
+			}
+		}
+
+		// Accept: each free input picks uniformly among outputs that
+		// granted it.
+		for in := 0; in < n; in++ {
+			a.acceptPick[in] = core.None
+			a.acceptTies[in] = 0
+		}
+		for out := 0; out < n; out++ {
+			in := a.grantTo[out]
+			if in == core.None {
+				continue
+			}
+			a.acceptTies[in]++
+			if r.Intn(a.acceptTies[in]) == 0 {
+				a.acceptPick[in] = out
+			}
+		}
+
+		matched := false
+		for in := 0; in < n; in++ {
+			out := a.acceptPick[in]
+			if out == core.None {
+				continue
+			}
+			m.OutIn[out] = in
+			a.inputFree[in] = false
+			a.outputFree[out] = false
+			matched = true
+		}
+		if !matched {
+			break
+		}
+		m.Rounds++
+	}
+}

@@ -1,0 +1,79 @@
+// Package tdrr implements the basic Two-Dimensional Round-Robin
+// scheduler (LaMaire and Serpanos, IEEE/ACM ToN 1994), reference [9]
+// of the reproduced paper, as a core.Arbiter.
+//
+// 2DRR views the backlog as an N x N request matrix (input i requests
+// output j iff VOQ(i, j) is non-empty) and serves it along
+// generalised diagonals: diagonal d is the set of matrix cells
+// {(i, (i+d) mod N)}, whose cells are pairwise non-conflicting, so a
+// whole diagonal can be granted at once. Each slot the N diagonals
+// are examined in an order that rotates with the slot number, giving
+// every diagonal — and therefore every (input, output) pair — top
+// priority once every N slots, which is what provides fairness without
+// per-port pointers.
+//
+// Like iSLIP and PIM it is a unicast matcher and runs in ModeCopied:
+// multicast packets are expanded into independent unicast copies at
+// arrival.
+package tdrr
+
+import (
+	"voqsim/internal/core"
+	"voqsim/internal/xrand"
+)
+
+// Arbiter is the 2DRR matcher. Create one per switch with New.
+type Arbiter struct {
+	inputFree  []bool
+	outputFree []bool
+}
+
+// New returns a 2DRR arbiter.
+func New() *Arbiter { return &Arbiter{} }
+
+// Name implements core.Arbiter.
+func (a *Arbiter) Name() string { return "2drr" }
+
+// Mode implements core.Arbiter.
+func (a *Arbiter) Mode() core.PreprocessMode { return core.ModeCopied }
+
+func (a *Arbiter) ensure(n int) {
+	if len(a.inputFree) == n {
+		return
+	}
+	a.inputFree = make([]bool, n)
+	a.outputFree = make([]bool, n)
+}
+
+// Match implements core.Arbiter. Rounds reports the number of
+// diagonals that contributed at least one grant this slot.
+func (a *Arbiter) Match(s *core.Switch, slot int64, _ *xrand.Rand, m *core.Matching) {
+	n := s.Ports()
+	a.ensure(n)
+	for i := 0; i < n; i++ {
+		a.inputFree[i] = true
+		a.outputFree[i] = true
+	}
+
+	offset := int(slot % int64(n))
+	for k := 0; k < n; k++ {
+		d := (offset + k) % n
+		granted := false
+		for in := 0; in < n; in++ {
+			out := (in + d) % n
+			if !a.inputFree[in] || !a.outputFree[out] {
+				continue
+			}
+			if s.VOQLen(in, out) == 0 {
+				continue
+			}
+			m.OutIn[out] = in
+			a.inputFree[in] = false
+			a.outputFree[out] = false
+			granted = true
+		}
+		if granted {
+			m.Rounds++
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package tdrr
+
+import (
+	"testing"
+
+	"voqsim/internal/cell"
+	"voqsim/internal/core"
+	"voqsim/internal/destset"
+	"voqsim/internal/xrand"
+)
+
+var nextID cell.PacketID
+
+func mkPacket(in int, arrival int64, n int, dests ...int) *cell.Packet {
+	nextID++
+	return &cell.Packet{ID: nextID, Input: in, Arrival: arrival, Dests: destset.FromMembers(n, dests...)}
+}
+
+func collect(s *core.Switch, slot int64) []cell.Delivery {
+	var out []cell.Delivery
+	s.Step(slot, func(d cell.Delivery) { out = append(out, d) })
+	return out
+}
+
+func TestUnicastDelivered(t *testing.T) {
+	s := core.NewSwitch(4, New(), xrand.New(1))
+	p := mkPacket(0, 0, 4, 2)
+	s.Arrive(p)
+	ds := collect(s, 0)
+	if len(ds) != 1 || ds[0].Out != 2 || ds[0].ID != p.ID {
+		t.Fatalf("deliveries %+v", ds)
+	}
+}
+
+func TestDiagonalIsGrantedWhole(t *testing.T) {
+	// Load exactly diagonal 1 of a 4x4 switch: (i, i+1 mod 4). All
+	// four cells must be served in one slot.
+	const n = 4
+	s := core.NewSwitch(n, New(), xrand.New(1))
+	for in := 0; in < n; in++ {
+		s.Arrive(mkPacket(in, 0, n, (in+1)%n))
+	}
+	if got := len(collect(s, 0)); got != n {
+		t.Fatalf("diagonal served %d cells, want %d", got, n)
+	}
+}
+
+func TestFullMatrixServedFairly(t *testing.T) {
+	// Keep every VOQ backlogged: each slot must carry a full
+	// N-matching, and over N consecutive slots every (in, out) pair
+	// must be served at least once (each diagonal tops the order once).
+	const n = 4
+	s := core.NewSwitch(n, New(), xrand.New(1))
+	served := map[[2]int]int{}
+	for slot := int64(0); slot < 2*n; slot++ {
+		for in := 0; in < n; in++ {
+			for out := 0; out < n; out++ {
+				s.Arrive(mkPacket(in, slot, n, out))
+			}
+		}
+		ds := collect(s, slot)
+		if len(ds) != n {
+			t.Fatalf("slot %d carried %d cells, want %d", slot, len(ds), n)
+		}
+		for _, d := range ds {
+			served[[2]int{d.In, d.Out}]++
+		}
+	}
+	for in := 0; in < n; in++ {
+		for out := 0; out < n; out++ {
+			if served[[2]int{in, out}] == 0 {
+				t.Fatalf("pair (%d,%d) starved over %d slots", in, out, 2*n)
+			}
+		}
+	}
+}
+
+func TestMulticastAsCopies(t *testing.T) {
+	s := core.NewSwitch(4, New(), xrand.New(1))
+	s.Arrive(mkPacket(0, 0, 4, 0, 1, 2))
+	if s.BufferedCells() != 3 {
+		t.Fatalf("copied-mode buffer = %d", s.BufferedCells())
+	}
+	total := 0
+	for slot := int64(0); slot < 3; slot++ {
+		total += len(collect(s, slot))
+	}
+	if total != 3 || s.BufferedCells() != 0 {
+		t.Fatalf("delivered %d, residue %d", total, s.BufferedCells())
+	}
+}
+
+func TestRoundsReported(t *testing.T) {
+	const n = 4
+	s := core.NewSwitch(n, New(), xrand.New(1))
+	// Two cells on different diagonals -> two productive diagonals.
+	s.Arrive(mkPacket(0, 0, n, 0)) // diagonal 0
+	s.Arrive(mkPacket(1, 0, n, 2)) // diagonal 1
+	collect(s, 0)
+	if s.LastRounds() != 2 {
+		t.Fatalf("LastRounds = %d, want 2", s.LastRounds())
+	}
+}
+
+func TestConservation(t *testing.T) {
+	const n = 4
+	s := core.NewSwitch(n, New(), xrand.New(2))
+	r := xrand.New(3)
+	offered, delivered := 0, 0
+	var slot int64
+	for ; slot < 500; slot++ {
+		for in := 0; in < n; in++ {
+			d := destset.New(n)
+			d.RandomBernoulli(r, 0.2)
+			if d.Empty() {
+				continue
+			}
+			nextID++
+			offered += d.Count()
+			s.Arrive(&cell.Packet{ID: nextID, Input: in, Arrival: slot, Dests: d})
+		}
+		s.Step(slot, func(cell.Delivery) { delivered++ })
+	}
+	for ; s.BufferedCells() > 0 && slot < 100000; slot++ {
+		s.Step(slot, func(cell.Delivery) { delivered++ })
+	}
+	if delivered != offered {
+		t.Fatalf("delivered %d of %d", delivered, offered)
+	}
+}

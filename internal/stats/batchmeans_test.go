@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"voqsim/internal/cell"
+	"voqsim/internal/xrand"
+)
+
+func TestBatchMeansIID(t *testing.T) {
+	// For i.i.d. uniforms the interval must cover the true mean 0.5.
+	bm := NewBatchMeans(100)
+	r := xrand.New(1)
+	for i := 0; i < 100_000; i++ {
+		bm.Add(r.Float64())
+	}
+	if bm.Batches() != 1000 {
+		t.Fatalf("Batches = %d", bm.Batches())
+	}
+	if !bm.Reliable() {
+		t.Fatal("1000 batches not reliable")
+	}
+	hw := bm.HalfWidth95()
+	if math.Abs(bm.Mean()-0.5) > 3*hw {
+		t.Fatalf("mean %v +- %v misses 0.5 badly", bm.Mean(), hw)
+	}
+	if hw <= 0 || hw > 0.01 {
+		t.Fatalf("half width %v implausible for 100k uniforms", hw)
+	}
+}
+
+func TestBatchMeansCorrelatedWiderThanNaive(t *testing.T) {
+	// An AR(1)-style positively correlated series: the batch-means
+	// interval must be wider than the naive i.i.d. standard error.
+	bm := NewBatchMeans(200)
+	var naive Welford
+	r := xrand.New(2)
+	x := 0.0
+	for i := 0; i < 50_000; i++ {
+		x = 0.95*x + r.Float64() - 0.5
+		bm.Add(x)
+		naive.Add(x)
+	}
+	naiveHW := 1.96 * naive.StdErr()
+	if bm.HalfWidth95() <= naiveHW {
+		t.Fatalf("batch means (%v) not wider than naive (%v) on correlated data",
+			bm.HalfWidth95(), naiveHW)
+	}
+}
+
+func TestBatchMeansPartialBatchDiscarded(t *testing.T) {
+	bm := NewBatchMeans(10)
+	for i := 0; i < 25; i++ {
+		bm.Add(1)
+	}
+	if bm.Batches() != 2 {
+		t.Fatalf("Batches = %d, want 2 (partial discarded)", bm.Batches())
+	}
+	if bm.Mean() != 1 {
+		t.Fatalf("Mean = %v", bm.Mean())
+	}
+}
+
+func TestBatchMeansEdgeCases(t *testing.T) {
+	bm := NewBatchMeans(10)
+	if !math.IsNaN(bm.Mean()) || !math.IsNaN(bm.HalfWidth95()) || bm.Reliable() {
+		t.Fatal("empty estimator should be NaN/unreliable")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero batch size did not panic")
+		}
+	}()
+	NewBatchMeans(0)
+}
+
+func deliveryFor(id cell.PacketID, in, out int, slot int64) cell.Delivery {
+	return cell.Delivery{ID: id, In: in, Out: out, Slot: slot}
+}
+
+func TestDelayTrackerClassBreakdown(t *testing.T) {
+	dt := NewDelayTracker(0)
+	dt.Arrive(pkt(1, 0, 3))       // unicast
+	dt.Arrive(pkt(2, 0, 0, 1, 2)) // multicast
+	dt.Deliver(deliveryFor(1, 0, 3, 2))
+	dt.Deliver(deliveryFor(2, 0, 0, 0))
+	dt.Deliver(deliveryFor(2, 0, 1, 1))
+	dt.Deliver(deliveryFor(2, 0, 2, 5))
+	if got := dt.UnicastInputOriented().Mean(); got != 3 {
+		t.Fatalf("unicast class mean = %v", got)
+	}
+	if got := dt.MulticastInputOriented().Mean(); got != 6 {
+		t.Fatalf("multicast class mean = %v", got)
+	}
+	if dt.UnicastInputOriented().Count()+dt.MulticastInputOriented().Count() != dt.InputOriented().Count() {
+		t.Fatal("class counts do not partition completions")
+	}
+}

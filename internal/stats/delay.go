@@ -1,0 +1,186 @@
+package stats
+
+import (
+	"fmt"
+
+	"voqsim/internal/cell"
+)
+
+// DelayTracker aggregates multicast transmission delay exactly as
+// Section V of the paper defines it:
+//
+//   - Input-oriented delay: the delay at which the *last* destination
+//     of a packet receives it — the sender is done only then.
+//   - Output-oriented delay: the delay of each individual copy — each
+//     receiver cares only about its own.
+//
+// Packets arriving before the measurement window (warmup) are excluded
+// entirely, including copies of theirs delivered inside the window.
+type DelayTracker struct {
+	// measureFrom is the first arrival slot whose packets count.
+	measureFrom int64
+
+	inOriented  Welford
+	outOriented Welford
+	inHist      Histogram
+	outHist     Histogram
+
+	// Per-class input-oriented delay: unicast (fanout 1) versus
+	// multicast (fanout >= 2). The split backs the mixed-traffic
+	// fairness observations (a scheduler can look good on average
+	// while starving one class).
+	uniIn   Welford
+	multiIn Welford
+
+	// perOutput accumulates per-copy delay by destination output,
+	// grown on demand; under non-uniform (hotspot) traffic the hot
+	// output's series separates from the cold ones.
+	perOutput []Welford
+
+	// outstanding maps packets with undelivered copies to their state.
+	// Completed packets are deleted, so the map size is bounded by the
+	// number of packets in flight, not the run length.
+	outstanding map[cell.PacketID]*packetState
+
+	delivered int64 // copies counted (post-warmup packets only)
+	completed int64 // packets fully delivered
+}
+
+type packetState struct {
+	arrival  int64
+	fanout   int
+	remain   int
+	maxDelay int64
+}
+
+// NewDelayTracker returns a tracker counting packets that arrive at or
+// after slot measureFrom.
+func NewDelayTracker(measureFrom int64) *DelayTracker {
+	return &DelayTracker{
+		measureFrom: measureFrom,
+		outstanding: make(map[cell.PacketID]*packetState),
+	}
+}
+
+// Arrive registers a packet arrival. Packets arriving before the
+// measurement window are ignored (their deliveries will be too).
+func (t *DelayTracker) Arrive(p *cell.Packet) {
+	if p.Arrival < t.measureFrom {
+		return
+	}
+	if _, dup := t.outstanding[p.ID]; dup {
+		panic(fmt.Sprintf("stats: duplicate arrival of packet %d", p.ID))
+	}
+	fanout := p.Fanout()
+	t.outstanding[p.ID] = &packetState{arrival: p.Arrival, fanout: fanout, remain: fanout}
+}
+
+// Deliver registers the delivery of one copy. Deliveries of unknown
+// (pre-window) packets are ignored. Delivering more copies than the
+// packet's fanout panics, because it means a scheduler duplicated or
+// fabricated a copy.
+func (t *DelayTracker) Deliver(d cell.Delivery) {
+	st, ok := t.outstanding[d.ID]
+	if !ok {
+		return
+	}
+	delay := d.CopyDelay(st.arrival)
+	if delay < 1 {
+		panic(fmt.Sprintf("stats: packet %d delivered before arrival (delay %d)", d.ID, delay))
+	}
+	t.outOriented.Add(float64(delay))
+	t.outHist.Observe(delay)
+	for len(t.perOutput) <= d.Out {
+		t.perOutput = append(t.perOutput, Welford{})
+	}
+	t.perOutput[d.Out].Add(float64(delay))
+	t.delivered++
+	if delay > st.maxDelay {
+		st.maxDelay = delay
+	}
+	st.remain--
+	if st.remain < 0 {
+		panic(fmt.Sprintf("stats: packet %d over-delivered", d.ID))
+	}
+	if st.remain == 0 {
+		t.inOriented.Add(float64(st.maxDelay))
+		t.inHist.Observe(st.maxDelay)
+		if st.fanout == 1 {
+			t.uniIn.Add(float64(st.maxDelay))
+		} else {
+			t.multiIn.Add(float64(st.maxDelay))
+		}
+		t.completed++
+		delete(t.outstanding, d.ID)
+	}
+}
+
+// InputOriented returns the accumulator of input-oriented delays of
+// completed packets.
+func (t *DelayTracker) InputOriented() *Welford { return &t.inOriented }
+
+// OutputOriented returns the accumulator of per-copy delays.
+func (t *DelayTracker) OutputOriented() *Welford { return &t.outOriented }
+
+// OutputOrientedFor returns the per-copy delay accumulator of one
+// destination output; an output that never received a copy yields an
+// empty accumulator.
+func (t *DelayTracker) OutputOrientedFor(out int) *Welford {
+	if out < 0 {
+		panic("stats: negative output index")
+	}
+	for len(t.perOutput) <= out {
+		t.perOutput = append(t.perOutput, Welford{})
+	}
+	return &t.perOutput[out]
+}
+
+// UnicastInputOriented returns the input-oriented delay accumulator
+// restricted to fanout-1 packets.
+func (t *DelayTracker) UnicastInputOriented() *Welford { return &t.uniIn }
+
+// MulticastInputOriented returns the input-oriented delay accumulator
+// restricted to packets with fanout >= 2.
+func (t *DelayTracker) MulticastInputOriented() *Welford { return &t.multiIn }
+
+// InputHistogram returns the histogram of input-oriented delays.
+func (t *DelayTracker) InputHistogram() *Histogram { return &t.inHist }
+
+// OutputHistogram returns the histogram of per-copy delays.
+func (t *DelayTracker) OutputHistogram() *Histogram { return &t.outHist }
+
+// Completed returns the number of fully delivered post-warmup packets.
+func (t *DelayTracker) Completed() int64 { return t.completed }
+
+// DeliveredCopies returns the number of counted copy deliveries.
+func (t *DelayTracker) DeliveredCopies() int64 { return t.delivered }
+
+// InFlight returns the number of tracked packets not yet fully
+// delivered.
+func (t *DelayTracker) InFlight() int { return len(t.outstanding) }
+
+// Occupancy samples per-port queue sizes once per measured slot and
+// tracks their running mean (over slots x ports, the paper's "average
+// queue size") and the largest single-port value ever seen ("maximum
+// queue size").
+type Occupancy struct {
+	avg Welford
+	max MaxInt64
+}
+
+// Sample records one slot's per-port occupancies.
+func (o *Occupancy) Sample(sizes []int) {
+	for _, s := range sizes {
+		o.avg.Add(float64(s))
+		o.max.Observe(int64(s))
+	}
+}
+
+// Average returns the mean per-port occupancy across all samples.
+func (o *Occupancy) Average() float64 { return o.avg.Mean() }
+
+// Maximum returns the largest single-port occupancy observed.
+func (o *Occupancy) Maximum() int64 { return o.max.Value() }
+
+// Samples returns the number of (slot, port) samples recorded.
+func (o *Occupancy) Samples() int64 { return o.avg.Count() }

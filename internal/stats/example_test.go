@@ -1,0 +1,42 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"voqsim/internal/stats"
+)
+
+// ExampleWelford shows streaming moments: feed observations one at a
+// time, read mean and deviation at any point.
+func ExampleWelford() {
+	var w stats.Welford
+	for _, delay := range []float64{1, 1, 2, 3, 5, 8} {
+		w.Add(delay)
+	}
+	fmt.Printf("n=%d mean=%.3f min=%v max=%v\n", w.Count(), w.Mean(), w.Min(), w.Max())
+	// Output:
+	// n=6 mean=3.333 min=1 max=8
+}
+
+// ExampleJainIndex quantifies fairness of service shares: 1.0 is
+// perfectly equal, 1/n is a monopoly.
+func ExampleJainIndex() {
+	fmt.Printf("equal:    %.2f\n", stats.JainIndex([]float64{10, 10, 10, 10}))
+	fmt.Printf("skewed:   %.2f\n", stats.JainIndex([]float64{25, 5, 5, 5}))
+	fmt.Printf("monopoly: %.2f\n", stats.JainIndex([]float64{40, 0, 0, 0}))
+	// Output:
+	// equal:    1.00
+	// skewed:   0.57
+	// monopoly: 0.25
+}
+
+// ExampleHistogram shows log-bucket counting and quantile bounds.
+func ExampleHistogram() {
+	var h stats.Histogram
+	for _, delay := range []int64{1, 1, 1, 2, 3, 9, 200} {
+		h.Observe(delay)
+	}
+	fmt.Printf("count=%d p50<=%d p99<=%d\n", h.Count(), h.Quantile(0.5), h.Quantile(0.99))
+	// Output:
+	// count=7 p50<=3 p99<=255
+}

@@ -1,0 +1,41 @@
+package stats
+
+// Jain's fairness index over a set of non-negative allocations x_i:
+//
+//	J = (sum x)^2 / (n * sum x^2)
+//
+// J = 1 means perfectly equal shares; J = 1/n means one participant
+// takes everything. The simulator uses it to quantify the paper's
+// starvation-freedom claim: under symmetric saturating demand, a fair
+// scheduler serves every input an equal share, so J stays near 1.
+
+// JainIndex returns Jain's fairness index of the allocations, or 1 for
+// an empty or all-zero set (nothing was allocated, nobody was treated
+// unfairly). Negative allocations panic: they have no fairness
+// interpretation.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		if x < 0 {
+			panic("stats: negative allocation in JainIndex")
+		}
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// JainIndexInts is JainIndex over integer service counts.
+func JainIndexInts(xs []int64) float64 {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return JainIndex(fs)
+}

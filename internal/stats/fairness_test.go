@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestJainIndexKnownValues(t *testing.T) {
+	if got := JainIndex([]float64{1, 1, 1, 1}); got != 1 {
+		t.Fatalf("equal shares J = %v", got)
+	}
+	if got := JainIndex([]float64{1, 0, 0, 0}); got != 0.25 {
+		t.Fatalf("monopoly J = %v, want 1/n", got)
+	}
+	// Two equal, two zero: J = (2)^2 / (4*2) = 0.5.
+	if got := JainIndex([]float64{1, 1, 0, 0}); got != 0.5 {
+		t.Fatalf("half-split J = %v", got)
+	}
+}
+
+func TestJainIndexEdgeCases(t *testing.T) {
+	if JainIndex(nil) != 1 || JainIndex([]float64{0, 0}) != 1 {
+		t.Fatal("degenerate sets should be 1")
+	}
+	if JainIndexInts([]int64{5, 5}) != 1 {
+		t.Fatal("ints wrapper wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative allocation did not panic")
+		}
+	}()
+	JainIndex([]float64{1, -1})
+}
+
+// Property: J is scale invariant and bounded in [1/n, 1].
+func TestJainIndexProperties(t *testing.T) {
+	f := func(raw []uint16, scaleRaw uint8) bool {
+		if len(raw) == 0 || len(raw) > 64 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		allZero := true
+		for i, v := range raw {
+			xs[i] = float64(v)
+			if v != 0 {
+				allZero = false
+			}
+		}
+		j := JainIndex(xs)
+		if allZero {
+			return j == 1
+		}
+		n := float64(len(xs))
+		if j < 1/n-1e-12 || j > 1+1e-12 {
+			return false
+		}
+		scale := float64(scaleRaw%9) + 1
+		scaled := make([]float64, len(xs))
+		for i := range xs {
+			scaled[i] = xs[i] * scale
+		}
+		return math.Abs(JainIndex(scaled)-j) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

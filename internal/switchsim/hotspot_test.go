@@ -1,0 +1,52 @@
+package switchsim
+
+import (
+	"testing"
+
+	"voqsim/internal/core"
+	"voqsim/internal/traffic"
+	"voqsim/internal/xrand"
+)
+
+// TestHotspotDelaySeparation: under hotspot traffic the hot output's
+// per-copy delay must exceed the cold outputs' — the per-output
+// breakdown makes the skew visible where the aggregate mean hides it.
+func TestHotspotDelaySeparation(t *testing.T) {
+	const n, hot = 8, 3
+	pat := traffic.Hotspot{P: 0.2, BHot: 0.5, BCold: 0.1, HotOut: hot} // hot load 0.8, cold 0.16
+	sw := core.NewSwitch(n, &core.FIFOMS{}, xrand.New(4))
+	r := New(sw, pat, Config{Slots: 40_000, Seed: 4}, xrand.New(4))
+	res := r.Run("fifoms")
+	if res.Unstable {
+		t.Fatal("hotspot run unstable at hot load 0.8")
+	}
+	hotDelay := r.Tracker().OutputOrientedFor(hot).Mean()
+	coldDelay := r.Tracker().OutputOrientedFor((hot + 1) % n).Mean()
+	if hotDelay <= coldDelay {
+		t.Fatalf("hot output delay %.3f not above cold %.3f", hotDelay, coldDelay)
+	}
+	if hotDelay < 1.5*coldDelay {
+		t.Fatalf("hot/cold separation too small: %.3f vs %.3f", hotDelay, coldDelay)
+	}
+	// The aggregate sits between the extremes.
+	if res.OutputDelay.Mean <= coldDelay || res.OutputDelay.Mean >= hotDelay {
+		t.Fatalf("aggregate %.3f outside [cold %.3f, hot %.3f]", res.OutputDelay.Mean, coldDelay, hotDelay)
+	}
+}
+
+// TestPerOutputBreakdownConsistency: the per-output accumulators must
+// partition the aggregate per-copy delay stream.
+func TestPerOutputBreakdownConsistency(t *testing.T) {
+	const n = 8
+	pat := traffic.Uniform{P: 0.3, MaxFanout: 4}
+	sw := core.NewSwitch(n, &core.FIFOMS{}, xrand.New(5))
+	r := New(sw, pat, Config{Slots: 10_000, Seed: 5}, xrand.New(5))
+	res := r.Run("fifoms")
+	var count int64
+	for out := 0; out < n; out++ {
+		count += r.Tracker().OutputOrientedFor(out).Count()
+	}
+	if count != res.OutputDelay.Count {
+		t.Fatalf("per-output counts %d do not partition the aggregate %d", count, res.OutputDelay.Count)
+	}
+}

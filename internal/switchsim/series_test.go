@@ -1,0 +1,80 @@
+package switchsim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"voqsim/internal/core"
+	"voqsim/internal/traffic"
+	"voqsim/internal/xrand"
+)
+
+func TestSeriesRecorderCaptures(t *testing.T) {
+	rec := NewSeriesRecorder(10)
+	sw := core.NewSwitch(8, &core.FIFOMS{}, xrand.New(1))
+	r := New(sw, traffic.Bernoulli{P: 0.3, B: 0.25}, Config{Slots: 1000, Seed: 1}, xrand.New(1))
+	r.Observe(rec)
+	r.Run("fifoms")
+	if rec.Len() != 100 {
+		t.Fatalf("recorded %d points, want 100 (stride 10 over 1000 slots)", rec.Len())
+	}
+	var anyDelivered, anyRounds bool
+	var totalDelivered int64
+	for i := 0; i < rec.Len(); i++ {
+		slot, backlog, delivered, rounds := rec.At(i)
+		if slot != int64(i*10) {
+			t.Fatalf("point %d at slot %d", i, slot)
+		}
+		if backlog < 0 {
+			t.Fatal("negative backlog")
+		}
+		totalDelivered += delivered
+		anyDelivered = anyDelivered || delivered > 0
+		anyRounds = anyRounds || rounds > 0
+	}
+	if !anyDelivered || !anyRounds {
+		t.Fatal("series captured no activity")
+	}
+	if totalDelivered == 0 {
+		t.Fatal("no deliveries aggregated")
+	}
+}
+
+func TestSeriesRecorderShowsSaturationRamp(t *testing.T) {
+	// Under an unsustainable load the backlog at the end of the series
+	// must dwarf the backlog near the start.
+	rec := NewSeriesRecorder(20)
+	sw := core.NewSwitch(8, &core.FIFOMS{}, xrand.New(2))
+	pat := traffic.Bernoulli{P: 1.0, B: 0.25} // load 2.0
+	r := New(sw, pat, Config{Slots: 4000, UnstableCellLimit: 1 << 40, Seed: 2}, xrand.New(2))
+	r.Observe(rec)
+	res := r.Run("fifoms")
+	if !res.Unstable {
+		t.Fatal("overload not flagged (drift check)")
+	}
+	_, early, _, _ := rec.At(2)
+	_, late, _, _ := rec.At(rec.Len() - 1)
+	if late < 10*early+100 {
+		t.Fatalf("no saturation ramp: early backlog %d, late %d", early, late)
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	rec := NewSeriesRecorder(0) // clamps to 1
+	sw := core.NewSwitch(4, &core.FIFOMS{}, xrand.New(3))
+	r := New(sw, traffic.Uniform{P: 0.5, MaxFanout: 2}, Config{Slots: 50, Seed: 3}, xrand.New(3))
+	r.Observe(rec)
+	r.Run("fifoms")
+	var buf bytes.Buffer
+	if err := rec.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 51 {
+		t.Fatalf("CSV has %d lines, want header + 50", len(lines))
+	}
+	if lines[0] != "slot,backlog_cells,delivered_since_prev,rounds" {
+		t.Fatalf("header %q", lines[0])
+	}
+}

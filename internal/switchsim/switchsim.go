@@ -1,0 +1,347 @@
+// Package switchsim is the discrete-time simulation engine: it drives
+// traffic sources into a switch slot by slot, collects the paper's
+// statistics (Section V), handles warmup and detects instability.
+//
+// The engine owns the experiment's measurement discipline so that every
+// switch architecture is measured identically:
+//
+//   - each slot, arrivals are generated and handed to the switch, then
+//     the switch runs one scheduling/transfer step;
+//   - the first WarmupFrac of the run is excluded from all statistics;
+//   - a run aborts and is flagged unstable when the buffered backlog
+//     exceeds a ceiling, mirroring the paper's "runs ... unless the
+//     switch becomes unstable".
+package switchsim
+
+import (
+	"fmt"
+	"math"
+
+	"voqsim/internal/cell"
+	"voqsim/internal/stats"
+	"voqsim/internal/traffic"
+	"voqsim/internal/xrand"
+)
+
+// Switch is what the engine needs from a switch architecture. It is
+// satisfied by core.Switch (FIFOMS/iSLIP/PIM/2DRR/LQFMS on the
+// multicast VOQ structure), tatra.Switch, wba.Switch, oq.Switch,
+// cioq.Switch and eslip.Switch.
+type Switch interface {
+	// Ports returns the port count N.
+	Ports() int
+	// Arrive enqueues a packet that arrived at the start of the
+	// current slot, before Step for that slot.
+	Arrive(p *cell.Packet)
+	// Step runs one slot of scheduling and transfer, reporting every
+	// delivered copy.
+	Step(slot int64, deliver func(cell.Delivery))
+	// QueueSizes fills dst (length N) with the per-port queue-size
+	// metric of the architecture.
+	QueueSizes(dst []int) []int
+	// BufferedCells returns the backlog used for instability
+	// detection.
+	BufferedCells() int64
+}
+
+// RoundsReporter is optionally implemented by switches whose scheduler
+// iterates (FIFOMS, iSLIP, PIM); the engine then records convergence
+// rounds (Figure 5).
+type RoundsReporter interface {
+	LastRounds() int
+}
+
+// BytesReporter is optionally implemented by switches that account
+// their buffer memory in bytes (Section IV.B's space analysis); the
+// engine then records mean and peak memory.
+type BytesReporter interface {
+	BufferedBytes() int64
+}
+
+// Config controls one simulation run.
+type Config struct {
+	// Slots is the total number of simulated time slots.
+	Slots int64
+	// WarmupFrac is the fraction of slots excluded from statistics at
+	// the start of the run; the paper uses "typically half". Zero
+	// (the zero value) and values >= 1 fall back to 0.5; pass a
+	// negative value to measure from slot 0.
+	WarmupFrac float64
+	// UnstableCellLimit aborts the run once the switch buffers more
+	// than this many cells; zero means 1000*N.
+	UnstableCellLimit int64
+	// Seed drives the traffic sources and the switch's internal
+	// randomness indirectly through the caller; it is recorded in the
+	// results for reproducibility.
+	Seed uint64
+}
+
+func (c Config) withDefaults(n int) Config {
+	if c.Slots <= 0 {
+		c.Slots = 200_000
+	}
+	switch {
+	case c.WarmupFrac < 0:
+		c.WarmupFrac = 0
+	case c.WarmupFrac == 0 || c.WarmupFrac >= 1:
+		c.WarmupFrac = 0.5
+	}
+	if c.UnstableCellLimit <= 0 {
+		c.UnstableCellLimit = int64(1000 * n)
+	}
+	return c
+}
+
+// Summary is the plain-value digest of a Welford accumulator, suitable
+// for tables and JSON.
+type Summary struct {
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"`
+	StdErr float64 `json:"stderr"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	Count  int64   `json:"count"`
+}
+
+// finite maps NaN to 0 so that Summary (and Results as a whole) stays
+// comparable with == and encodable as JSON; Count == 0 (or < 2 for the
+// spread fields) already says "no data" unambiguously.
+func finite(x float64) float64 {
+	if math.IsNaN(x) {
+		return 0
+	}
+	return x
+}
+
+func summarize(w *stats.Welford) Summary {
+	return Summary{
+		Mean:   finite(w.Mean()),
+		StdDev: finite(w.StdDev()),
+		StdErr: finite(w.StdErr()),
+		Min:    finite(w.Min()),
+		Max:    finite(w.Max()),
+		Count:  w.Count(),
+	}
+}
+
+// Results are the measurements of one run: the four statistics of
+// Section V plus convergence rounds, throughput and accounting
+// counters.
+type Results struct {
+	Algorithm string  `json:"algorithm"`
+	Pattern   string  `json:"pattern"`
+	Load      float64 `json:"load"` // analytic effective load
+	Ports     int     `json:"ports"`
+	Seed      uint64  `json:"seed"`
+
+	Slots       int64 `json:"slots"`        // slots actually simulated
+	WarmupSlots int64 `json:"warmup_slots"` // slots excluded from stats
+	Unstable    bool  `json:"unstable"`
+	UnstableAt  int64 `json:"unstable_at,omitempty"` // slot the backlog ceiling was hit
+
+	OfferedPackets int64 `json:"offered_packets"` // post-warmup arrivals
+	OfferedCopies  int64 `json:"offered_copies"`
+	Completed      int64 `json:"completed_packets"`
+	Delivered      int64 `json:"delivered_copies"`
+
+	InputDelay  Summary `json:"input_delay"`  // paper: average input oriented delay
+	OutputDelay Summary `json:"output_delay"` // paper: average output oriented delay
+
+	// Per-class input-oriented delay: unicast (fanout 1) versus
+	// multicast (fanout >= 2) packets, for fairness analysis under
+	// mixed traffic.
+	UnicastInputDelay   Summary `json:"unicast_input_delay"`
+	MulticastInputDelay Summary `json:"multicast_input_delay"`
+	AvgQueue            float64 `json:"avg_queue"` // paper: average queue size
+	MaxQueue            int64   `json:"max_queue"` // paper: maximum queue size
+
+	// Rounds summarises scheduler convergence rounds per busy
+	// post-warmup slot; Count == 0 for non-iterative switches.
+	Rounds Summary `json:"rounds"`
+
+	// Throughput is delivered copies per output per post-warmup slot.
+	Throughput float64 `json:"throughput"`
+
+	// Buffer memory accounting (Section IV.B), for switches that
+	// report it: mean bytes per port per post-warmup slot, and the
+	// peak total bytes over the measured window.
+	AvgBufferBytes  float64 `json:"avg_buffer_bytes"`
+	PeakBufferBytes int64   `json:"peak_buffer_bytes"`
+
+	// Delay distribution tail bounds (log-bucket upper bounds).
+	InputDelayP99 int64 `json:"input_delay_p99"`
+}
+
+// Runner binds a switch to its traffic and measurement state.
+// Construct with New, then call Run (or Tick for custom loops).
+type Runner struct {
+	sw      Switch
+	sources []traffic.Source
+	pattern traffic.Pattern
+	cfg     Config
+
+	nextID  cell.PacketID
+	tracker *stats.DelayTracker
+	occ     stats.Occupancy
+	rounds  stats.Welford
+	bytes   stats.Welford
+	peak    stats.MaxInt64
+	sizes   []int
+
+	offeredPackets int64
+	offeredCopies  int64
+	delivered      int64
+
+	series *SeriesRecorder // optional, attached with Observe
+}
+
+// New prepares a run of sw under the given traffic pattern. root
+// seeds the traffic sources (one substream per input port).
+func New(sw Switch, pat traffic.Pattern, cfg Config, root *xrand.Rand) *Runner {
+	n := sw.Ports()
+	cfg = cfg.withDefaults(n)
+	warmup := int64(float64(cfg.Slots) * cfg.WarmupFrac)
+	return &Runner{
+		sw:      sw,
+		sources: traffic.BuildSources(pat, n, root),
+		pattern: pat,
+		cfg:     cfg,
+		tracker: stats.NewDelayTracker(warmup),
+		sizes:   make([]int, n),
+	}
+}
+
+// Tracker exposes the run's delay tracker for analyses beyond the
+// Results digest (per-output breakdowns, histograms). Read it after
+// Run returns.
+func (r *Runner) Tracker() *stats.DelayTracker { return r.tracker }
+
+// WarmupSlots returns the number of slots excluded from statistics.
+func (r *Runner) WarmupSlots() int64 {
+	return int64(float64(r.cfg.Slots) * r.cfg.WarmupFrac)
+}
+
+// Run simulates the configured number of slots (or fewer, if the
+// switch goes unstable) and returns the measurements.
+func (r *Runner) Run(name string) Results {
+	warmup := r.WarmupSlots()
+	res := Results{
+		Algorithm:   name,
+		Pattern:     r.pattern.String(),
+		Load:        r.pattern.EffectiveLoad(r.sw.Ports()),
+		Ports:       r.sw.Ports(),
+		Seed:        r.cfg.Seed,
+		WarmupSlots: warmup,
+	}
+
+	var slot int64
+	for slot = 0; slot < r.cfg.Slots; slot++ {
+		r.tick(slot, warmup)
+		if r.sw.BufferedCells() > r.cfg.UnstableCellLimit {
+			res.Unstable = true
+			res.UnstableAt = slot
+			slot++
+			break
+		}
+	}
+	res.Slots = slot
+
+	// End-of-run drift check: a stable switch ends a long run with an
+	// O(1) backlog, while an oversubscribed one accumulates cells in
+	// proportion to the run length. Catching the drift here flags
+	// saturated points even when the run was too short for the backlog
+	// to reach the absolute ceiling above.
+	if !res.Unstable {
+		n := int64(r.sw.Ports())
+		driftLimit := 50 * n
+		if rel := res.Slots * n / 100; rel > driftLimit {
+			driftLimit = rel
+		}
+		if r.sw.BufferedCells() > driftLimit {
+			res.Unstable = true
+			res.UnstableAt = res.Slots
+		}
+	}
+
+	res.OfferedPackets = r.offeredPackets
+	res.OfferedCopies = r.offeredCopies
+	res.Completed = r.tracker.Completed()
+	res.Delivered = r.delivered
+	res.InputDelay = summarize(r.tracker.InputOriented())
+	res.OutputDelay = summarize(r.tracker.OutputOriented())
+	res.UnicastInputDelay = summarize(r.tracker.UnicastInputOriented())
+	res.MulticastInputDelay = summarize(r.tracker.MulticastInputOriented())
+	res.InputDelayP99 = r.tracker.InputHistogram().Quantile(0.99)
+	res.AvgQueue = finite(r.occ.Average())
+	res.MaxQueue = r.occ.Maximum()
+	res.Rounds = summarize(&r.rounds)
+	res.AvgBufferBytes = finite(r.bytes.Mean())
+	res.PeakBufferBytes = r.peak.Value()
+	if measured := slot - warmup; measured > 0 {
+		res.Throughput = float64(r.delivered) / float64(measured) / float64(r.sw.Ports())
+	}
+	return res
+}
+
+// tick simulates one slot: arrivals, switch step, sampling.
+func (r *Runner) tick(slot, warmup int64) {
+	for in, src := range r.sources {
+		dests := src.Next(slot)
+		if dests == nil {
+			continue
+		}
+		r.nextID++
+		p := &cell.Packet{ID: r.nextID, Input: in, Arrival: slot, Dests: dests}
+		if slot >= warmup {
+			r.offeredPackets++
+			r.offeredCopies += int64(p.Fanout())
+		}
+		r.tracker.Arrive(p) // tracker self-filters pre-warmup arrivals
+		r.sw.Arrive(p)
+	}
+
+	busy := r.sw.BufferedCells() > 0
+	var slotDelivered int64
+	r.sw.Step(slot, func(d cell.Delivery) {
+		slotDelivered++
+		if d.Slot >= warmup {
+			r.delivered++
+		}
+		r.tracker.Deliver(d)
+	})
+	if r.series != nil {
+		rounds := 0
+		if rr, ok := r.sw.(RoundsReporter); ok {
+			rounds = rr.LastRounds()
+		}
+		r.series.observe(slot, r.sw, slotDelivered, rounds)
+	}
+
+	if slot >= warmup {
+		r.occ.Sample(r.sw.QueueSizes(r.sizes))
+		if rr, ok := r.sw.(RoundsReporter); ok && busy {
+			r.rounds.Add(float64(rr.LastRounds()))
+		}
+		if br, ok := r.sw.(BytesReporter); ok {
+			total := br.BufferedBytes()
+			r.bytes.Add(float64(total) / float64(r.sw.Ports()))
+			r.peak.Observe(total)
+		}
+	}
+}
+
+// Describe renders the headline numbers of a Results for logs.
+func (res Results) Describe() string {
+	state := "stable"
+	if res.Unstable {
+		state = fmt.Sprintf("UNSTABLE@%d", res.UnstableAt)
+	}
+	return fmt.Sprintf("%s %s load=%.3f: inDelay=%.2f outDelay=%.2f avgQ=%.2f maxQ=%d thr=%.3f rounds=%.2f [%s]",
+		res.Algorithm, res.Pattern, res.Load,
+		res.InputDelay.Mean, res.OutputDelay.Mean, res.AvgQueue, res.MaxQueue,
+		res.Throughput, res.Rounds.Mean, state)
+}
+
+// SaturatedDelay is the delay value reported in tables for unstable
+// points, where the true expectation is unbounded.
+func SaturatedDelay() float64 { return math.Inf(1) }

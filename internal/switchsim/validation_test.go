@@ -1,0 +1,99 @@
+package switchsim
+
+// Validation against closed-form queueing theory: the regimes where
+// exact answers are known must come out right, or every other number
+// the simulator produces is suspect.
+
+import (
+	"math"
+	"testing"
+
+	"voqsim/internal/analytic"
+	"voqsim/internal/core"
+	"voqsim/internal/oq"
+	"voqsim/internal/tatra"
+	"voqsim/internal/traffic"
+	"voqsim/internal/xrand"
+)
+
+// runUnicast simulates one architecture under uniform Bernoulli
+// unicast traffic at arrival probability p per input.
+func runUnicast(t *testing.T, sw Switch, p float64, slots int64, seed uint64) Results {
+	t.Helper()
+	pat := traffic.Uniform{P: p, MaxFanout: 1}
+	return New(sw, pat, Config{Slots: slots, Seed: seed}, xrand.New(seed)).Run("validation")
+}
+
+func TestOQDelayMatchesKarolFormula(t *testing.T) {
+	// Karol/Hluchyj/Morgan 1987: mean delay of an output-queued switch
+	// under uniform Bernoulli unicast traffic is
+	// 1 + (N-1)/N * p / (2(1-p)). Check at several loads.
+	const n = 16
+	for _, p := range []float64{0.3, 0.5, 0.7, 0.9} {
+		res := runUnicast(t, oq.New(n), p, 400_000, 42)
+		if res.Unstable {
+			t.Fatalf("OQ unstable at admissible load %v", p)
+		}
+		want := analytic.OQDelay(n, p)
+		got := res.OutputDelay.Mean
+		if math.Abs(got-want) > 0.05*want+0.02 {
+			t.Errorf("p=%v: simulated OQ delay %.4f vs theory %.4f", p, got, want)
+		}
+	}
+}
+
+func TestHOLSaturationNearTheory(t *testing.T) {
+	// The single-input-queued switch must sustain loads below the HOL
+	// bound and fail above it. For N=16 the bound is a bit above the
+	// asymptotic 0.586.
+	const n = 16
+	below := runUnicast(t, tatra.New(n), 0.52, 150_000, 7)
+	if below.Unstable {
+		t.Errorf("TATRA unstable at load 0.52, below the HOL bound %.3f", analytic.HOLSaturation())
+	}
+	above := runUnicast(t, tatra.New(n), 0.70, 150_000, 7)
+	if !above.Unstable {
+		t.Errorf("TATRA stable at load 0.70, above the HOL bound %.3f", analytic.HOLSaturation())
+	}
+}
+
+func TestFIFOMSFullThroughputUnicast(t *testing.T) {
+	// The paper's 100%-throughput claim: FIFOMS (VOQ, no HOL blocking)
+	// sustains uniform unicast load well past the HOL bound.
+	const n = 16
+	res := runUnicast(t, core.NewSwitch(n, &core.FIFOMS{}, xrand.New(9)), 0.95, 150_000, 9)
+	if res.Unstable {
+		t.Errorf("FIFOMS unstable at unicast load 0.95")
+	}
+	if math.Abs(res.Throughput-0.95) > 0.02 {
+		t.Errorf("FIFOMS throughput %.4f, want ~0.95", res.Throughput)
+	}
+}
+
+func TestFIFOMSFullThroughputMulticast(t *testing.T) {
+	// Uniformly distributed multicast traffic at 95% offered load must
+	// also be sustained (Section VI, second bullet).
+	const n = 16
+	pat := traffic.Bernoulli{P: 0.95 / (0.2 * n), B: 0.2}
+	sw := core.NewSwitch(n, &core.FIFOMS{}, xrand.New(11))
+	res := New(sw, pat, Config{Slots: 150_000, Seed: 11}, xrand.New(11)).Run("fifoms")
+	if res.Unstable {
+		t.Errorf("FIFOMS unstable at multicast load 0.95")
+	}
+	if math.Abs(res.Throughput-0.95) > 0.02 {
+		t.Errorf("FIFOMS multicast throughput %.4f, want ~0.95", res.Throughput)
+	}
+}
+
+func TestOQBelowEveryInputQueuedDesign(t *testing.T) {
+	// The OQ switch is the performance benchmark: no input-queued
+	// architecture may beat its mean input-oriented delay under
+	// identical unicast traffic (work conservation argument).
+	const n, p = 16, 0.8
+	oqRes := runUnicast(t, oq.New(n), p, 120_000, 5)
+	fifomsRes := runUnicast(t, core.NewSwitch(n, &core.FIFOMS{}, xrand.New(5)), p, 120_000, 5)
+	if fifomsRes.InputDelay.Mean < oqRes.InputDelay.Mean*0.98 {
+		t.Errorf("FIFOMS delay %.4f beats the OQ bound %.4f under unicast",
+			fifomsRes.InputDelay.Mean, oqRes.InputDelay.Mean)
+	}
+}

@@ -1,0 +1,83 @@
+package traffic
+
+import "fmt"
+
+// The evaluation sweeps hold a pattern's shape parameters fixed and
+// vary one free parameter to hit a target effective load. These
+// constructors invert the load formulas of Section V so experiment
+// definitions can be written directly in terms of load, exactly as the
+// paper's figure axes are.
+
+// BernoulliAtLoad returns the Bernoulli pattern with per-output
+// probability b whose effective load on an n-port switch equals load
+// (solving load = p*b*n for p). It errors when the required p would
+// exceed 1, i.e. the load is not offerable with this b.
+func BernoulliAtLoad(load, b float64, n int) (Bernoulli, error) {
+	if load <= 0 || b <= 0 || b > 1 || n <= 0 {
+		return Bernoulli{}, fmt.Errorf("traffic: bad BernoulliAtLoad(load=%v, b=%v, n=%d)", load, b, n)
+	}
+	p := load / (b * float64(n))
+	if p > 1+1e-12 {
+		return Bernoulli{}, fmt.Errorf("traffic: load %v unreachable with b=%v, n=%d (needs p=%v)", load, b, n, p)
+	}
+	if p > 1 {
+		p = 1
+	}
+	return Bernoulli{P: p, B: b}, nil
+}
+
+// UniformAtLoad returns the Uniform pattern with the given maxFanout
+// whose effective load equals load (solving load = p*(1+maxFanout)/2).
+func UniformAtLoad(load float64, maxFanout, n int) (Uniform, error) {
+	if load <= 0 || maxFanout < 1 || maxFanout > n {
+		return Uniform{}, fmt.Errorf("traffic: bad UniformAtLoad(load=%v, maxFanout=%d, n=%d)", load, maxFanout, n)
+	}
+	p := 2 * load / (1 + float64(maxFanout))
+	if p > 1+1e-12 {
+		return Uniform{}, fmt.Errorf("traffic: load %v unreachable with maxFanout=%d (needs p=%v)", load, maxFanout, p)
+	}
+	if p > 1 {
+		p = 1
+	}
+	return Uniform{P: p, MaxFanout: maxFanout}, nil
+}
+
+// BurstAtLoad returns the Burst pattern with the given b and mean
+// on-length eOn whose effective load equals load, solving
+// load = b*n*eOn/(eOff+eOn) for eOff. The paper's Figure 8 uses
+// b = 0.5 and eOn = 16. The load must be below b*n (the on-state
+// offered rate); at load == b*n the off state vanishes (eOff = 0).
+func BurstAtLoad(load, b, eOn float64, n int) (Burst, error) {
+	if load <= 0 || b <= 0 || b > 1 || eOn < 1 || n <= 0 {
+		return Burst{}, fmt.Errorf("traffic: bad BurstAtLoad(load=%v, b=%v, eOn=%v, n=%d)", load, b, eOn, n)
+	}
+	peak := b * float64(n)
+	if load > peak+1e-12 {
+		return Burst{}, fmt.Errorf("traffic: load %v exceeds burst peak rate %v", load, peak)
+	}
+	eOff := peak*eOn/load - eOn
+	if eOff < 0 {
+		eOff = 0
+	}
+	return Burst{EOff: eOff, EOn: eOn, B: b}, nil
+}
+
+// MixedAtLoad returns the Mixed pattern with the given multicast
+// fraction and maxFanout whose effective load equals load.
+func MixedAtLoad(load, multicastFrac float64, maxFanout, n int) (Mixed, error) {
+	if load <= 0 || maxFanout < 2 || maxFanout > n || multicastFrac < 0 || multicastFrac > 1 {
+		return Mixed{}, fmt.Errorf("traffic: bad MixedAtLoad(load=%v, mc=%v, maxFanout=%d, n=%d)",
+			load, multicastFrac, maxFanout, n)
+	}
+	m := Mixed{MulticastFrac: multicastFrac, MaxFanout: maxFanout}
+	p := load / m.MeanFanout(n)
+	if p > 1+1e-12 {
+		return Mixed{}, fmt.Errorf("traffic: load %v unreachable with mc=%v, maxFanout=%d (needs p=%v)",
+			load, multicastFrac, maxFanout, p)
+	}
+	if p > 1 {
+		p = 1
+	}
+	m.P = p
+	return m, nil
+}

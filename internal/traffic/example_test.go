@@ -1,0 +1,40 @@
+package traffic_test
+
+import (
+	"fmt"
+
+	"voqsim/internal/traffic"
+	"voqsim/internal/xrand"
+)
+
+// ExampleBernoulli shows the paper's load formula for its Bernoulli
+// multicast model: effective load = p*b*N.
+func ExampleBernoulli() {
+	pat := traffic.Bernoulli{P: 0.25, B: 0.2}
+	fmt.Printf("%s load=%.2f meanFanout=%.1f\n", pat, pat.EffectiveLoad(16), pat.MeanFanout(16))
+	// Output:
+	// bernoulli(p=0.25,b=0.2) load=0.80 meanFanout=3.2
+}
+
+// ExampleBernoulliAtLoad inverts the formula: give a target load, get
+// the pattern.
+func ExampleBernoulliAtLoad() {
+	pat, err := traffic.BernoulliAtLoad(0.8, 0.2, 16)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("p=%.4g\n", pat.P)
+	// Output:
+	// p=0.25
+}
+
+// ExampleRecord captures a reproducible arrival trace that can be
+// replayed through any scheduler.
+func ExampleRecord() {
+	tr := traffic.Record(traffic.Uniform{P: 0.5, MaxFanout: 2}, 4, 100, xrand.New(7))
+	fmt.Printf("n=%d slots=%d arrivals>0=%v\n", tr.N, tr.Slots, len(tr.Arrivals) > 0)
+	fmt.Printf("replayable=%v\n", tr.Pattern().EffectiveLoad(4) > 0)
+	// Output:
+	// n=4 slots=100 arrivals>0=true
+	// replayable=true
+}

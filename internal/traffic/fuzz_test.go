@@ -1,0 +1,75 @@
+package traffic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"voqsim/internal/xrand"
+)
+
+// FuzzReadTrace drives the trace parser with arbitrary byte strings:
+// it must never panic and never return a structurally invalid trace.
+// Run indefinitely with `go test -fuzz FuzzReadTrace ./internal/traffic`;
+// under plain `go test` only the seed corpus runs.
+func FuzzReadTrace(f *testing.F) {
+	// Seed with a valid trace and a few near-misses.
+	var valid bytes.Buffer
+	_ = Record(Bernoulli{P: 0.5, B: 0.3}, 4, 20, xrand.New(1)).Write(&valid)
+	f.Add(valid.Bytes())
+	f.Add([]byte(`{"n":4,"slots":10}` + "\n" + `{"slot":1,"input":0,"dests":[0]}` + "\n"))
+	f.Add([]byte(`{"n":-1,"slots":10}`))
+	f.Add([]byte(`{"n":4,"slots":10}` + "\n" + `{"slot":99,"input":0,"dests":[0]}`))
+	f.Add([]byte("{"))
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything accepted must satisfy the documented invariants.
+		if tr.N <= 0 || tr.Slots < 0 {
+			t.Fatalf("accepted invalid header: n=%d slots=%d", tr.N, tr.Slots)
+		}
+		for i, a := range tr.Arrivals {
+			if a.Slot < 0 || a.Slot >= tr.Slots || a.Input < 0 || a.Input >= tr.N || len(a.Dests) == 0 {
+				t.Fatalf("accepted invalid arrival %d: %+v", i, a)
+			}
+			for _, d := range a.Dests {
+				if d < 0 || d >= tr.N {
+					t.Fatalf("accepted out-of-range destination in arrival %d", i)
+				}
+			}
+		}
+		// An accepted trace must replay without panicking.
+		src := tr.Pattern().NewSource(tr.N, 0, nil)
+		for slot := int64(0); slot < tr.Slots && slot < 64; slot++ {
+			src.Next(slot)
+		}
+	})
+}
+
+// FuzzTraceRoundTrip checks Write/ReadTrace inverse-ness on traces
+// whose shape is driven by the fuzzer.
+func FuzzTraceRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint8(4), uint8(16))
+	f.Add(uint64(42), uint8(1), uint8(1))
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw, slotsRaw uint8) {
+		n := int(nRaw%16) + 1
+		slots := int64(slotsRaw%64) + 1
+		tr := Record(Uniform{P: 0.5, MaxFanout: n}, n, slots, xrand.New(seed))
+		var buf strings.Builder
+		if err := tr.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadTrace(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("round trip rejected own output: %v", err)
+		}
+		if got.N != tr.N || got.Slots != tr.Slots || len(got.Arrivals) != len(tr.Arrivals) {
+			t.Fatalf("round trip mismatch: %d/%d/%d vs %d/%d/%d",
+				got.N, got.Slots, len(got.Arrivals), tr.N, tr.Slots, len(tr.Arrivals))
+		}
+	})
+}

@@ -1,0 +1,148 @@
+package traffic
+
+import (
+	"fmt"
+
+	"voqsim/internal/destset"
+	"voqsim/internal/xrand"
+)
+
+// Non-uniform arrival patterns. The paper's evaluation (and its 100%
+// throughput claim) is for uniformly distributed traffic; these two
+// classic stress patterns from the switch-scheduling literature let
+// the extension experiments probe the regime the paper leaves open.
+
+// Hotspot is multicast Bernoulli traffic with one over-subscribed
+// output: an arrival includes the hot output with probability BHot and
+// every other output with probability BCold. BHot > BCold skews load
+// toward the hot output, the classic "hotspot" pattern. An all-empty
+// draw counts as no arrival (as for Bernoulli).
+type Hotspot struct {
+	P     float64 // arrival probability per input per slot
+	BHot  float64 // inclusion probability of output HotOut
+	BCold float64 // inclusion probability of every other output
+	// HotOut selects the hot output (default 0).
+	HotOut int
+}
+
+// NewSource implements Pattern.
+func (t Hotspot) NewSource(n, input int, r *xrand.Rand) Source {
+	validateProb("hotspot p", t.P)
+	validateProb("hotspot bHot", t.BHot)
+	validateProb("hotspot bCold", t.BCold)
+	if t.HotOut < 0 || t.HotOut >= n {
+		panic(fmt.Sprintf("traffic: hotspot output %d outside [0,%d)", t.HotOut, n))
+	}
+	return &hotspotSource{p: t.P, bHot: t.BHot, bCold: t.BCold, hot: t.HotOut, n: n, r: r}
+}
+
+// EffectiveLoad implements Pattern: the load on the *hot* output —
+// the binding constraint for stability — to which all n inputs
+// contribute P*BHot each.
+func (t Hotspot) EffectiveLoad(n int) float64 { return float64(n) * t.P * t.BHot }
+
+// ColdLoad returns the per-output load away from the hotspot on an
+// n-port switch.
+func (t Hotspot) ColdLoad(n int) float64 { return float64(n) * t.P * t.BCold }
+
+// MeanFanout implements Pattern.
+func (t Hotspot) MeanFanout(n int) float64 {
+	return t.BHot + float64(n-1)*t.BCold
+}
+
+func (t Hotspot) String() string {
+	return fmt.Sprintf("hotspot(p=%.4g,bHot=%.4g,bCold=%.4g,out=%d)", t.P, t.BHot, t.BCold, t.HotOut)
+}
+
+type hotspotSource struct {
+	p, bHot, bCold float64
+	hot, n         int
+	r              *xrand.Rand
+}
+
+func (s *hotspotSource) Next(int64) *destset.Set {
+	if !s.r.Bool(s.p) {
+		return nil
+	}
+	d := destset.New(s.n)
+	for out := 0; out < s.n; out++ {
+		b := s.bCold
+		if out == s.hot {
+			b = s.bHot
+		}
+		if s.r.Bool(b) {
+			d.Add(out)
+		}
+	}
+	if d.Empty() {
+		return nil
+	}
+	return d
+}
+
+// HotspotAtLoad fixes the skew ratio BHot/BCold = skew (>= 1) and
+// solves the free parameters so the hot output carries the target
+// load (n*P*BHot = load) while every cold output carries load/skew.
+// The remaining freedom is spent on a mean fanout of about 2: BHot is
+// set so BHot*(1 + (n-1)/skew) = 2 (clamped to keep the arrival
+// probability at most 1), which keeps the traffic recognisably
+// multicast at every load.
+func HotspotAtLoad(load, skew float64, n int) (Hotspot, error) {
+	if load <= 0 || load > 1 || skew < 1 || n < 2 {
+		return Hotspot{}, fmt.Errorf("traffic: bad HotspotAtLoad(load=%v, skew=%v, n=%d)", load, skew, n)
+	}
+	bHot := 2 / (1 + float64(n-1)/skew)
+	if bHot > 1 {
+		bHot = 1
+	}
+	if min := load / float64(n); bHot < min {
+		bHot = min // keep P <= 1
+	}
+	return Hotspot{P: load / (float64(n) * bHot), BHot: bHot, BCold: bHot / skew}, nil
+}
+
+// Diagonal is the classic non-uniform *unicast* pattern: input i sends
+// two thirds of its packets to output i and one third to output
+// (i+1) mod N. Every output still receives aggregate load P, but the
+// demand matrix is maximally lopsided, which defeats schedulers that
+// rely on uniformity (it is a standard hard case for iSLIP-family
+// matchers).
+type Diagonal struct {
+	P float64 // arrival probability per input per slot (= per-output load)
+}
+
+// NewSource implements Pattern.
+func (t Diagonal) NewSource(n, input int, r *xrand.Rand) Source {
+	validateProb("diagonal p", t.P)
+	if n < 2 {
+		panic("traffic: diagonal needs n >= 2")
+	}
+	return &diagonalSource{p: t.P, input: input, n: n, r: r}
+}
+
+// EffectiveLoad implements Pattern: each output j receives 2/3 P from
+// input j and 1/3 P from input j-1.
+func (t Diagonal) EffectiveLoad(int) float64 { return t.P }
+
+// MeanFanout implements Pattern: unicast.
+func (t Diagonal) MeanFanout(int) float64 { return 1 }
+
+func (t Diagonal) String() string { return fmt.Sprintf("diagonal(p=%.4g)", t.P) }
+
+type diagonalSource struct {
+	p     float64
+	input int
+	n     int
+	r     *xrand.Rand
+}
+
+func (s *diagonalSource) Next(int64) *destset.Set {
+	if !s.r.Bool(s.p) {
+		return nil
+	}
+	out := s.input
+	if s.r.Bool(1.0 / 3.0) {
+		out = (s.input + 1) % s.n
+	}
+	return destset.FromMembers(s.n, out)
+}

@@ -1,0 +1,134 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"voqsim/internal/xrand"
+)
+
+func TestHotspotSkewsLoad(t *testing.T) {
+	pat := Hotspot{P: 0.15, BHot: 0.6, BCold: 0.1, HotOut: 3} // hot load 0.72, cold 0.12
+	const n, slots = 8, 40000
+	sources := BuildSources(pat, n, xrand.New(1))
+	perOut := make([]int64, n)
+	for slot := int64(0); slot < slots; slot++ {
+		for _, s := range sources {
+			if d := s.Next(slot); d != nil {
+				d.ForEach(func(out int) { perOut[out]++ })
+			}
+		}
+	}
+	hotPerSlot := float64(perOut[3]) / float64(slots)
+	coldPerSlot := float64(perOut[0]) / float64(slots)
+	// The hot output's load is n*P*BHot, exactly EffectiveLoad.
+	if math.Abs(hotPerSlot-pat.EffectiveLoad(n)) > 0.2 {
+		t.Fatalf("hot output receives %.3f copies/slot, want ~%.3f", hotPerSlot, pat.EffectiveLoad(n))
+	}
+	if math.Abs(coldPerSlot-pat.ColdLoad(n)) > 0.1 {
+		t.Fatalf("cold output receives %.3f copies/slot, want ~%.3f", coldPerSlot, pat.ColdLoad(n))
+	}
+	if hotPerSlot <= 3*coldPerSlot {
+		t.Fatalf("skew missing: hot %.3f vs cold %.3f", hotPerSlot, coldPerSlot)
+	}
+}
+
+func TestHotspotAtLoad(t *testing.T) {
+	pat, err := HotspotAtLoad(0.9, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pat.EffectiveLoad(16)-0.9) > 1e-9 {
+		t.Fatalf("hot load = %v", pat.EffectiveLoad(16))
+	}
+	if math.Abs(pat.ColdLoad(16)-0.225) > 1e-9 {
+		t.Fatalf("cold load = %v", pat.ColdLoad(16))
+	}
+	if pat.P <= 0 || pat.P > 1 {
+		t.Fatalf("arrival probability %v outside (0,1]", pat.P)
+	}
+	// The fanout target keeps the traffic multicast.
+	if f := pat.MeanFanout(16); f < 1.5 || f > 2.5 {
+		t.Fatalf("mean fanout %v, want ~2", f)
+	}
+	low, err := HotspotAtLoad(0.2, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(low.EffectiveLoad(16)-0.2) > 1e-9 {
+		t.Fatalf("low-load hotspot: %+v", low)
+	}
+	for name, args := range map[string][3]float64{
+		"zeroLoad": {0, 4, 16},
+		"overLoad": {1.2, 4, 16},
+		"badSkew":  {0.5, 0.5, 16},
+	} {
+		if _, err := HotspotAtLoad(args[0], args[1], int(args[2])); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+}
+
+func TestDiagonalDemandMatrix(t *testing.T) {
+	pat := Diagonal{P: 0.9}
+	const n, slots = 8, 60000
+	sources := BuildSources(pat, n, xrand.New(2))
+	var own, next, other int64
+	for slot := int64(0); slot < slots; slot++ {
+		for in, s := range sources {
+			d := s.Next(slot)
+			if d == nil {
+				continue
+			}
+			if d.Count() != 1 {
+				t.Fatal("diagonal emitted multicast")
+			}
+			out := d.Min()
+			switch out {
+			case in:
+				own++
+			case (in + 1) % n:
+				next++
+			default:
+				other++
+			}
+		}
+	}
+	if other != 0 {
+		t.Fatalf("%d packets outside the diagonal band", other)
+	}
+	frac := float64(own) / float64(own+next)
+	if math.Abs(frac-2.0/3.0) > 0.02 {
+		t.Fatalf("own-output fraction %.3f, want 2/3", frac)
+	}
+	if got := pat.EffectiveLoad(n); got != 0.9 {
+		t.Fatalf("EffectiveLoad = %v", got)
+	}
+}
+
+func TestNonuniformStrings(t *testing.T) {
+	if got := (Hotspot{P: 0.5, BHot: 0.5, BCold: 0.1}).String(); got != "hotspot(p=0.5,bHot=0.5,bCold=0.1,out=0)" {
+		t.Fatalf("Hotspot String = %q", got)
+	}
+	if got := (Diagonal{P: 0.25}).String(); got != "diagonal(p=0.25)" {
+		t.Fatalf("Diagonal String = %q", got)
+	}
+}
+
+func TestNonuniformValidation(t *testing.T) {
+	r := xrand.New(1)
+	for name, fn := range map[string]func(){
+		"hotspotBadOut": func() { Hotspot{P: 0.5, BHot: 0.5, BCold: 0.1, HotOut: 16}.NewSource(16, 0, r) },
+		"hotspotBadP":   func() { Hotspot{P: -1, BHot: 0.5, BCold: 0.1}.NewSource(16, 0, r) },
+		"diagonalN1":    func() { Diagonal{P: 0.5}.NewSource(1, 0, r) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,112 @@
+package traffic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"voqsim/internal/xrand"
+)
+
+func TestRecordReplayIdentical(t *testing.T) {
+	pat := Bernoulli{P: 0.5, B: 0.2}
+	const n, slots = 8, 500
+	tr := Record(pat, n, slots, xrand.New(42))
+	if len(tr.Arrivals) == 0 {
+		t.Fatal("trace recorded no arrivals")
+	}
+
+	// Replaying must reproduce the recorded process arrival-for-arrival.
+	live := BuildSources(pat, n, xrand.New(42))
+	replay := BuildSources(tr.Pattern(), n, xrand.New(999)) // seed irrelevant for replay
+	for slot := int64(0); slot < slots; slot++ {
+		for in := 0; in < n; in++ {
+			a, b := live[in].Next(slot), replay[in].Next(slot)
+			switch {
+			case a == nil && b == nil:
+			case a != nil && b != nil && a.Equal(b):
+			default:
+				t.Fatalf("slot %d input %d: live %v vs replay %v", slot, in, a, b)
+			}
+		}
+	}
+}
+
+func TestReplayEndsAfterHorizon(t *testing.T) {
+	tr := Record(Bernoulli{P: 1, B: 0.5}, 4, 50, xrand.New(1))
+	src := tr.Pattern().NewSource(4, 0, nil)
+	for slot := int64(0); slot < 50; slot++ {
+		src.Next(slot)
+	}
+	for slot := int64(50); slot < 100; slot++ {
+		if src.Next(slot) != nil {
+			t.Fatal("replay emitted past the recorded horizon")
+		}
+	}
+}
+
+func TestReplayWrongNPanics(t *testing.T) {
+	tr := Record(Bernoulli{P: 0.5, B: 0.5}, 4, 10, xrand.New(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("replay on wrong N did not panic")
+		}
+	}()
+	tr.Pattern().NewSource(8, 0, nil)
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr := Record(Uniform{P: 0.6, MaxFanout: 4}, 8, 200, xrand.New(9))
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != tr.N || got.Slots != tr.Slots || len(got.Arrivals) != len(tr.Arrivals) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, tr)
+	}
+	for i := range tr.Arrivals {
+		a, b := tr.Arrivals[i], got.Arrivals[i]
+		if a.Slot != b.Slot || a.Input != b.Input || len(a.Dests) != len(b.Dests) {
+			t.Fatalf("arrival %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"badHeader":    `{"n":0,"slots":10}` + "\n",
+		"badInput":     `{"n":4,"slots":10}` + "\n" + `{"slot":1,"input":9,"dests":[0]}` + "\n",
+		"badSlot":      `{"n":4,"slots":10}` + "\n" + `{"slot":10,"input":0,"dests":[0]}` + "\n",
+		"emptyDests":   `{"n":4,"slots":10}` + "\n" + `{"slot":1,"input":0,"dests":[]}` + "\n",
+		"badDest":      `{"n":4,"slots":10}` + "\n" + `{"slot":1,"input":0,"dests":[4]}` + "\n",
+		"negativeDest": `{"n":4,"slots":10}` + "\n" + `{"slot":1,"input":0,"dests":[-1]}` + "\n",
+	}
+	for name, raw := range cases {
+		if _, err := ReadTrace(strings.NewReader(raw)); err == nil {
+			t.Fatalf("%s: accepted invalid trace", name)
+		}
+	}
+}
+
+func TestTraceMeasuredStats(t *testing.T) {
+	tr := &Trace{N: 4, Slots: 10, Arrivals: []TraceEntry{
+		{Slot: 0, Input: 0, Dests: []int{0, 1}},
+		{Slot: 1, Input: 1, Dests: []int{2}},
+		{Slot: 5, Input: 2, Dests: []int{0, 1, 3}},
+	}}
+	if got, want := tr.MeasuredLoad(), 6.0/40.0; got != want {
+		t.Fatalf("MeasuredLoad = %v, want %v", got, want)
+	}
+	if got := tr.MeasuredMeanFanout(); got != 2 {
+		t.Fatalf("MeasuredMeanFanout = %v, want 2", got)
+	}
+	empty := &Trace{N: 4, Slots: 0}
+	if empty.MeasuredLoad() != 0 || empty.MeasuredMeanFanout() != 0 {
+		t.Fatal("empty trace stats not zero")
+	}
+}

@@ -1,0 +1,131 @@
+// Package wba implements a Weight-Based Arbitration multicast
+// scheduler in the style of WBA (Prabhakar, McKeown and Ahuja, IEEE
+// JSAC 1997) on a single-input-queued switch. It is an extension
+// baseline beyond the reproduced paper's comparison set: a second
+// multicast scheduler on the same architecture as TATRA, useful for
+// separating "what the VOQ structure buys" from "what the scheduling
+// policy buys".
+//
+// Every slot, each input computes a weight for its head-of-line packet
+// — its age in slots, so older packets weigh more, mirroring WBA's
+// fairness lever — and submits a request carrying that weight to every
+// output in the packet's remaining fanout. Each output independently
+// grants the heaviest request, breaking ties uniformly at random.
+// All grants an input collects are for its single HOL packet, so they
+// can all be served in one slot (fanout splitting: the residue stays
+// at the head and competes again, now older and heavier).
+package wba
+
+import (
+	"fmt"
+
+	"voqsim/internal/cell"
+	"voqsim/internal/destset"
+	"voqsim/internal/fifoq"
+	"voqsim/internal/xrand"
+)
+
+type entry struct {
+	p         *cell.Packet
+	remaining *destset.Set
+}
+
+// Switch is a single-input-queued switch scheduled by weight-based
+// arbitration. It satisfies the simulation engine's Switch interface.
+type Switch struct {
+	n      int
+	queues []fifoq.Queue[*entry]
+	rnd    *xrand.Rand
+}
+
+// New returns an n x n WBA switch drawing tie-break randomness from
+// root.
+func New(n int, root *xrand.Rand) *Switch {
+	if n <= 0 {
+		panic("wba: non-positive switch size")
+	}
+	return &Switch{n: n, queues: make([]fifoq.Queue[*entry], n), rnd: root.Split("wba", 0)}
+}
+
+// Ports returns the switch size N.
+func (s *Switch) Ports() int { return s.n }
+
+// Name identifies the algorithm in reports.
+func (s *Switch) Name() string { return "wba" }
+
+// Arrive appends a packet to its input's FIFO queue.
+func (s *Switch) Arrive(p *cell.Packet) {
+	if p.Input < 0 || p.Input >= s.n {
+		panic(fmt.Sprintf("wba: arrival at invalid input %d", p.Input))
+	}
+	if p.Dests.Count() == 0 {
+		panic("wba: arrival with empty destination set")
+	}
+	s.queues[p.Input].Push(&entry{p: p, remaining: p.Dests.Clone()})
+}
+
+// Step runs one time slot of request/grant arbitration and transfer.
+func (s *Switch) Step(slot int64, deliver func(cell.Delivery)) {
+	for out := 0; out < s.n; out++ {
+		// Grant: heaviest (oldest) HOL request for this output wins;
+		// ties are broken uniformly (reservoir sampling).
+		best := int64(-1)
+		chosen := -1
+		ties := 0
+		for in := 0; in < s.n; in++ {
+			if s.queues[in].Empty() {
+				continue
+			}
+			e := s.queues[in].Front()
+			if !e.remaining.Contains(out) {
+				continue
+			}
+			age := slot - e.p.Arrival
+			switch {
+			case age > best:
+				best, chosen, ties = age, in, 1
+			case age == best:
+				ties++
+				if s.rnd.Intn(ties) == 0 {
+					chosen = in
+				}
+			}
+		}
+		if chosen < 0 {
+			continue
+		}
+		e := s.queues[chosen].Front()
+		e.remaining.Remove(out)
+		deliver(cell.Delivery{ID: e.p.ID, In: chosen, Out: out, Slot: slot, Last: e.remaining.Empty()})
+	}
+
+	// Advance fully served head-of-line packets.
+	for in := 0; in < s.n; in++ {
+		if !s.queues[in].Empty() && s.queues[in].Front().remaining.Empty() {
+			s.queues[in].Pop()
+		}
+	}
+}
+
+// QueueSizes fills dst with the per-input packet counts.
+func (s *Switch) QueueSizes(dst []int) []int {
+	for i := range s.queues {
+		dst[i] = s.queues[i].Len()
+	}
+	return dst
+}
+
+// BufferedCells returns the total queued packets across inputs.
+func (s *Switch) BufferedCells() int64 {
+	var total int64
+	for i := range s.queues {
+		total += int64(s.queues[i].Len())
+	}
+	return total
+}
+
+// BufferedBytes returns the buffer memory in use (see tatra's
+// accounting; the structures are identical).
+func (s *Switch) BufferedBytes() int64 {
+	return s.BufferedCells() * (cell.PayloadSize + cell.AddressCellSize)
+}

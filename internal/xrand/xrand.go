@@ -1,0 +1,205 @@
+// Package xrand provides the deterministic pseudo-random number
+// generation used throughout the simulator.
+//
+// The simulator needs three properties that are awkward to get from
+// math/rand directly:
+//
+//  1. Reproducibility: a run is fully determined by one 64-bit seed, so
+//     experiments can be re-run bit-for-bit and failures can be replayed.
+//  2. Stream independence: every component (each input port's traffic
+//     source, each output port's tie-breaker, ...) draws from its own
+//     statistically independent substream, so adding a consumer never
+//     perturbs the draws seen by another.
+//  3. Speed: a slot of a 16x16 switch makes dozens of draws, and a sweep
+//     makes hundreds of millions; generation must be a handful of
+//     arithmetic ops with no locking.
+//
+// The generator is xoshiro256** (Blackman & Vigna), seeded through a
+// splitmix64 expansion of the user seed. Substreams are derived by
+// hashing a (seed, label, index) triple with splitmix64, which gives
+// independent start states rather than relying on sequence jumping.
+package xrand
+
+import "math"
+
+// splitmix64 advances *state and returns the next output of the
+// splitmix64 generator. It is used both for seed expansion and for
+// substream derivation because it is a strong 64-bit mixer.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Rand is a xoshiro256** pseudo-random number generator. It is not
+// safe for concurrent use; give each goroutine its own Rand (see
+// Split).
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from seed. Two generators created
+// with the same seed produce identical sequences.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed resets the generator to the state it would have had if freshly
+// created with New(seed).
+func (r *Rand) Reseed(seed uint64) {
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&sm)
+	}
+	// A theoretically possible all-zero state would lock the generator
+	// at zero forever; splitmix64 cannot emit four zeros in a row, but
+	// guard anyway so the invariant is local and obvious.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Split derives a new, statistically independent generator identified
+// by (label, index). Deriving the same (label, index) twice from
+// generators with the same seed history yields identical substreams;
+// distinct labels or indices yield unrelated ones. The parent's state
+// is not advanced, so the set of substreams a component derives never
+// depends on derivation order.
+func (r *Rand) Split(label string, index int) *Rand {
+	h := r.s[0] ^ rotl(r.s[2], 31)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		_ = splitmix64(&h)
+	}
+	h ^= uint64(index) * 0xd6e8feb86659fd93
+	child := &Rand{}
+	for i := range child.s {
+		child.s[i] = splitmix64(&h)
+	}
+	if child.s[0]|child.s[1]|child.s[2]|child.s[3] == 0 {
+		child.s[0] = 1
+	}
+	return child
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p. Probabilities outside [0, 1]
+// are clamped.
+func (r *Rand) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+// The implementation uses Lemire's multiply-shift rejection method,
+// which avoids modulo bias without a division in the common case.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	bound := uint64(n)
+	x := r.Uint64()
+	hi, lo := mul64(x, bound)
+	if lo < bound {
+		threshold := -bound % bound
+		for lo < threshold {
+			x = r.Uint64()
+			hi, lo = mul64(x, bound)
+		}
+	}
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t&mask32 + x0*y1
+	hi = x1*y1 + t>>32 + w1>>32
+	lo = x * y
+	return hi, lo
+}
+
+// Perm fills dst with a uniform random permutation of 0..len(dst)-1
+// using the inside-out Fisher-Yates shuffle.
+func (r *Rand) Perm(dst []int) {
+	for i := range dst {
+		j := r.Intn(i + 1)
+		dst[i] = dst[j]
+		dst[j] = i
+	}
+}
+
+// Sample writes a uniform random k-subset of 0..n-1 into dst[:k] in
+// ascending order and returns it. It panics if k > n or k > cap(dst).
+// The implementation is Vitter's selection-sampling (Algorithm S),
+// which runs in O(n) time and O(1) extra space and is unbiased.
+func (r *Rand) Sample(dst []int, n, k int) []int {
+	if k > n {
+		panic("xrand: Sample with k > n")
+	}
+	dst = dst[:0]
+	remaining, needed := n, k
+	for i := 0; needed > 0; i++ {
+		if r.Float64()*float64(remaining) < float64(needed) {
+			dst = append(dst, i)
+			needed--
+		}
+		remaining--
+	}
+	return dst
+}
+
+// Geometric returns a sample from the geometric distribution on
+// {1, 2, ...} with success probability p: the number of Bernoulli(p)
+// trials up to and including the first success. It panics unless
+// 0 < p <= 1. The inversion method keeps it O(1).
+func (r *Rand) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("xrand: Geometric needs 0 < p <= 1")
+	}
+	if p == 1 {
+		return 1
+	}
+	u := r.Float64()
+	// Guard u == 0, whose log would be -Inf.
+	for u == 0 {
+		u = r.Float64()
+	}
+	g := int(math.Ceil(math.Log(1-u) / math.Log(1-p)))
+	if g < 1 {
+		g = 1
+	}
+	return g
+}

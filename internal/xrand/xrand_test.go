@@ -1,0 +1,275 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestReproducible(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("draw %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d identical draws from different seeds", same)
+	}
+}
+
+func TestReseedRestoresSequence(t *testing.T) {
+	r := New(7)
+	first := make([]uint64, 16)
+	for i := range first {
+		first[i] = r.Uint64()
+	}
+	r.Reseed(7)
+	for i := range first {
+		if got := r.Uint64(); got != first[i] {
+			t.Fatalf("draw %d after reseed: got %d want %d", i, got, first[i])
+		}
+	}
+}
+
+func TestSplitIndependentOfOrder(t *testing.T) {
+	a := New(9).Split("traffic", 3)
+	// Derive another substream first; the "traffic"/3 stream must not move.
+	parent := New(9)
+	_ = parent.Split("tiebreak", 0)
+	b := parent.Split("traffic", 3)
+	for i := 0; i < 100; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("draw %d: split stream depends on derivation order", i)
+		}
+	}
+}
+
+func TestSplitStreamsDiffer(t *testing.T) {
+	parent := New(5)
+	a := parent.Split("x", 0)
+	b := parent.Split("x", 1)
+	c := parent.Split("y", 0)
+	same := 0
+	for i := 0; i < 200; i++ {
+		av, bv, cv := a.Uint64(), b.Uint64(), c.Uint64()
+		if av == bv || av == cv || bv == cv {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions across substreams", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v far from 0.5", mean)
+	}
+}
+
+func TestIntnRangeAndUniformity(t *testing.T) {
+	r := New(17)
+	const n, draws = 7, 70000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		v := r.Intn(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	want := float64(draws) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("Intn(%d): value %d drawn %d times, want ~%.0f", n, v, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestBoolEdges(t *testing.T) {
+	r := New(19)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+		if r.Bool(-2) {
+			t.Fatal("Bool(-2) returned true")
+		}
+		if !r.Bool(3) {
+			t.Fatal("Bool(3) returned false")
+		}
+	}
+}
+
+func TestBoolRate(t *testing.T) {
+	r := New(23)
+	const p, n = 0.3, 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(p) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if math.Abs(rate-p) > 0.01 {
+		t.Fatalf("Bool(%v) rate %v", p, rate)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(29)
+	for trial := 0; trial < 50; trial++ {
+		p := make([]int, 10)
+		r.Perm(p)
+		seen := make([]bool, len(p))
+		for _, v := range p {
+			if v < 0 || v >= len(p) || seen[v] {
+				t.Fatalf("not a permutation: %v", p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleProperties(t *testing.T) {
+	r := New(31)
+	f := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		k := int(kRaw) % (n + 1)
+		dst := r.Sample(make([]int, 0, k), n, k)
+		if len(dst) != k {
+			return false
+		}
+		for i, v := range dst {
+			if v < 0 || v >= n {
+				return false
+			}
+			if i > 0 && dst[i-1] >= v {
+				return false // must be strictly ascending (distinct)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleUniform(t *testing.T) {
+	// Each element of 0..9 should appear in a 3-subset with prob 3/10.
+	r := New(37)
+	const draws = 60000
+	counts := make([]int, 10)
+	buf := make([]int, 0, 3)
+	for i := 0; i < draws; i++ {
+		for _, v := range r.Sample(buf, 10, 3) {
+			counts[v]++
+		}
+	}
+	want := float64(draws) * 0.3
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Fatalf("element %d in sample %d times, want ~%.0f", v, c, want)
+		}
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(41)
+	const p, n = 0.25, 100000
+	sum := 0
+	for i := 0; i < n; i++ {
+		g := r.Geometric(p)
+		if g < 1 {
+			t.Fatalf("Geometric returned %d < 1", g)
+		}
+		sum += g
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-1/p) > 0.1 {
+		t.Fatalf("Geometric(%v) mean %v, want %v", p, mean, 1/p)
+	}
+}
+
+func TestGeometricOne(t *testing.T) {
+	r := New(43)
+	for i := 0; i < 100; i++ {
+		if g := r.Geometric(1); g != 1 {
+			t.Fatalf("Geometric(1) = %d", g)
+		}
+	}
+}
+
+func TestMul64(t *testing.T) {
+	cases := []struct{ x, y, hi, lo uint64 }{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{1 << 32, 1 << 32, 1, 0},
+		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.x, c.y)
+		if hi != c.hi || lo != c.lo {
+			t.Fatalf("mul64(%d,%d) = (%d,%d), want (%d,%d)", c.x, c.y, hi, lo, c.hi, c.lo)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn16(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += r.Intn(16)
+	}
+	_ = sink
+}
