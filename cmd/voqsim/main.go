@@ -18,6 +18,8 @@
 //	-seed 1             run seed
 //	-json               print the full report as JSON
 //	-series FILE        write a per-slot backlog time series CSV
+//	-cpuprofile FILE    write a CPU profile of the run (go tool pprof)
+//	-memprofile FILE    write a heap profile at exit
 //
 // Example — the paper's Figure 4 operating point at load 0.8:
 //
@@ -29,6 +31,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"voqsim"
 	"voqsim/internal/experiment"
@@ -51,8 +55,17 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "run seed")
 		asJSON    = flag.Bool("json", false, "print the report as JSON")
 		seriesOut = flag.String("series", "", "also write a per-slot backlog time series CSV to this file")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "voqsim: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 
 	var tr voqsim.Traffic
 	switch *trafficK {
@@ -122,6 +135,42 @@ func main() {
 	fmt.Printf("throughput:           %.4f copies/output/slot\n", report.Throughput)
 	fmt.Printf("completed packets:    %d\n", report.CompletedPackets)
 	fmt.Printf("delivered copies:     %d\n", report.DeliveredCopies)
+}
+
+// startProfiles starts CPU profiling and/or arranges a heap profile,
+// returning a stop function to run when the measured work is done.
+// Either path may be empty. The heap profile is preceded by a GC so it
+// shows live steady-state memory, not garbage awaiting collection.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+			f.Close()
+		}
+	}, nil
 }
 
 // writeSeries re-runs the identical simulation with a series recorder

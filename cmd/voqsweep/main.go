@@ -13,6 +13,7 @@
 //	-n, -slots, -seed, -workers        run setup
 //	-metrics in_delay,avg_queue        metrics to print
 //	-csv FILE / -json FILE             exports
+//	-cpuprofile FILE / -memprofile FILE  pprof profiles of the sweep
 //
 // Example — reproduce Figure 7's delay panel with extension baselines:
 //
@@ -23,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -49,8 +52,16 @@ func main() {
 		csvPath     = flag.String("csv", "", "write long-form CSV to this file")
 		jsonPath    = flag.String("json", "", "write the full table as JSON to this file")
 		configPath  = flag.String("config", "", "run a scenario file instead of flag-built traffic (see internal/scenario)")
+		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf     = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
 
 	if *configPath != "" {
 		runScenario(*configPath, *metricsFlag, *csvPath, *jsonPath)
@@ -105,6 +116,42 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// startProfiles starts CPU profiling and/or arranges a heap profile,
+// returning a stop function to run when the measured work is done.
+// Either path may be empty. The heap profile is preceded by a GC so it
+// shows live steady-state memory, not garbage awaiting collection.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+			f.Close()
+		}
+	}, nil
 }
 
 // runScenario executes a version-controlled scenario file.

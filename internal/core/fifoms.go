@@ -2,7 +2,9 @@ package core
 
 import (
 	"math"
+	"math/bits"
 
+	"voqsim/internal/destset"
 	"voqsim/internal/xrand"
 )
 
@@ -21,6 +23,17 @@ import (
 // they can all stand — this is both what exploits the crossbar's
 // multicast capability and what saves FIFOMS one message exchange per
 // round compared to iSLIP/PIM.
+//
+// The implementation is the word-parallel kernel described in
+// DESIGN.md § Match kernel: it reads the switch's cached flat HOL
+// state (Switch.holTS / occIn) instead of chasing address-cell
+// pointers, keeps every port set and request set as packed uint64
+// words, and after the first round recomputes requests only for inputs
+// whose request mask intersects the outputs reserved in the previous
+// round. The grant step visits only actual requesters of each output
+// via the transposed request bitmap. legacyFIFOMS preserves the
+// original O(N³) kernel, and the differential test pins this one to it
+// bit for bit.
 //
 // The zero value is ready to use; FIFOMS keeps no state between slots
 // (its fairness comes entirely from time stamps).
@@ -46,13 +59,20 @@ type FIFOMS struct {
 	// which avoid systematic port bias.
 	DeterministicTies bool
 
-	// scratch, sized on first use
-	inputFree  []bool
-	outputFree []bool
-	minTS      []int64
-	granted    []int // per-output provisional grant within a round
-	tieCount   []int
-	reqOuts    []int // scratch for the no-splitting variant
+	// Scratch, sized on first use. Every slice below is allocated
+	// together under the single scratchN guard — sizing them from
+	// independent length checks once let an arbiter reused across
+	// switch sizes alias stale scratch (see TestFIFOMSReuseAcrossSizes).
+	scratchN int
+	words    int      // word stride: destset.WordsPerRow(scratchN)
+	minTS    []int64  // per input: requested time stamp, -1 = no request
+	reqMask  []uint64 // [n×words] per-input requested-output mask
+	reqT     []uint64 // [n×words] per-output requester mask (transpose)
+	inFree   []uint64 // [words] free-input set
+	outFree  []uint64 // [words] free-output set
+	reserved []uint64 // [words] outputs reserved in the previous round
+	granted  []int    // per-output provisional grant within a round
+	grants   []int    // outputs granted in the current round
 }
 
 // Name implements Arbiter.
@@ -67,185 +87,411 @@ func (f *FIFOMS) Name() string {
 // queue structure.
 func (f *FIFOMS) Mode() PreprocessMode { return ModeShared }
 
+// ensure sizes all scratch for an n-port switch. scratchN is the only
+// guard: either every slice is rebuilt for n or none is, so a FIFOMS
+// reused across switches of different sizes can never mix strides.
 func (f *FIFOMS) ensure(n int) {
-	if len(f.inputFree) == n {
+	if f.scratchN == n {
 		return
 	}
-	f.inputFree = make([]bool, n)
-	f.outputFree = make([]bool, n)
+	f.scratchN = n
+	f.words = destset.WordsPerRow(n)
 	f.minTS = make([]int64, n)
+	f.reqMask = make([]uint64, n*f.words)
+	f.reqT = make([]uint64, n*f.words)
+	f.inFree = make([]uint64, f.words)
+	f.outFree = make([]uint64, f.words)
+	f.reserved = make([]uint64, f.words)
 	f.granted = make([]int, n)
-	f.tieCount = make([]int, n)
-	f.reqOuts = make([]int, 0, n)
+	f.grants = make([]int, 0, n)
+}
+
+// fillOnes sets the first n bits of the word slice.
+func fillOnes(ws []uint64, n int) {
+	for i := range ws {
+		ws[i] = ^uint64(0)
+	}
+	if r := n & 63; r != 0 {
+		ws[len(ws)-1] = 1<<uint(r) - 1
+	}
 }
 
 // Match implements Arbiter.
 func (f *FIFOMS) Match(s *Switch, _ int64, r *xrand.Rand, m *Matching) {
 	n := s.Ports()
 	f.ensure(n)
-	for i := 0; i < n; i++ {
-		f.inputFree[i] = true
-		f.outputFree[i] = true
-	}
+	fillOnes(f.inFree, n)
+	fillOnes(f.outFree, n)
 
 	maxRounds := f.MaxRounds
 	if maxRounds <= 0 {
 		maxRounds = math.MaxInt
 	}
 
+	if f.NoFanoutSplitting {
+		f.matchNoSplit(s, n, maxRounds, r, m)
+		return
+	}
+
+	w := f.words
 	for round := 0; round < maxRounds; round++ {
-		// Request step: each free input locates the smallest HOL time
-		// stamp over its free-output VOQs (Table 2's
-		// smallest_time_stamp). The no-splitting variant instead
-		// identifies its oldest packet over *all* VOQs — under
-		// all-or-nothing delivery that packet's cells are necessarily
-		// at the HOL of every VOQ it occupies — and only requests when
-		// every one of its destinations is free.
-		for in := 0; in < n; in++ {
-			f.minTS[in] = -1
-			if !f.inputFree[in] {
-				continue
-			}
-			best := int64(math.MaxInt64)
-			found := false
-			for out := 0; out < n; out++ {
-				if !f.NoFanoutSplitting && !f.outputFree[out] {
-					continue
-				}
-				if hol := s.HOL(in, out); hol != nil && hol.TimeStamp < best {
-					best = hol.TimeStamp
-					found = true
-				}
-			}
-			if found {
-				f.minTS[in] = best
-			}
-		}
-
-		if f.NoFanoutSplitting {
-			f.filterNonSplittable(s, n)
-		}
-
-		// Grant step: each free output grants the smallest-time-stamp
-		// request, ties broken uniformly at random (reservoir sampling
-		// keeps it single-pass).
-		anyGrant := false
-		for out := 0; out < n; out++ {
-			f.granted[out] = None
-			if !f.outputFree[out] {
-				continue
-			}
-			bestTS := int64(math.MaxInt64)
+		// Request step. Round 0 computes every input's request mask
+		// from the cached HOL state. Later rounds are incremental: VOQ
+		// occupancy cannot change inside Match and the free-output set
+		// only shrinks, so a still-free input's smallest stamp — and
+		// therefore its mask — changes only if the previous round
+		// reserved one of the outputs it was requesting.
+		if round == 0 {
 			for in := 0; in < n; in++ {
-				if f.minTS[in] < 0 {
-					continue
-				}
-				hol := s.HOL(in, out)
-				if hol == nil || hol.TimeStamp != f.minTS[in] {
-					continue // this input did not request this output
-				}
-				switch {
-				case hol.TimeStamp < bestTS:
-					bestTS = hol.TimeStamp
-					f.granted[out] = in
-					f.tieCount[out] = 1
-				case hol.TimeStamp == bestTS:
-					// Equal stamps: keep the lowest index in
-					// deterministic mode (the first one found, since
-					// inputs are scanned in order); otherwise sample
-					// uniformly over the ties.
-					if !f.DeterministicTies {
-						f.tieCount[out]++
-						if r.Intn(f.tieCount[out]) == 0 {
-							f.granted[out] = in
+				f.computeRequest(s, in)
+			}
+		} else {
+			for wi := 0; wi < w; wi++ {
+				fw := f.inFree[wi]
+				for fw != 0 {
+					in := wi<<6 + bits.TrailingZeros64(fw)
+					fw &= fw - 1
+					if f.minTS[in] < 0 {
+						continue // no candidates before, none now
+					}
+					row := f.reqMask[in*w : in*w+w]
+					hit := false
+					for i := range row {
+						if row[i]&f.reserved[i] != 0 {
+							hit = true
+							break
 						}
+					}
+					if !hit {
+						continue // mask untouched by last round's grants
+					}
+					nonzero := false
+					for i := range row {
+						row[i] &^= f.reserved[i]
+						if row[i] != 0 {
+							nonzero = true
+						}
+					}
+					if !nonzero {
+						// Every requested output was taken; the input
+						// falls back to its next-smallest stamp.
+						f.computeRequest(s, in)
 					}
 				}
 			}
-			if f.granted[out] != None {
-				anyGrant = true
-			}
 		}
-		if !anyGrant {
+
+		// Transpose the per-input masks into per-output requester sets.
+		if !f.buildTranspose() {
+			break // no requests, hence no grants: converged
+		}
+
+		// Grant step over actual requesters only.
+		if !f.grantStep(r) {
 			break
 		}
 
-		if f.NoFanoutSplitting {
-			f.withdrawPartialGrants(s, n)
-			anyGrant = false
-			for out := 0; out < n; out++ {
-				if f.granted[out] != None {
-					anyGrant = true
-				}
-			}
-			if !anyGrant {
-				// All grants this round were partial and withdrawn; a
-				// further round would recompute the identical request
-				// set, so the slot has converged.
-				m.Rounds++
-				break
-			}
-		}
-
 		// Reserve the matched ports and record the grants.
-		for out := 0; out < n; out++ {
+		clear(f.reserved)
+		for _, out := range f.grants {
 			in := f.granted[out]
-			if in == None {
-				continue
-			}
 			m.OutIn[out] = in
-			f.outputFree[out] = false
-			f.inputFree[in] = false
+			f.outFree[out>>6] &^= 1 << uint(out&63)
+			f.reserved[out>>6] |= 1 << uint(out&63)
+			f.inFree[in>>6] &^= 1 << uint(in&63)
 		}
 		m.Rounds++
 	}
 }
 
-// filterNonSplittable clears the requests of inputs whose oldest
-// packet cannot currently reach *all* of its remaining destinations
-// (some destination output is already reserved this slot).
-func (f *FIFOMS) filterNonSplittable(s *Switch, n int) {
-	for in := 0; in < n; in++ {
-		if f.minTS[in] < 0 {
-			continue
-		}
-		// The oldest packet's remaining destinations are exactly the
-		// VOQs whose HOL carries minTS (younger siblings queue behind).
-		for out := 0; out < n; out++ {
-			if hol := s.HOL(in, out); hol != nil && hol.TimeStamp == f.minTS[in] && !f.outputFree[out] {
-				f.minTS[in] = -1
-				break
+// computeRequest fills input in's request state for the splitting
+// discipline: the smallest HOL stamp over its non-empty VOQs whose
+// outputs are still free, and the mask of outputs holding that stamp
+// (Table 2's smallest_time_stamp). Candidates are enumerated word by
+// word from the occupancy-AND-free intersection.
+func (f *FIFOMS) computeRequest(s *Switch, in int) {
+	w := f.words
+	occ := s.occIn[in*w : in*w+w]
+	mask := f.reqMask[in*w : in*w+w]
+	base := in * s.n
+	best := emptyHOL
+	for i := range mask {
+		mask[i] = 0
+	}
+	for wi := 0; wi < w; wi++ {
+		cand := occ[wi] & f.outFree[wi]
+		bitsBase := wi << 6
+		for cand != 0 {
+			out := bitsBase + bits.TrailingZeros64(cand)
+			cand &= cand - 1
+			switch ts := s.holTS[base+out]; {
+			case ts < best:
+				best = ts
+				for i := 0; i <= wi; i++ {
+					mask[i] = 0
+				}
+				mask[wi] = 1 << uint(out&63)
+			case ts == best:
+				mask[wi] |= 1 << uint(out&63)
 			}
+		}
+	}
+	if best == emptyHOL {
+		f.minTS[in] = -1
+		return
+	}
+	f.minTS[in] = best
+}
+
+// computeRequestAll is computeRequest without the free-output filter:
+// the no-splitting variant identifies its oldest packet over *all*
+// VOQs (under all-or-nothing delivery that packet's cells are
+// necessarily at the HOL of every VOQ it occupies).
+func (f *FIFOMS) computeRequestAll(s *Switch, in int) {
+	w := f.words
+	occ := s.occIn[in*w : in*w+w]
+	mask := f.reqMask[in*w : in*w+w]
+	base := in * s.n
+	best := emptyHOL
+	for i := range mask {
+		mask[i] = 0
+	}
+	for wi := 0; wi < w; wi++ {
+		cand := occ[wi]
+		bitsBase := wi << 6
+		for cand != 0 {
+			out := bitsBase + bits.TrailingZeros64(cand)
+			cand &= cand - 1
+			switch ts := s.holTS[base+out]; {
+			case ts < best:
+				best = ts
+				for i := 0; i <= wi; i++ {
+					mask[i] = 0
+				}
+				mask[wi] = 1 << uint(out&63)
+			case ts == best:
+				mask[wi] |= 1 << uint(out&63)
+			}
+		}
+	}
+	if best == emptyHOL {
+		f.minTS[in] = -1
+		return
+	}
+	f.minTS[in] = best
+}
+
+// buildTranspose rebuilds reqT — for every output, the set of free
+// inputs requesting it — from the per-input masks, and reports whether
+// any request exists at all.
+func (f *FIFOMS) buildTranspose() bool {
+	w := f.words
+	clear(f.reqT)
+	any := false
+	for wi := 0; wi < w; wi++ {
+		fw := f.inFree[wi]
+		for fw != 0 {
+			in := wi<<6 + bits.TrailingZeros64(fw)
+			fw &= fw - 1
+			if f.minTS[in] < 0 {
+				continue
+			}
+			any = true
+			f.scatterRow(in)
+		}
+	}
+	return any
+}
+
+// scatterRow sets input in's bit in reqT for every output of its
+// request mask.
+func (f *FIFOMS) scatterRow(in int) {
+	w := f.words
+	row := f.reqMask[in*w : in*w+w]
+	iword, ibit := in>>6, uint64(1)<<uint(in&63)
+	for mw := 0; mw < w; mw++ {
+		mv := row[mw]
+		base := mw << 6
+		for mv != 0 {
+			out := base + bits.TrailingZeros64(mv)
+			mv &= mv - 1
+			f.reqT[out*w+iword] |= ibit
 		}
 	}
 }
 
-// withdrawPartialGrants enforces all-or-nothing delivery for the
-// no-splitting ablation: if any requested output of an input's packet
-// was granted to someone else, the input's grants this round are
-// withdrawn (the packet waits whole).
-func (f *FIFOMS) withdrawPartialGrants(s *Switch, n int) {
-	for in := 0; in < n; in++ {
-		if f.minTS[in] < 0 {
-			continue
-		}
-		f.reqOuts = f.reqOuts[:0]
-		complete := true
-		for out := 0; out < n; out++ {
-			hol := s.HOL(in, out)
-			if hol == nil || hol.TimeStamp != f.minTS[in] || !f.outputFree[out] {
-				continue
+// grantStep runs one grant round: every free output picks the
+// smallest-stamp requester from its reqT set, ties broken uniformly at
+// random (reservoir sampling keeps it single-pass; the scan order is
+// ascending input index, matching the reference kernel's RNG draw
+// sequence exactly). It records grants in granted/grants and reports
+// whether any output granted.
+func (f *FIFOMS) grantStep(r *xrand.Rand) bool {
+	w := f.words
+	f.grants = f.grants[:0]
+	for wi := 0; wi < w; wi++ {
+		ow := f.outFree[wi]
+		for ow != 0 {
+			out := wi<<6 + bits.TrailingZeros64(ow)
+			ow &= ow - 1
+			col := f.reqT[out*w : out*w+w]
+			bestTS := int64(math.MaxInt64)
+			g := None
+			ties := 0
+			for ci := 0; ci < w; ci++ {
+				cv := col[ci]
+				base := ci << 6
+				for cv != 0 {
+					in := base + bits.TrailingZeros64(cv)
+					cv &= cv - 1
+					switch ts := f.minTS[in]; {
+					case ts < bestTS:
+						bestTS, g, ties = ts, in, 1
+					case ts == bestTS:
+						// Equal stamps: keep the lowest index in
+						// deterministic mode (the first one found, since
+						// requesters are scanned in order); otherwise
+						// sample uniformly over the ties.
+						if !f.DeterministicTies {
+							ties++
+							if r.Intn(ties) == 0 {
+								g = in
+							}
+						}
+					}
+				}
 			}
-			f.reqOuts = append(f.reqOuts, out)
+			f.granted[out] = g
+			if g != None {
+				f.grants = append(f.grants, out)
+			}
+		}
+	}
+	return len(f.grants) > 0
+}
+
+// matchNoSplit is the all-or-nothing ablation's round loop. The
+// request masks over *all* outputs are invariant across rounds
+// (occupancy cannot change inside Match), so they are computed once;
+// each round only re-filters against the shrinking free-output set.
+func (f *FIFOMS) matchNoSplit(s *Switch, n, maxRounds int, r *xrand.Rand, m *Matching) {
+	w := f.words
+	for in := 0; in < n; in++ {
+		f.computeRequestAll(s, in)
+	}
+
+	for round := 0; round < maxRounds; round++ {
+		// Filter + transpose: an input participates only while it is
+		// free and every destination of its oldest packet is still
+		// free (some destination reserved ⇒ the packet waits whole).
+		clear(f.reqT)
+		any := false
+		for wi := 0; wi < w; wi++ {
+			fw := f.inFree[wi]
+			for fw != 0 {
+				in := wi<<6 + bits.TrailingZeros64(fw)
+				fw &= fw - 1
+				if !f.participates(in) {
+					continue
+				}
+				any = true
+				f.scatterRow(in)
+			}
+		}
+		if !any {
+			break
+		}
+
+		if !f.grantStep(r) {
+			break
+		}
+
+		// Withdraw partial grants: if any requested output of an
+		// input's packet was granted to someone else, the input's
+		// grants this round are withdrawn.
+		for wi := 0; wi < w; wi++ {
+			fw := f.inFree[wi]
+			for fw != 0 {
+				in := wi<<6 + bits.TrailingZeros64(fw)
+				fw &= fw - 1
+				if !f.participates(in) {
+					continue
+				}
+				f.withdrawIfPartial(in)
+			}
+		}
+
+		// Keep only surviving grants.
+		kept := f.grants[:0]
+		for _, out := range f.grants {
+			if f.granted[out] != None {
+				kept = append(kept, out)
+			}
+		}
+		f.grants = kept
+		if len(f.grants) == 0 {
+			// All grants this round were partial and withdrawn; a
+			// further round would recompute the identical request set,
+			// so the slot has converged.
+			m.Rounds++
+			break
+		}
+
+		for _, out := range f.grants {
+			in := f.granted[out]
+			m.OutIn[out] = in
+			f.outFree[out>>6] &^= 1 << uint(out&63)
+			f.inFree[in>>6] &^= 1 << uint(in&63)
+		}
+		m.Rounds++
+	}
+}
+
+// participates reports whether free input in has a request this round
+// under the no-splitting discipline: it has an oldest packet and every
+// output in its mask is still free.
+func (f *FIFOMS) participates(in int) bool {
+	if f.minTS[in] < 0 {
+		return false
+	}
+	w := f.words
+	row := f.reqMask[in*w : in*w+w]
+	for i, rv := range row {
+		if rv&^f.outFree[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// withdrawIfPartial clears input in's grants for the round unless it
+// was granted every output of its request mask.
+func (f *FIFOMS) withdrawIfPartial(in int) {
+	w := f.words
+	row := f.reqMask[in*w : in*w+w]
+	complete := true
+scan:
+	for mw, mv := range row {
+		base := mw << 6
+		for mv != 0 {
+			out := base + bits.TrailingZeros64(mv)
+			mv &= mv - 1
 			if f.granted[out] != in {
 				complete = false
+				break scan
 			}
 		}
-		if !complete {
-			for _, out := range f.reqOuts {
-				if f.granted[out] == in {
-					f.granted[out] = None
-				}
+	}
+	if complete {
+		return
+	}
+	for mw, mv := range row {
+		base := mw << 6
+		for mv != 0 {
+			out := base + bits.TrailingZeros64(mv)
+			mv &= mv - 1
+			if f.granted[out] == in {
+				f.granted[out] = None
 			}
 		}
 	}

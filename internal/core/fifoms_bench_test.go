@@ -1,0 +1,134 @@
+package core
+
+// Microbenchmark matrix for the FIFOMS match kernel: N ∈ {8, 16, 32,
+// 64, 128} × {uniform, bursty, hotspot} HOL patterns, plus the frozen
+// legacy kernel on the identical states for the speedup comparison.
+// Match does not mutate queue state, so each iteration reruns the
+// kernel on a constant backlogged switch — this isolates the
+// arbitration cost that dominates every sweep behind Figures 4–7.
+// Headline numbers are recorded in BENCH_fifoms.json at the repo root.
+
+import (
+	"fmt"
+	"testing"
+
+	"voqsim/internal/cell"
+	"voqsim/internal/destset"
+	"voqsim/internal/xrand"
+)
+
+var benchSizes = []int{8, 16, 32, 64, 128}
+
+var benchPatterns = []string{"uniform", "bursty", "hotspot"}
+
+// loadedMatchSwitch builds a deterministic backlogged switch whose HOL
+// state follows the named pattern.
+func loadedMatchSwitch(n int, pattern string, arb Arbiter) *Switch {
+	s := NewSwitch(n, arb, xrand.New(7))
+	r := xrand.New(uint64(100 + n))
+	id := cell.PacketID(0)
+	arrive := func(in int, slot int64, d *destset.Set) {
+		if d.Empty() {
+			d.Add(int(id) % n)
+		}
+		id++
+		s.Arrive(&cell.Packet{ID: id, Input: in, Arrival: slot, Dests: d})
+	}
+	switch pattern {
+	case "uniform":
+		// Every VOQ backlogged with moderate-fanout packets spread
+		// evenly over outputs.
+		for slot := int64(0); slot < 4; slot++ {
+			for in := 0; in < n; in++ {
+				d := destset.New(n)
+				for out := 0; out < n; out++ {
+					if (in+out+int(slot))%3 == 0 {
+						d.Add(out)
+					}
+				}
+				arrive(in, slot, d)
+			}
+		}
+	case "bursty":
+		// Consecutive same-input arrivals with large correlated
+		// fanouts: many equal-stamp siblings per input, deep VOQs.
+		for slot := int64(0); slot < 8; slot++ {
+			for in := 0; in < n; in++ {
+				d := destset.New(n)
+				start := (in * 7) % n
+				for k := 0; k < n/2+1; k++ {
+					d.Add((start + k) % n)
+				}
+				arrive(in, slot, d)
+			}
+		}
+	case "hotspot":
+		// All inputs pile onto a few hot outputs with occasional cold
+		// fanout: heavy contention, many request/grant rounds.
+		hot := n / 8
+		if hot < 1 {
+			hot = 1
+		}
+		for slot := int64(0); slot < 6; slot++ {
+			for in := 0; in < n; in++ {
+				d := destset.New(n)
+				d.Add(int(r.Intn(hot)))
+				if r.Bool(0.3) {
+					d.Add(hot + int(r.Intn(n-hot)))
+				}
+				arrive(in, slot, d)
+			}
+		}
+	default:
+		panic("unknown bench pattern " + pattern)
+	}
+	return s
+}
+
+func benchMatch(b *testing.B, n int, pattern string, arb Arbiter) {
+	b.Helper()
+	s := loadedMatchSwitch(n, pattern, arb)
+	r := xrand.New(11)
+	m := NewMatching(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Clear()
+		arb.Match(s, 100, r, m)
+	}
+}
+
+// BenchmarkFIFOMSMatch is the word-parallel kernel over the full
+// size × pattern matrix.
+func BenchmarkFIFOMSMatch(b *testing.B) {
+	for _, n := range benchSizes {
+		for _, pat := range benchPatterns {
+			b.Run(fmt.Sprintf("n=%d/%s", n, pat), func(b *testing.B) {
+				benchMatch(b, n, pat, &FIFOMS{})
+			})
+		}
+	}
+}
+
+// BenchmarkFIFOMSMatchLegacy is the frozen pre-optimisation kernel on
+// the identical states — the denominator of the speedup quoted in the
+// PR description.
+func BenchmarkFIFOMSMatchLegacy(b *testing.B) {
+	for _, n := range benchSizes {
+		for _, pat := range benchPatterns {
+			b.Run(fmt.Sprintf("n=%d/%s", n, pat), func(b *testing.B) {
+				benchMatch(b, n, pat, &legacyFIFOMS{})
+			})
+		}
+	}
+}
+
+// BenchmarkFIFOMSMatchNoSplit covers the all-or-nothing ablation path
+// of the new kernel.
+func BenchmarkFIFOMSMatchNoSplit(b *testing.B) {
+	for _, n := range []int{16, 64} {
+		b.Run(fmt.Sprintf("n=%d/uniform", n), func(b *testing.B) {
+			benchMatch(b, n, "uniform", &FIFOMS{NoFanoutSplitting: true})
+		})
+	}
+}

@@ -1,0 +1,217 @@
+package core
+
+// Differential test of the word-parallel FIFOMS kernel against
+// legacyFIFOMS, the pre-optimisation pointer-chasing kernel kept as an
+// executable reference. The two must produce bit-identical Matchings
+// and Rounds for the same seeds — including identical tie-break RNG
+// draw sequences — across all mode combinations and switch sizes.
+
+import (
+	"fmt"
+	"testing"
+
+	"voqsim/internal/cell"
+	"voqsim/internal/destset"
+	"voqsim/internal/xrand"
+)
+
+func TestFIFOMSMatchesLegacyKernel(t *testing.T) {
+	sizes := []int{2, 3, 4, 5, 7, 8, 13, 16, 24, 32}
+	for _, n := range sizes {
+		for _, noSplit := range []bool{false, true} {
+			for _, det := range []bool{false, true} {
+				n, noSplit, det := n, noSplit, det
+				t.Run(fmt.Sprintf("n=%d/nosplit=%v/det=%v", n, noSplit, det), func(t *testing.T) {
+					t.Parallel()
+					diffRun(t, n, noSplit, det, 600)
+				})
+			}
+		}
+	}
+}
+
+// diffRun drives one switch with random traffic and compares the two
+// kernels on the identical pre-transfer state every slot. Both draw
+// tie-break randomness from identically seeded streams: staying in
+// lockstep for the whole run also proves the new kernel consumes the
+// RNG in exactly the reference order.
+func diffRun(t *testing.T, n int, noSplit, det bool, slots int64) {
+	t.Helper()
+	arb := &FIFOMS{NoFanoutSplitting: noSplit, DeterministicTies: det}
+	legacy := &legacyFIFOMS{NoFanoutSplitting: noSplit, DeterministicTies: det}
+	s := NewSwitch(n, arb, xrand.New(uint64(1000+n)))
+	r := xrand.New(uint64(2000 + n))
+	rNew := xrand.New(9)
+	rLegacy := xrand.New(9)
+	mNew := NewMatching(n)
+	mLegacy := NewMatching(n)
+	id := cell.PacketID(0)
+
+	for slot := int64(0); slot < slots; slot++ {
+		for in := 0; in < n; in++ {
+			if r.Bool(0.5) {
+				d := destset.New(n)
+				d.RandomBernoulli(r, 0.35)
+				if d.Empty() {
+					continue
+				}
+				id++
+				s.Arrive(&cell.Packet{ID: id, Input: in, Arrival: slot, Dests: d})
+			}
+		}
+
+		mLegacy.Clear()
+		legacy.Match(s, slot, rLegacy, mLegacy)
+		mNew.Clear()
+		arb.Match(s, slot, rNew, mNew)
+
+		for out := 0; out < n; out++ {
+			if mNew.OutIn[out] != mLegacy.OutIn[out] {
+				t.Fatalf("slot %d output %d: new kernel granted %d, legacy %d",
+					slot, out, mNew.OutIn[out], mLegacy.OutIn[out])
+			}
+		}
+		if mNew.Rounds != mLegacy.Rounds {
+			t.Fatalf("slot %d: new kernel %d rounds, legacy %d", slot, mNew.Rounds, mLegacy.Rounds)
+		}
+
+		// Advance the switch one slot to evolve the queue state (Step
+		// re-runs the new kernel internally, which is fine: Match does
+		// not mutate queue contents).
+		s.Step(slot, func(cell.Delivery) {})
+	}
+}
+
+// TestFIFOMSMatchesLegacyWithRoundCap covers the MaxRounds ablation
+// path, whose early exit interacts with the incremental request
+// recomputation.
+func TestFIFOMSMatchesLegacyWithRoundCap(t *testing.T) {
+	for _, cap := range []int{1, 2, 3} {
+		arb := &FIFOMS{MaxRounds: cap}
+		legacy := &legacyFIFOMS{MaxRounds: cap}
+		n := 8
+		s := NewSwitch(n, arb, xrand.New(uint64(77+cap)))
+		r := xrand.New(uint64(88 + cap))
+		rNew := xrand.New(5)
+		rLegacy := xrand.New(5)
+		mNew := NewMatching(n)
+		mLegacy := NewMatching(n)
+		id := cell.PacketID(0)
+		for slot := int64(0); slot < 800; slot++ {
+			for in := 0; in < n; in++ {
+				if r.Bool(0.6) {
+					d := destset.New(n)
+					d.RandomBernoulli(r, 0.4)
+					if d.Empty() {
+						continue
+					}
+					id++
+					s.Arrive(&cell.Packet{ID: id, Input: in, Arrival: slot, Dests: d})
+				}
+			}
+			mLegacy.Clear()
+			legacy.Match(s, slot, rLegacy, mLegacy)
+			mNew.Clear()
+			arb.Match(s, slot, rNew, mNew)
+			for out := 0; out < n; out++ {
+				if mNew.OutIn[out] != mLegacy.OutIn[out] {
+					t.Fatalf("cap %d slot %d output %d: new %d, legacy %d",
+						cap, slot, out, mNew.OutIn[out], mLegacy.OutIn[out])
+				}
+			}
+			if mNew.Rounds != mLegacy.Rounds {
+				t.Fatalf("cap %d slot %d: new %d rounds, legacy %d", cap, slot, mNew.Rounds, mLegacy.Rounds)
+			}
+			s.Step(slot, func(cell.Delivery) {})
+		}
+	}
+}
+
+// TestFIFOMSReuseAcrossSizes is the regression test for the scratch
+// sizing bug: ensure used to compare only len(inputFree), so an
+// arbiter whose slices had ever diverged in size could silently alias
+// stale scratch. One FIFOMS must schedule correctly when moved across
+// switches of different sizes in both directions (N=4 → N=16 → N=4),
+// producing the same matchings as a fresh arbiter at each size.
+func TestFIFOMSReuseAcrossSizes(t *testing.T) {
+	shared := &FIFOMS{DeterministicTies: true}
+	for _, n := range []int{4, 16, 4, 16} {
+		fresh := &FIFOMS{DeterministicTies: true}
+		s := NewSwitch(n, shared, xrand.New(uint64(11*n)))
+		r := xrand.New(uint64(13 * n))
+		rShared := xrand.New(3)
+		rFresh := xrand.New(3)
+		mShared := NewMatching(n)
+		mFresh := NewMatching(n)
+		id := cell.PacketID(0)
+		for slot := int64(0); slot < 300; slot++ {
+			for in := 0; in < n; in++ {
+				if r.Bool(0.5) {
+					d := destset.New(n)
+					d.RandomBernoulli(r, 0.4)
+					if d.Empty() {
+						continue
+					}
+					id++
+					s.Arrive(&cell.Packet{ID: id, Input: in, Arrival: slot, Dests: d})
+				}
+			}
+			mShared.Clear()
+			shared.Match(s, slot, rShared, mShared)
+			mFresh.Clear()
+			fresh.Match(s, slot, rFresh, mFresh)
+			for out := 0; out < n; out++ {
+				if mShared.OutIn[out] != mFresh.OutIn[out] {
+					t.Fatalf("n=%d slot %d output %d: reused arbiter granted %d, fresh %d",
+						n, slot, out, mShared.OutIn[out], mFresh.OutIn[out])
+				}
+			}
+			s.Step(slot, func(cell.Delivery) {})
+		}
+	}
+}
+
+// TestCachedHOLStateCoherent cross-checks the flat cached HOL state
+// against the authoritative queues after every slot of a random run:
+// the caches are updated incrementally on push/pop and any divergence
+// means a maintenance path was missed.
+func TestCachedHOLStateCoherent(t *testing.T) {
+	const n = 9 // odd and >8 so the last bitmap word is partial
+	s := NewSwitch(n, &FIFOMS{}, xrand.New(3))
+	r := xrand.New(4)
+	id := cell.PacketID(0)
+	for slot := int64(0); slot < 2000; slot++ {
+		for in := 0; in < n; in++ {
+			if r.Bool(0.5) {
+				d := destset.New(n)
+				d.RandomBernoulli(r, 0.3)
+				if d.Empty() {
+					continue
+				}
+				id++
+				s.Arrive(&cell.Packet{ID: id, Input: in, Arrival: slot, Dests: d})
+			}
+		}
+		s.Step(slot, func(cell.Delivery) {})
+		for in := 0; in < n; in++ {
+			occ := s.OccInWords(in)
+			for out := 0; out < n; out++ {
+				hol := s.HOL(in, out)
+				ts := s.HOLTime(in, out)
+				inBit := s.occOut[out*s.words+in>>6]&(1<<uint(in&63)) != 0
+				outBit := occ[out>>6]&(1<<uint(out&63)) != 0
+				if hol == nil {
+					if ts != emptyHOL || inBit || outBit {
+						t.Fatalf("slot %d (%d,%d): empty VOQ cached as ts=%d occIn=%v occOut=%v",
+							slot, in, out, ts, outBit, inBit)
+					}
+				} else {
+					if ts != hol.TimeStamp || !inBit || !outBit {
+						t.Fatalf("slot %d (%d,%d): HOL ts %d cached as ts=%d occIn=%v occOut=%v",
+							slot, in, out, hol.TimeStamp, ts, outBit, inBit)
+					}
+				}
+			}
+		}
+	}
+}

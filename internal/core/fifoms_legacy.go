@@ -1,0 +1,214 @@
+package core
+
+import (
+	"math"
+
+	"voqsim/internal/xrand"
+)
+
+// legacyFIFOMS is the pre-optimisation FIFOMS kernel, kept verbatim as
+// an executable reference. It rescans all N×N VOQ heads through the
+// virtual HOL accessor in both the request and grant steps of every
+// round — O(N³) pointer-chasing per slot — which is exactly the cost
+// the word-parallel kernel in fifoms.go removes.
+//
+// It exists for two jobs:
+//
+//   - the differential test (fifoms_diff_test.go) pins the new kernel
+//     to it: bit-identical Matchings and Rounds for the same seeds
+//     across all modes and sizes, and
+//   - BenchmarkFIFOMSMatchLegacy quantifies the speedup against it.
+//
+// Do not modify its scheduling logic; it must stay behaviourally
+// frozen for the comparison to mean anything.
+type legacyFIFOMS struct {
+	MaxRounds         int
+	NoFanoutSplitting bool
+	DeterministicTies bool
+
+	// scratch, sized on first use
+	inputFree  []bool
+	outputFree []bool
+	minTS      []int64
+	granted    []int // per-output provisional grant within a round
+	tieCount   []int
+	reqOuts    []int // scratch for the no-splitting variant
+}
+
+// Name implements Arbiter.
+func (f *legacyFIFOMS) Name() string {
+	if f.NoFanoutSplitting {
+		return "fifoms-legacy-nosplit"
+	}
+	return "fifoms-legacy"
+}
+
+// Mode implements Arbiter.
+func (f *legacyFIFOMS) Mode() PreprocessMode { return ModeShared }
+
+func (f *legacyFIFOMS) ensure(n int) {
+	if len(f.inputFree) == n {
+		return
+	}
+	f.inputFree = make([]bool, n)
+	f.outputFree = make([]bool, n)
+	f.minTS = make([]int64, n)
+	f.granted = make([]int, n)
+	f.tieCount = make([]int, n)
+	f.reqOuts = make([]int, 0, n)
+}
+
+// Match implements Arbiter.
+func (f *legacyFIFOMS) Match(s *Switch, _ int64, r *xrand.Rand, m *Matching) {
+	n := s.Ports()
+	f.ensure(n)
+	for i := 0; i < n; i++ {
+		f.inputFree[i] = true
+		f.outputFree[i] = true
+	}
+
+	maxRounds := f.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = math.MaxInt
+	}
+
+	for round := 0; round < maxRounds; round++ {
+		// Request step: each free input locates the smallest HOL time
+		// stamp over its free-output VOQs.
+		for in := 0; in < n; in++ {
+			f.minTS[in] = -1
+			if !f.inputFree[in] {
+				continue
+			}
+			best := int64(math.MaxInt64)
+			found := false
+			for out := 0; out < n; out++ {
+				if !f.NoFanoutSplitting && !f.outputFree[out] {
+					continue
+				}
+				if hol := s.HOL(in, out); hol != nil && hol.TimeStamp < best {
+					best = hol.TimeStamp
+					found = true
+				}
+			}
+			if found {
+				f.minTS[in] = best
+			}
+		}
+
+		if f.NoFanoutSplitting {
+			f.filterNonSplittable(s, n)
+		}
+
+		// Grant step: each free output grants the smallest-time-stamp
+		// request, ties broken uniformly at random (reservoir sampling
+		// keeps it single-pass).
+		anyGrant := false
+		for out := 0; out < n; out++ {
+			f.granted[out] = None
+			if !f.outputFree[out] {
+				continue
+			}
+			bestTS := int64(math.MaxInt64)
+			for in := 0; in < n; in++ {
+				if f.minTS[in] < 0 {
+					continue
+				}
+				hol := s.HOL(in, out)
+				if hol == nil || hol.TimeStamp != f.minTS[in] {
+					continue // this input did not request this output
+				}
+				switch {
+				case hol.TimeStamp < bestTS:
+					bestTS = hol.TimeStamp
+					f.granted[out] = in
+					f.tieCount[out] = 1
+				case hol.TimeStamp == bestTS:
+					if !f.DeterministicTies {
+						f.tieCount[out]++
+						if r.Intn(f.tieCount[out]) == 0 {
+							f.granted[out] = in
+						}
+					}
+				}
+			}
+			if f.granted[out] != None {
+				anyGrant = true
+			}
+		}
+		if !anyGrant {
+			break
+		}
+
+		if f.NoFanoutSplitting {
+			f.withdrawPartialGrants(s, n)
+			anyGrant = false
+			for out := 0; out < n; out++ {
+				if f.granted[out] != None {
+					anyGrant = true
+				}
+			}
+			if !anyGrant {
+				m.Rounds++
+				break
+			}
+		}
+
+		// Reserve the matched ports and record the grants.
+		for out := 0; out < n; out++ {
+			in := f.granted[out]
+			if in == None {
+				continue
+			}
+			m.OutIn[out] = in
+			f.outputFree[out] = false
+			f.inputFree[in] = false
+		}
+		m.Rounds++
+	}
+}
+
+// filterNonSplittable clears the requests of inputs whose oldest
+// packet cannot currently reach *all* of its remaining destinations.
+func (f *legacyFIFOMS) filterNonSplittable(s *Switch, n int) {
+	for in := 0; in < n; in++ {
+		if f.minTS[in] < 0 {
+			continue
+		}
+		for out := 0; out < n; out++ {
+			if hol := s.HOL(in, out); hol != nil && hol.TimeStamp == f.minTS[in] && !f.outputFree[out] {
+				f.minTS[in] = -1
+				break
+			}
+		}
+	}
+}
+
+// withdrawPartialGrants enforces all-or-nothing delivery for the
+// no-splitting ablation.
+func (f *legacyFIFOMS) withdrawPartialGrants(s *Switch, n int) {
+	for in := 0; in < n; in++ {
+		if f.minTS[in] < 0 {
+			continue
+		}
+		f.reqOuts = f.reqOuts[:0]
+		complete := true
+		for out := 0; out < n; out++ {
+			hol := s.HOL(in, out)
+			if hol == nil || hol.TimeStamp != f.minTS[in] || !f.outputFree[out] {
+				continue
+			}
+			f.reqOuts = append(f.reqOuts, out)
+			if f.granted[out] != in {
+				complete = false
+			}
+		}
+		if !complete {
+			for _, out := range f.reqOuts {
+				if f.granted[out] == in {
+					f.granted[out] = None
+				}
+			}
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"voqsim/internal/cell"
 	"voqsim/internal/crossbar"
+	"voqsim/internal/destset"
 	"voqsim/internal/fifoq"
 	"voqsim/internal/xrand"
 )
@@ -23,7 +24,21 @@ type inputPort struct {
 	// shared mode: at most one packet arrives per input per slot, so a
 	// time stamp identifies a packet within one input (Section II).
 	lastArrival int64
+
+	// Freelists of cells served in earlier slots. A long sweep pushes
+	// and pops millions of cells; recycling them keeps the steady-state
+	// arrival path allocation-free instead of churning the garbage
+	// collector. Cells are recycled only after their last reference
+	// leaves Step, and both lists are bounded by the port's historical
+	// backlog peak.
+	freeAddr []*cell.AddressCell
+	freeData []*cell.DataCell
 }
+
+// emptyHOL is the cached-timestamp sentinel for an empty VOQ. It
+// compares greater than every real arrival slot, so minimum scans need
+// no empty-queue branch.
+const emptyHOL = int64(math.MaxInt64)
 
 // Switch is a multicast VOQ packet switch: the queue structure of
 // Section II joined to a pluggable arbiter (FIFOMS by default) and a
@@ -38,6 +53,21 @@ type Switch struct {
 	cfg     *crossbar.Config
 	match   *Matching
 	rnd     *xrand.Rand
+
+	// Cached head-of-line state, the flat mirror of the VOQ heads that
+	// the match kernels read instead of chasing *AddressCell pointers
+	// through the ring buffers (DESIGN.md § Match kernel). Updated
+	// incrementally on every push and pop:
+	//
+	//   holTS[in*n+out]  HOL time stamp of VOQ(in,out), emptyHOL if empty
+	//   occIn[in*w ...]  bitmap over outputs: VOQ(in,out) non-empty
+	//   occOut[out*w...] bitmap over inputs: the transpose of occIn
+	//
+	// where w = destset.WordsPerRow(n) is the shared row stride.
+	holTS  []int64
+	occIn  []uint64
+	occOut []uint64
+	words  int
 
 	lastRounds  int
 	totalRounds int64
@@ -93,6 +123,13 @@ func NewSwitch(n int, arb Arbiter, root *xrand.Rand) *Switch {
 		s.ports[i].voqs = make([]fifoq.Queue[*cell.AddressCell], n)
 		s.ports[i].lastArrival = -1
 	}
+	s.words = destset.WordsPerRow(n)
+	s.holTS = make([]int64, n*n)
+	for i := range s.holTS {
+		s.holTS[i] = emptyHOL
+	}
+	s.occIn = make([]uint64, n*s.words)
+	s.occOut = make([]uint64, n*s.words)
 	s.grantsByIn = make([][]int, n)
 	for i := range s.grantsByIn {
 		s.grantsByIn[i] = make([]int, 0, n)
@@ -109,6 +146,60 @@ func (s *Switch) Arbiter() Arbiter { return s.arbiter }
 
 // Fabric exposes the crossbar for utilisation reporting.
 func (s *Switch) Fabric() *crossbar.Fabric { return s.fabric }
+
+// newAddressCell takes an address cell from the port's freelist or
+// allocates one.
+func (port *inputPort) newAddressCell(ts int64, data *cell.DataCell, out int) *cell.AddressCell {
+	if k := len(port.freeAddr); k > 0 {
+		ac := port.freeAddr[k-1]
+		port.freeAddr = port.freeAddr[:k-1]
+		ac.TimeStamp, ac.Data, ac.Output = ts, data, out
+		return ac
+	}
+	return &cell.AddressCell{TimeStamp: ts, Data: data, Output: out}
+}
+
+// newDataCell takes a data cell from the port's freelist or allocates
+// one.
+func (port *inputPort) newDataCell(p *cell.Packet, fanout int) *cell.DataCell {
+	if k := len(port.freeData); k > 0 {
+		d := port.freeData[k-1]
+		port.freeData = port.freeData[:k-1]
+		d.Packet, d.FanoutCounter = p, fanout
+		return d
+	}
+	return &cell.DataCell{Packet: p, FanoutCounter: fanout}
+}
+
+// pushCell appends an address cell to VOQ(in,out) and keeps the cached
+// HOL state coherent: a push onto an empty queue creates a new head.
+func (s *Switch) pushCell(in, out int, ac *cell.AddressCell) {
+	q := &s.ports[in].voqs[out]
+	if q.Empty() {
+		s.holTS[in*s.n+out] = ac.TimeStamp
+		s.occIn[in*s.words+out>>6] |= 1 << uint(out&63)
+		s.occOut[out*s.words+in>>6] |= 1 << uint(in&63)
+	}
+	q.Push(ac)
+	s.ports[in].addrCells++
+}
+
+// popCell removes the head of VOQ(in,out) and keeps the cached HOL
+// state coherent: the next cell (or the empty sentinel) becomes the
+// head.
+func (s *Switch) popCell(in, out int) *cell.AddressCell {
+	q := &s.ports[in].voqs[out]
+	ac := q.Pop()
+	s.ports[in].addrCells--
+	if q.Empty() {
+		s.holTS[in*s.n+out] = emptyHOL
+		s.occIn[in*s.words+out>>6] &^= 1 << uint(out&63)
+		s.occOut[out*s.words+in>>6] &^= 1 << uint(in&63)
+	} else {
+		s.holTS[in*s.n+out] = q.Front().TimeStamp
+	}
+	return ac
+}
 
 // Arrive preprocesses a packet into the input buffers following
 // Table 1 of the paper. In ModeShared one data cell is created and one
@@ -139,18 +230,16 @@ func (s *Switch) Arrive(p *cell.Packet) {
 				p.Input, p.Arrival, port.lastArrival))
 		}
 		port.lastArrival = p.Arrival
-		data := &cell.DataCell{Packet: p, FanoutCounter: fanout}
+		data := port.newDataCell(p, fanout)
 		port.dataCells++
 		p.Dests.ForEach(func(out int) {
-			port.voqs[out].Push(&cell.AddressCell{TimeStamp: p.Arrival, Data: data, Output: out})
-			port.addrCells++
+			s.pushCell(p.Input, out, port.newAddressCell(p.Arrival, data, out))
 		})
 	case ModeCopied:
 		p.Dests.ForEach(func(out int) {
-			data := &cell.DataCell{Packet: p, FanoutCounter: 1}
+			data := port.newDataCell(p, 1)
 			port.dataCells++
-			port.voqs[out].Push(&cell.AddressCell{TimeStamp: p.Arrival, Data: data, Output: out})
-			port.addrCells++
+			s.pushCell(p.Input, out, port.newAddressCell(p.Arrival, data, out))
 		})
 	default:
 		panic("core: unknown preprocess mode")
@@ -170,6 +259,28 @@ func (s *Switch) HOL(in, out int) *cell.AddressCell {
 
 // VOQLen returns the length of input in's VOQ for output out.
 func (s *Switch) VOQLen(in, out int) int { return s.ports[in].voqs[out].Len() }
+
+// HOLTime returns the cached HOL time stamp of VOQ(in,out), or
+// emptyHOL (math.MaxInt64, greater than any real arrival slot) when the
+// queue is empty. It is the branch-free flat-array counterpart of HOL
+// for kernels that only need the stamp, not the cell.
+func (s *Switch) HOLTime(in, out int) int64 { return s.holTS[in*s.n+out] }
+
+// OccInWords returns input in's VOQ-occupancy bitmap over outputs: bit
+// out&63 of word out>>6 is set exactly when VOQ(in,out) is non-empty.
+// The slice aliases switch state — read-only, valid until the next
+// Arrive or Step.
+func (s *Switch) OccInWords(in int) []uint64 {
+	return s.occIn[in*s.words : (in+1)*s.words : (in+1)*s.words]
+}
+
+// OccOutWords returns output out's occupancy bitmap over inputs — the
+// transpose of OccInWords, for grant-side scans that visit only inputs
+// holding a cell for the output. Read-only, valid until the next
+// Arrive or Step.
+func (s *Switch) OccOutWords(out int) []uint64 {
+	return s.occOut[out*s.words : (out+1)*s.words : (out+1)*s.words]
+}
 
 // Step runs one time slot after arrivals have been delivered with
 // Arrive: arbitration, crossbar configuration, data transfer and
@@ -217,12 +328,10 @@ func (s *Switch) Step(slot int64, deliver func(cell.Delivery)) {
 		port := &s.ports[in]
 		var data *cell.DataCell
 		for _, out := range outs {
-			q := &port.voqs[out]
-			if q.Empty() {
+			if port.voqs[out].Empty() {
 				panic(fmt.Sprintf("core: grant for empty VOQ (%d,%d)", in, out))
 			}
-			ac := q.Pop()
-			port.addrCells--
+			ac := s.popCell(in, out)
 			switch s.mode {
 			case ModeShared:
 				// Invariant (Section III.B): every address cell an input
@@ -250,6 +359,16 @@ func (s *Switch) Step(slot int64, deliver func(cell.Delivery)) {
 				port.dataCells--
 			}
 			deliver(cell.Delivery{ID: ac.Data.Packet.ID, In: in, Out: out, Slot: slot, Last: last})
+			// The delivery is out the door; recycle the cells. The data
+			// cell is recycled only on its last copy (in ModeShared its
+			// siblings in this very loop still point at it until then).
+			if last {
+				d := ac.Data
+				d.Packet, d.FanoutCounter = nil, 0
+				port.freeData = append(port.freeData, d)
+			}
+			ac.Data = nil
+			port.freeAddr = append(port.freeAddr, ac)
 		}
 	}
 }

@@ -159,6 +159,45 @@ func (s *Set) ForEach(fn func(port int)) {
 	}
 }
 
+// Words exposes the set's backing bit words: bit p&63 of word p>>6 is
+// set exactly when port p is a member. The slice aliases the set's
+// storage — callers must treat it as read-only and must not retain it
+// across mutations. It exists for word-parallel consumers (the match
+// kernels) that intersect whole sets with a handful of AND/ANDNOT
+// instructions instead of per-member calls.
+func (s *Set) Words() []uint64 { return s.words }
+
+// WordsPerRow returns the number of 64-bit words needed to cover a
+// universe of n ports, the row stride shared by every word-parallel
+// bitmap over the same universe.
+func WordsPerRow(n int) int { return (n + 63) / 64 }
+
+// NextOneFrom returns the smallest member >= from, or -1 when no such
+// member exists. from may lie outside [0, n): negative values scan
+// from 0 and values >= n always return -1. Together with Words it
+// supports rotating-priority scans (start at a pointer, wrap once)
+// without visiting absent members.
+func (s *Set) NextOneFrom(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	if from >= s.n {
+		return -1
+	}
+	wi := from >> 6
+	w := s.words[wi] & (^uint64(0) << uint(from&63))
+	for {
+		if w != 0 {
+			return wi<<6 + bits.TrailingZeros64(w)
+		}
+		wi++
+		if wi >= len(s.words) {
+			return -1
+		}
+		w = s.words[wi]
+	}
+}
+
 // Members appends the members in ascending order to dst and returns
 // the extended slice. Pass a reused buffer to avoid allocation.
 func (s *Set) Members(dst []int) []int {

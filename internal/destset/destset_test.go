@@ -211,6 +211,134 @@ func TestInclusionExclusionProperty(t *testing.T) {
 	}
 }
 
+func TestWordsPerRow(t *testing.T) {
+	for _, tc := range []struct{ n, want int }{
+		{1, 1}, {63, 1}, {64, 1}, {65, 2}, {128, 2}, {129, 3}, {1000, 16},
+	} {
+		if got := WordsPerRow(tc.n); got != tc.want {
+			t.Errorf("WordsPerRow(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+		if got := len(New(tc.n).Words()); got != tc.want {
+			t.Errorf("len(New(%d).Words()) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+// wordMembers decodes Words() the way the match kernels do: trailing-
+// zero bit iteration in ascending word order.
+func wordMembers(s *Set) []int {
+	var out []int
+	for wi, w := range s.Words() {
+		base := wi << 6
+		for w != 0 {
+			out = append(out, base+trailingZeros(w))
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+func trailingZeros(w uint64) int {
+	n := 0
+	for w&1 == 0 {
+		w >>= 1
+		n++
+	}
+	return n
+}
+
+// Property: bit-iterating Words() visits exactly the members ForEach
+// visits, in the same ascending order — the contract the word-parallel
+// match kernels rely on.
+func TestWordsMatchForEachProperty(t *testing.T) {
+	r := xrand.New(41)
+	f := func(nRaw uint8, seed uint16, density uint8) bool {
+		n := int(nRaw%200) + 1
+		rr := r.Split("words", int(seed))
+		s := New(n)
+		s.RandomBernoulli(rr, float64(density%100)/100)
+		var viaForEach []int
+		s.ForEach(func(p int) { viaForEach = append(viaForEach, p) })
+		viaWords := wordMembers(s)
+		if len(viaWords) != len(viaForEach) {
+			return false
+		}
+		for i := range viaWords {
+			if viaWords[i] != viaForEach[i] {
+				return false
+			}
+		}
+		// No stray bits above the universe in the last word.
+		if rem := n & 63; rem != 0 {
+			last := s.Words()[len(s.Words())-1]
+			if last&^(1<<uint(rem)-1) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNextOneFrom(t *testing.T) {
+	s := FromMembers(200, 0, 5, 63, 64, 130, 199)
+	for _, tc := range []struct{ from, want int }{
+		{-10, 0}, {0, 0}, {1, 5}, {5, 5}, {6, 63}, {63, 63}, {64, 64},
+		{65, 130}, {130, 130}, {131, 199}, {199, 199}, {200, -1}, {500, -1},
+	} {
+		if got := s.NextOneFrom(tc.from); got != tc.want {
+			t.Errorf("NextOneFrom(%d) = %d, want %d", tc.from, got, tc.want)
+		}
+	}
+	if got := New(70).NextOneFrom(0); got != -1 {
+		t.Errorf("empty NextOneFrom(0) = %d, want -1", got)
+	}
+}
+
+// Property: NextOneFrom(from) returns the smallest member >= from, and
+// chaining NextOneFrom(prev+1) from -1 enumerates exactly Members().
+func TestNextOneFromProperty(t *testing.T) {
+	r := xrand.New(42)
+	f := func(nRaw uint8, seed uint16, fromRaw int16) bool {
+		n := int(nRaw%200) + 1
+		rr := r.Split("next", int(seed))
+		s := New(n)
+		s.RandomBernoulli(rr, 0.2)
+		// Reference answer by linear scan.
+		from := int(fromRaw) % (n + 64)
+		want := -1
+		for p := max(from, 0); p < n; p++ {
+			if s.Contains(p) {
+				want = p
+				break
+			}
+		}
+		if got := s.NextOneFrom(from); got != want {
+			return false
+		}
+		// Full enumeration via chaining must equal Members.
+		var chained []int
+		for p := s.NextOneFrom(0); p >= 0; p = s.NextOneFrom(p + 1) {
+			chained = append(chained, p)
+		}
+		members := s.Members(nil)
+		if len(chained) != len(members) {
+			return false
+		}
+		for i := range chained {
+			if chained[i] != members[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRandomBernoulliRate(t *testing.T) {
 	r := xrand.New(7)
 	const n, trials, b = 64, 5000, 0.2

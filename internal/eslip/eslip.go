@@ -63,6 +63,13 @@ type Switch struct {
 	acceptPtr []int // per input, unicast RR
 	mcPtr     int   // shared multicast pointer
 
+	// Occupancy bitsets, maintained on push/pop, so the rotating grant
+	// scans visit only inputs that actually hold traffic instead of
+	// probing N queues per output per iteration (the cached-HOL fast
+	// path; see DESIGN.md § Match kernel).
+	uniOcc []*destset.Set // per output: inputs with a queued unicast cell
+	mcOcc  *destset.Set   // inputs with a queued multicast packet
+
 	lastRounds  int
 	totalRounds int64
 	activeSlots int64
@@ -70,9 +77,12 @@ type Switch struct {
 	// scratch
 	inputFree  []bool
 	outputFree []bool
-	uniGrant   []int // per output: provisionally granted input (unicast)
-	mcGrant    []int // per output: provisionally granted input (multicast)
-	served     []int // per input: multicast copies served this slot
+	freeIn     *destset.Set // bitset mirror of inputFree
+	mcCand     *destset.Set // mcOcc ∩ freeIn, per grant phase
+	uniCand    *destset.Set // uniOcc[out] ∩ freeIn, per output
+	uniGrant   []int        // per output: provisionally granted input (unicast)
+	mcGrant    []int        // per output: provisionally granted input (multicast)
+	served     []int        // per input: multicast copies served this slot
 }
 
 // New returns an n x n ESLIP switch.
@@ -86,16 +96,34 @@ func New(n int) *Switch {
 		mcQ:        make([]fifoq.Queue[*mcEntry], n),
 		grantPtr:   make([]int, n),
 		acceptPtr:  make([]int, n),
+		uniOcc:     make([]*destset.Set, n),
+		mcOcc:      destset.New(n),
 		inputFree:  make([]bool, n),
 		outputFree: make([]bool, n),
+		freeIn:     destset.New(n),
+		mcCand:     destset.New(n),
+		uniCand:    destset.New(n),
 		uniGrant:   make([]int, n),
 		mcGrant:    make([]int, n),
 		served:     make([]int, n),
 	}
 	for i := range s.uniVOQ {
 		s.uniVOQ[i] = make([]fifoq.Queue[uniCell], n)
+		s.uniOcc[i] = destset.New(n)
 	}
 	return s
+}
+
+// firstRotating returns the first member of cand in rotating order
+// starting at start, or -1 when cand is empty.
+func firstRotating(cand *destset.Set, start int) int {
+	if in := cand.NextOneFrom(start); in >= 0 {
+		return in
+	}
+	if in := cand.NextOneFrom(0); in >= 0 && in < start {
+		return in
+	}
+	return -1
 }
 
 // Ports returns the switch size N.
@@ -115,8 +143,15 @@ func (s *Switch) Arrive(p *cell.Packet) {
 	case fanout == 0:
 		panic("eslip: arrival with empty destination set")
 	case fanout == 1:
-		s.uniVOQ[p.Input][p.Dests.Min()].Push(uniCell{p: p})
+		out := p.Dests.Min()
+		if s.uniVOQ[p.Input][out].Empty() {
+			s.uniOcc[out].Add(p.Input)
+		}
+		s.uniVOQ[p.Input][out].Push(uniCell{p: p})
 	default:
+		if s.mcQ[p.Input].Empty() {
+			s.mcOcc.Add(p.Input)
+		}
 		s.mcQ[p.Input].Push(&mcEntry{p: p, remaining: p.Dests.Clone()})
 	}
 }
@@ -129,12 +164,22 @@ func (s *Switch) Step(slot int64, deliver func(cell.Delivery)) {
 		s.outputFree[i] = true
 		s.served[i] = 0
 	}
+	s.freeIn.Clear()
+	for i := 0; i < n; i++ {
+		s.freeIn.Add(i)
+	}
 	preferMulticast := slot%2 == 0
 	rounds := 0
 	busy := s.BufferedCells() > 0
 
 	for iter := 0; ; iter++ {
-		// Grant phase.
+		// Grant phase. Candidate sets are occupancy ∩ free-input
+		// intersections, so the rotating scans below touch only inputs
+		// that could actually be granted; the rotating order itself is
+		// unchanged from the plain modular scans.
+		s.mcCand.Clear()
+		s.mcCand.UnionWith(s.mcOcc)
+		s.mcCand.IntersectWith(s.freeIn)
 		anyGrant := false
 		for out := 0; out < n; out++ {
 			s.uniGrant[out] = -1
@@ -144,24 +189,25 @@ func (s *Switch) Step(slot int64, deliver func(cell.Delivery)) {
 			}
 			// Multicast candidate: the requesting input closest to the
 			// shared pointer.
-			for k := 0; k < n; k++ {
-				in := (s.mcPtr + k) % n
-				if !s.inputFree[in] || s.mcQ[in].Empty() {
-					continue
-				}
+			for in := s.mcCand.NextOneFrom(s.mcPtr); in >= 0; in = s.mcCand.NextOneFrom(in + 1) {
 				if s.mcQ[in].Front().remaining.Contains(out) {
 					s.mcGrant[out] = in
 					break
 				}
 			}
-			// Unicast candidate: iSLIP-style per-output pointer.
-			for k := 0; k < n; k++ {
-				in := (s.grantPtr[out] + k) % n
-				if s.inputFree[in] && s.uniVOQ[in][out].Len() > 0 {
-					s.uniGrant[out] = in
-					break
+			if s.mcGrant[out] < 0 {
+				for in := s.mcCand.NextOneFrom(0); in >= 0 && in < s.mcPtr; in = s.mcCand.NextOneFrom(in + 1) {
+					if s.mcQ[in].Front().remaining.Contains(out) {
+						s.mcGrant[out] = in
+						break
+					}
 				}
 			}
+			// Unicast candidate: iSLIP-style per-output pointer.
+			s.uniCand.Clear()
+			s.uniCand.UnionWith(s.uniOcc[out])
+			s.uniCand.IntersectWith(s.freeIn)
+			s.uniGrant[out] = firstRotating(s.uniCand, s.grantPtr[out])
 			// Class preference: keep only one grant per output.
 			mc, uni := s.mcGrant[out], s.uniGrant[out]
 			if mc >= 0 && uni >= 0 {
@@ -201,6 +247,7 @@ func (s *Switch) Step(slot int64, deliver func(cell.Delivery)) {
 			}
 			if tookMulticast {
 				s.inputFree[in] = false
+				s.freeIn.Remove(in)
 				continue
 			}
 			// Otherwise accept one unicast grant round-robin.
@@ -210,8 +257,12 @@ func (s *Switch) Step(slot int64, deliver func(cell.Delivery)) {
 					continue
 				}
 				c := s.uniVOQ[in][out].Pop()
+				if s.uniVOQ[in][out].Empty() {
+					s.uniOcc[out].Remove(in)
+				}
 				s.outputFree[out] = false
 				s.inputFree[in] = false
+				s.freeIn.Remove(in)
 				deliver(cell.Delivery{ID: c.p.ID, In: in, Out: out, Slot: slot, Last: true})
 				matched = true
 				if iter == 0 {
@@ -235,6 +286,9 @@ func (s *Switch) Step(slot int64, deliver func(cell.Delivery)) {
 	for in := 0; in < n; in++ {
 		if !s.mcQ[in].Empty() && s.mcQ[in].Front().remaining.Empty() {
 			s.mcQ[in].Pop()
+			if s.mcQ[in].Empty() {
+				s.mcOcc.Remove(in)
+			}
 			if in == s.mcPtr {
 				s.mcPtr = (s.mcPtr + 1) % n
 			}

@@ -11,18 +11,28 @@
 package pim
 
 import (
+	"math/bits"
+
 	"voqsim/internal/core"
+	"voqsim/internal/destset"
 	"voqsim/internal/xrand"
 )
 
 // Arbiter is the PIM matcher. It is stateless between slots; all
 // randomness comes from the switch's arbiter stream.
+//
+// The grant scan uses the switch's cached per-output occupancy bitmaps
+// (Switch.OccOutWords): intersecting them with the free-input word set
+// visits only inputs that actually hold a cell for the output, instead
+// of probing all N VOQ lengths per output per iteration.
 type Arbiter struct {
 	// Iterations, if positive, caps iterations per slot; zero iterates
 	// to convergence (PIM converges in O(log N) expected iterations).
 	Iterations int
 
-	inputFree  []bool
+	// Scratch, sized together under the single scratchN guard.
+	scratchN   int
+	inFree     []uint64 // free-input word set
 	outputFree []bool
 	grantTo    []int
 	acceptPick []int
@@ -39,10 +49,11 @@ func (a *Arbiter) Name() string { return "pim" }
 func (a *Arbiter) Mode() core.PreprocessMode { return core.ModeCopied }
 
 func (a *Arbiter) ensure(n int) {
-	if len(a.inputFree) == n {
+	if a.scratchN == n {
 		return
 	}
-	a.inputFree = make([]bool, n)
+	a.scratchN = n
+	a.inFree = make([]uint64, destset.WordsPerRow(n))
 	a.outputFree = make([]bool, n)
 	a.grantTo = make([]int, n)
 	a.acceptPick = make([]int, n)
@@ -53,8 +64,13 @@ func (a *Arbiter) ensure(n int) {
 func (a *Arbiter) Match(s *core.Switch, _ int64, r *xrand.Rand, m *core.Matching) {
 	n := s.Ports()
 	a.ensure(n)
+	for i := range a.inFree {
+		a.inFree[i] = ^uint64(0)
+	}
+	if rem := n & 63; rem != 0 {
+		a.inFree[len(a.inFree)-1] = 1<<uint(rem) - 1
+	}
 	for i := 0; i < n; i++ {
-		a.inputFree[i] = true
 		a.outputFree[i] = true
 	}
 	maxIter := a.Iterations
@@ -64,15 +80,22 @@ func (a *Arbiter) Match(s *core.Switch, _ int64, r *xrand.Rand, m *core.Matching
 
 	for iter := 0; iter < maxIter; iter++ {
 		// Grant: each free output picks uniformly among free inputs
-		// with a queued cell for it (single-pass reservoir sampling).
+		// with a queued cell for it (single-pass reservoir sampling
+		// over the occupancy ∩ free-input words; the ascending scan
+		// preserves the RNG draw order of the plain loop).
 		for out := 0; out < n; out++ {
 			a.grantTo[out] = core.None
 			if !a.outputFree[out] {
 				continue
 			}
+			occ := s.OccOutWords(out)
 			seen := 0
-			for in := 0; in < n; in++ {
-				if a.inputFree[in] && s.VOQLen(in, out) > 0 {
+			for wi, wv := range occ {
+				wv &= a.inFree[wi]
+				base := wi << 6
+				for wv != 0 {
+					in := base + bits.TrailingZeros64(wv)
+					wv &= wv - 1
 					seen++
 					if r.Intn(seen) == 0 {
 						a.grantTo[out] = in
@@ -105,7 +128,7 @@ func (a *Arbiter) Match(s *core.Switch, _ int64, r *xrand.Rand, m *core.Matching
 				continue
 			}
 			m.OutIn[out] = in
-			a.inputFree[in] = false
+			a.inFree[in>>6] &^= 1 << uint(in&63)
 			a.outputFree[out] = false
 			matched = true
 		}

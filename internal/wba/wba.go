@@ -18,6 +18,7 @@ package wba
 
 import (
 	"fmt"
+	"math/bits"
 
 	"voqsim/internal/cell"
 	"voqsim/internal/destset"
@@ -36,6 +37,13 @@ type Switch struct {
 	n      int
 	queues []fifoq.Queue[*entry]
 	rnd    *xrand.Rand
+
+	// occ tracks inputs with a non-empty queue, and heads caches their
+	// HOL entries for the duration of one Step: the grant scan then
+	// touches only live inputs via word iteration instead of probing
+	// all N queues per output.
+	occ   *destset.Set
+	heads []*entry
 }
 
 // New returns an n x n WBA switch drawing tie-break randomness from
@@ -44,7 +52,13 @@ func New(n int, root *xrand.Rand) *Switch {
 	if n <= 0 {
 		panic("wba: non-positive switch size")
 	}
-	return &Switch{n: n, queues: make([]fifoq.Queue[*entry], n), rnd: root.Split("wba", 0)}
+	return &Switch{
+		n:      n,
+		queues: make([]fifoq.Queue[*entry], n),
+		rnd:    root.Split("wba", 0),
+		occ:    destset.New(n),
+		heads:  make([]*entry, n),
+	}
 }
 
 // Ports returns the switch size N.
@@ -61,48 +75,64 @@ func (s *Switch) Arrive(p *cell.Packet) {
 	if p.Dests.Count() == 0 {
 		panic("wba: arrival with empty destination set")
 	}
+	if s.queues[p.Input].Empty() {
+		s.occ.Add(p.Input)
+	}
 	s.queues[p.Input].Push(&entry{p: p, remaining: p.Dests.Clone()})
 }
 
 // Step runs one time slot of request/grant arbitration and transfer.
 func (s *Switch) Step(slot int64, deliver func(cell.Delivery)) {
+	// Cache the HOL entry of every live input once per slot; grants
+	// mutate remaining in place, never the head pointer.
+	occWords := s.occ.Words()
+	s.occ.ForEach(func(in int) { s.heads[in] = s.queues[in].Front() })
+
 	for out := 0; out < s.n; out++ {
 		// Grant: heaviest (oldest) HOL request for this output wins;
-		// ties are broken uniformly (reservoir sampling).
+		// ties are broken uniformly (reservoir sampling). Only live
+		// inputs are scanned, in ascending order, so the RNG draw
+		// sequence matches the plain all-inputs loop.
 		best := int64(-1)
 		chosen := -1
 		ties := 0
-		for in := 0; in < s.n; in++ {
-			if s.queues[in].Empty() {
-				continue
-			}
-			e := s.queues[in].Front()
-			if !e.remaining.Contains(out) {
-				continue
-			}
-			age := slot - e.p.Arrival
-			switch {
-			case age > best:
-				best, chosen, ties = age, in, 1
-			case age == best:
-				ties++
-				if s.rnd.Intn(ties) == 0 {
-					chosen = in
+		for wi, wv := range occWords {
+			base := wi << 6
+			for wv != 0 {
+				in := base + bits.TrailingZeros64(wv)
+				wv &= wv - 1
+				e := s.heads[in]
+				if !e.remaining.Contains(out) {
+					continue
+				}
+				age := slot - e.p.Arrival
+				switch {
+				case age > best:
+					best, chosen, ties = age, in, 1
+				case age == best:
+					ties++
+					if s.rnd.Intn(ties) == 0 {
+						chosen = in
+					}
 				}
 			}
 		}
 		if chosen < 0 {
 			continue
 		}
-		e := s.queues[chosen].Front()
+		e := s.heads[chosen]
 		e.remaining.Remove(out)
 		deliver(cell.Delivery{ID: e.p.ID, In: chosen, Out: out, Slot: slot, Last: e.remaining.Empty()})
 	}
 
 	// Advance fully served head-of-line packets.
 	for in := 0; in < s.n; in++ {
+		s.heads[in] = nil
 		if !s.queues[in].Empty() && s.queues[in].Front().remaining.Empty() {
 			s.queues[in].Pop()
+			if s.queues[in].Empty() {
+				s.occ.Remove(in)
+			}
 		}
 	}
 }
