@@ -1,0 +1,20 @@
+package voqsim
+
+import "testing"
+
+// TestPreprocessZeroAllocs guards the arrival fast path: with the
+// observability layer detached (the default), preprocessing an
+// arriving multicast packet into its data and address cells must not
+// allocate. The pooled free lists and the nil-observer check are what
+// keep this at zero; see also the matching kernel guard in
+// internal/core.
+func TestPreprocessZeroAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed guard")
+	}
+	res := testing.Benchmark(BenchmarkPreprocess)
+	if a := res.AllocsPerOp(); a != 0 {
+		t.Fatalf("Arrive with observability disabled: %d allocs/op (%d B/op), want 0",
+			a, res.AllocedBytesPerOp())
+	}
+}

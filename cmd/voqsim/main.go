@@ -18,8 +18,17 @@
 //	-seed 1             run seed
 //	-json               print the full report as JSON
 //	-series FILE        write a per-slot backlog time series CSV
+//	-trace FILE         write a slot-level event trace (JSONL) of the run
+//	-metrics-every K    print a metrics snapshot to stderr every K slots
 //	-cpuprofile FILE    write a CPU profile of the run (go tool pprof)
 //	-memprofile FILE    write a heap profile at exit
+//
+// -trace and -metrics-every re-run the identical simulation with the
+// observability layer attached (the instrumentation draws no
+// randomness, so the observed run is bit-identical); feed the JSONL
+// trace to voqtrace timeline / voqtrace explain. Tracing and metrics
+// are supported for the core VOQ schedulers (fifoms, islip, pim, 2drr,
+// lqfms and variants) plus eslip and wba.
 //
 // Example — the paper's Figure 4 operating point at load 0.8:
 //
@@ -27,6 +36,7 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -36,6 +46,8 @@ import (
 
 	"voqsim"
 	"voqsim/internal/experiment"
+	"voqsim/internal/obs"
+	"voqsim/internal/report"
 	"voqsim/internal/switchsim"
 	"voqsim/internal/traffic"
 	"voqsim/internal/xrand"
@@ -55,6 +67,8 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "run seed")
 		asJSON    = flag.Bool("json", false, "print the report as JSON")
 		seriesOut = flag.String("series", "", "also write a per-slot backlog time series CSV to this file")
+		traceOut  = flag.String("trace", "", "also write a slot-level event trace (JSONL) to this file")
+		metricsK  = flag.Int64("metrics-every", 0, "print a metrics snapshot (JSONL) to stderr every K slots")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -99,6 +113,13 @@ func main() {
 
 	if *seriesOut != "" {
 		if err := writeSeries(*seriesOut, *algo, *n, *slots, *seed, report.Load, *trafficK, *b, *maxFanout, *eOn, *mcFrac); err != nil {
+			fmt.Fprintf(os.Stderr, "voqsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *traceOut != "" || *metricsK > 0 {
+		if err := runObserved(*traceOut, *metricsK, *algo, *n, *slots, *seed, report.Load, *trafficK, *b, *maxFanout, *eOn, *mcFrac); err != nil {
 			fmt.Fprintf(os.Stderr, "voqsim: %v\n", err)
 			os.Exit(1)
 		}
@@ -173,10 +194,11 @@ func startProfiles(cpuPath, memPath string) (stop func(), err error) {
 	}, nil
 }
 
-// writeSeries re-runs the identical simulation with a series recorder
-// attached and writes the per-slot backlog CSV. The rerun is exact:
-// the engine is deterministic in the seed.
-func writeSeries(path, algo string, n int, slots int64, seed uint64, load float64, family string, b float64, maxFanout int, eOn, mcFrac float64) error {
+// buildRunner reconstructs the exact simulation the facade ran — same
+// pattern, same seed derivation — so a second pass can attach
+// recorders or the observability layer. The rerun is exact: the engine
+// is deterministic in the seed.
+func buildRunner(algo string, n int, slots int64, seed uint64, load float64, family string, b float64, maxFanout int, eOn, mcFrac float64) (*switchsim.Runner, error) {
 	var pat traffic.Pattern
 	var err error
 	switch family {
@@ -189,18 +211,27 @@ func writeSeries(path, algo string, n int, slots int64, seed uint64, load float6
 	case "mixed":
 		pat, err = traffic.MixedAtLoad(load, mcFrac, maxFanout, n)
 	default:
-		return fmt.Errorf("series output not supported for traffic family %q", family)
+		return nil, fmt.Errorf("observed rerun not supported for traffic family %q", family)
 	}
 	if err != nil {
-		return err
+		return nil, err
 	}
 	a, err := experiment.ByName(algo)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	seedRoot := xrand.New(seed)
 	sw := a.New(n, seedRoot.Split("switch", 0))
-	runner := switchsim.New(sw, pat, switchsim.Config{Slots: slots, Seed: seed}, seedRoot.Split("traffic", 0))
+	return switchsim.New(sw, pat, switchsim.Config{Slots: slots, Seed: seed}, seedRoot.Split("traffic", 0)), nil
+}
+
+// writeSeries re-runs the identical simulation with a series recorder
+// attached and writes the per-slot backlog CSV.
+func writeSeries(path, algo string, n int, slots int64, seed uint64, load float64, family string, b float64, maxFanout int, eOn, mcFrac float64) error {
+	runner, err := buildRunner(algo, n, slots, seed, load, family, b, maxFanout, eOn, mcFrac)
+	if err != nil {
+		return err
+	}
 	stride := slots / 2000
 	rec := switchsim.NewSeriesRecorder(stride)
 	runner.Observe(rec)
@@ -218,5 +249,78 @@ func writeSeries(path, algo string, n int, slots int64, seed uint64, load float6
 		return err
 	}
 	fmt.Printf("series:               %s (%d points)\n", path, rec.Len())
+	return nil
+}
+
+// runObserved re-runs the identical simulation with the observability
+// layer attached (DESIGN.md §8): the event trace streams to tracePath
+// as JSONL, and every metricsEvery slots a registry snapshot goes to
+// stderr as one JSON line (plus a final snapshot at the end of the
+// run).
+func runObserved(tracePath string, metricsEvery int64, algo string, n int, slots int64, seed uint64, load float64, family string, b float64, maxFanout int, eOn, mcFrac float64) error {
+	runner, err := buildRunner(algo, n, slots, seed, load, family, b, maxFanout, eOn, mcFrac)
+	if err != nil {
+		return err
+	}
+
+	o := &obs.Observer{}
+	var traceFile *os.File
+	var bw *bufio.Writer
+	var emitted int64
+	if tracePath != "" {
+		traceFile, err = os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		bw = bufio.NewWriter(traceFile)
+		sink := report.EventSink(bw)
+		tr := obs.NewTracer(obs.DefaultTracerCap)
+		tr.OnFull(func(events []obs.Event) error {
+			emitted += int64(len(events))
+			return sink(events)
+		})
+		o.Trace = tr
+	}
+	if metricsEvery > 0 {
+		o.Metrics = obs.NewRegistry()
+	}
+	if !runner.Instrument(o) {
+		if traceFile != nil {
+			traceFile.Close()
+			os.Remove(tracePath)
+		}
+		return fmt.Errorf("algorithm %q does not support observability (core VOQ schedulers, eslip and wba do)", algo)
+	}
+
+	var lastSnapshotSlot int64 = -1
+	if metricsEvery > 0 {
+		runner.OnMetricsEvery(metricsEvery, func(slot int64, metrics []obs.Metric) {
+			lastSnapshotSlot = slot
+			if err := report.WriteMetricsJSONL(os.Stderr, slot, metrics); err != nil {
+				fmt.Fprintf(os.Stderr, "voqsim: metrics snapshot: %v\n", err)
+			}
+		})
+	}
+
+	res := runner.Run(algo)
+
+	if metricsEvery > 0 && res.Slots-1 != lastSnapshotSlot {
+		if err := report.WriteMetricsJSONL(os.Stderr, res.Slots-1, o.Metrics.Snapshot()); err != nil {
+			return fmt.Errorf("metrics snapshot: %w", err)
+		}
+	}
+	if o.Trace != nil {
+		flushErr := o.Trace.Flush()
+		if err := bw.Flush(); flushErr == nil {
+			flushErr = err
+		}
+		if err := traceFile.Close(); flushErr == nil {
+			flushErr = err
+		}
+		if flushErr != nil {
+			return fmt.Errorf("writing trace: %w", flushErr)
+		}
+		fmt.Printf("trace:                %s (%d events)\n", tracePath, emitted)
+	}
 	return nil
 }

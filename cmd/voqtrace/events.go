@@ -1,0 +1,232 @@
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"voqsim/internal/obs"
+	"voqsim/internal/report"
+)
+
+// eventInput returns the event-trace source for a subcommand: the
+// single positional file argument if one was given, stdin otherwise.
+// The caller must call the returned closer.
+func eventInput(fs *flag.FlagSet) (*os.File, func(), error) {
+	switch fs.NArg() {
+	case 0:
+		return os.Stdin, func() {}, nil
+	case 1:
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return nil, nil, err
+		}
+		return f, func() { f.Close() }, nil
+	default:
+		return nil, nil, fmt.Errorf("at most one trace file argument, got %d", fs.NArg())
+	}
+}
+
+// timeline renders a slot-level event trace (voqsim -trace output) as
+// a human-readable per-slot timeline, optionally filtered by slot
+// range, port or event type.
+func timeline(args []string) error {
+	fs := flag.NewFlagSet("timeline", flag.ExitOnError)
+	var (
+		from  = fs.Int64("from", 0, "first slot to show")
+		to    = fs.Int64("to", -1, "last slot to show (-1: end of trace)")
+		in    = fs.Int("in", -1, "only events touching this input port")
+		out   = fs.Int("out", -1, "only events touching this output port")
+		evStr = fs.String("ev", "", "only this event type (arrival|enqueue|request|grant|departure|split|drop)")
+	)
+	fs.Parse(args)
+
+	src, closeSrc, err := eventInput(fs)
+	if err != nil {
+		return err
+	}
+	defer closeSrc()
+	events, err := report.ReadEventsJSONL(src)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	var lastSlot int64 = -1
+	shown := 0
+	for _, e := range events {
+		if e.Slot < *from || (*to >= 0 && e.Slot > *to) {
+			continue
+		}
+		if *in >= 0 && int(e.In) != *in {
+			continue
+		}
+		if *out >= 0 && int(e.Out) != *out {
+			continue
+		}
+		if *evStr != "" && e.Type.String() != *evStr {
+			continue
+		}
+		if e.Slot != lastSlot {
+			if lastSlot >= 0 {
+				fmt.Fprintln(w)
+			}
+			fmt.Fprintf(w, "slot %d:\n", e.Slot)
+			lastSlot = e.Slot
+		}
+		fmt.Fprintf(w, "  %s\n", describe(e))
+		shown++
+	}
+	if shown == 0 {
+		fmt.Fprintln(w, "no matching events")
+	}
+	return nil
+}
+
+// describe renders one event for the timeline.
+func describe(e obs.Event) string {
+	switch e.Type {
+	case obs.EvArrival:
+		return fmt.Sprintf("arrival    in=%d pkt=%d fanout=%d", e.In, e.Packet, e.Aux)
+	case obs.EvEnqueue:
+		if e.Out < 0 {
+			return fmt.Sprintf("enqueue    in=%d pkt=%d queue=mc-fifo", e.In, e.Packet)
+		}
+		return fmt.Sprintf("enqueue    in=%d pkt=%d queue=voq[%d][%d]", e.In, e.Packet, e.In, e.Out)
+	case obs.EvRequest:
+		return fmt.Sprintf("request    in=%d -> out=%d round=%d ts=%d", e.In, e.Out, e.Round, e.TS)
+	case obs.EvGrant:
+		return fmt.Sprintf("grant      out=%d -> in=%d round=%d ts=%d", e.Out, e.In, e.Round, e.TS)
+	case obs.EvDeparture:
+		last := ""
+		if e.Aux == 1 {
+			last = " (last copy)"
+		}
+		return fmt.Sprintf("departure  in=%d -> out=%d pkt=%d%s", e.In, e.Out, e.Packet, last)
+	case obs.EvFanoutSplit:
+		return fmt.Sprintf("split      in=%d pkt=%d residue=%d", e.In, e.Packet, e.Aux)
+	default:
+		return e.String()
+	}
+}
+
+// explain answers "why did input I not get output J in slot S" from
+// the recorded requests, grants and HOL timestamps of that slot.
+func explain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	var (
+		in   = fs.Int("in", -1, "input port I")
+		out  = fs.Int("out", -1, "output port J")
+		slot = fs.Int64("slot", -1, "slot S")
+	)
+	fs.Parse(args)
+	if *in < 0 || *out < 0 || *slot < 0 {
+		return fmt.Errorf("explain needs -in, -out and -slot")
+	}
+
+	src, closeSrc, err := eventInput(fs)
+	if err != nil {
+		return err
+	}
+	defer closeSrc()
+	events, err := report.ReadEventsJSONL(src)
+	if err != nil {
+		return err
+	}
+
+	// Collect the slot's arbitration record for output J plus input
+	// I's own activity.
+	var (
+		slotSeen    bool
+		myRequests  []obs.Event // I -> J
+		anyRequests []obs.Event // I -> anywhere
+		grantsToJ   []obs.Event // J -> anyone
+		myGrants    []obs.Event // J -> I
+		departed    bool
+		matchedTo   = -1 // output I departed to, if any
+	)
+	for _, e := range events {
+		if e.Slot != *slot {
+			continue
+		}
+		slotSeen = true
+		switch e.Type {
+		case obs.EvRequest:
+			if int(e.In) == *in {
+				anyRequests = append(anyRequests, e)
+				if int(e.Out) == *out {
+					myRequests = append(myRequests, e)
+				}
+			}
+		case obs.EvGrant:
+			if int(e.Out) == *out {
+				grantsToJ = append(grantsToJ, e)
+				if int(e.In) == *in {
+					myGrants = append(myGrants, e)
+				}
+			}
+		case obs.EvDeparture:
+			if int(e.In) == *in {
+				if int(e.Out) == *out {
+					departed = true
+				}
+				matchedTo = int(e.Out)
+			}
+		}
+	}
+
+	fmt.Printf("slot %d, input %d, output %d:\n", *slot, *in, *out)
+	switch {
+	case !slotSeen:
+		fmt.Println("  no events recorded for this slot (outside the traced range, or an idle slot).")
+	case departed:
+		fmt.Printf("  input %d DID get output %d: a cell departed across that pair.\n", *in, *out)
+		for _, g := range myGrants {
+			fmt.Printf("  granted in round %d (HOL timestamp %d).\n", g.Round, g.TS)
+		}
+	case len(myRequests) == 0 && len(anyRequests) == 0:
+		fmt.Printf("  input %d issued no requests at all this slot: it had no eligible\n", *in)
+		fmt.Println("  head-of-line cell (empty queues), or it was already matched in an")
+		fmt.Println("  earlier round and left the free-input set.")
+		if matchedTo >= 0 {
+			fmt.Printf("  (it was in fact matched: a cell departed to output %d.)\n", matchedTo)
+		}
+	case len(myRequests) == 0:
+		outs := make(map[int32]bool)
+		for _, r := range anyRequests {
+			outs[r.Out] = true
+		}
+		sorted := make([]int, 0, len(outs))
+		for o := range outs {
+			sorted = append(sorted, int(o))
+		}
+		sort.Ints(sorted)
+		fmt.Printf("  input %d requested outputs %v but never output %d: its HOL cells'\n", *in, sorted, *out)
+		fmt.Printf("  destination sets did not include %d (or that VOQ was empty).\n", *out)
+	default:
+		req := myRequests[0]
+		fmt.Printf("  input %d requested output %d (round %d, HOL timestamp %d) but was\n",
+			*in, *out, req.Round, req.TS)
+		fmt.Println("  not granted. Competing grants at that output:")
+		if len(grantsToJ) == 0 {
+			fmt.Println("    (none recorded — the output granted a different class or the")
+			fmt.Println("    grant went unaccepted; see the timeline for the full exchange.)")
+		}
+		for _, g := range grantsToJ {
+			verdict := "won"
+			switch {
+			case g.TS >= 0 && req.TS >= 0 && g.TS < req.TS:
+				verdict = fmt.Sprintf("older HOL timestamp (%d < %d) wins", g.TS, req.TS)
+			case g.TS >= 0 && req.TS >= 0 && g.TS == req.TS:
+				verdict = fmt.Sprintf("equal timestamps (%d): tie broken against input %d", g.TS, *in)
+			case g.TS < 0:
+				verdict = "scheduler does not arbitrate on timestamps (pointer/random pick)"
+			}
+			fmt.Printf("    round %d: granted to input %d — %s.\n", g.Round, g.In, verdict)
+		}
+	}
+	return nil
+}

@@ -14,6 +14,19 @@
 //
 //	voqtrace info < trace.jsonl
 //	    prints the trace's measured load and fanout
+//
+// The timeline and explain subcommands consume slot-level *event*
+// traces (voqsim -trace out.jsonl), not arrival traces. Both read the
+// trace from a positional file argument, or from stdin when none is
+// given:
+//
+//	voqtrace timeline [-from S] [-to S] [-in I] [-out O] [-ev TYPE] [events.jsonl]
+//	    renders a per-slot timeline of arrivals, requests, grants,
+//	    departures and fanout splits
+//
+//	voqtrace explain -in I -out J -slot S [events.jsonl]
+//	    answers "why did input I not get output J in slot S" from the
+//	    recorded requests, grants and HOL timestamps
 package main
 
 import (
@@ -40,6 +53,10 @@ func main() {
 		err = run(args)
 	case "info":
 		err = info()
+	case "timeline":
+		err = timeline(args)
+	case "explain":
+		err = explain(args)
 	default:
 		usage()
 	}
@@ -50,7 +67,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: voqtrace record|run|info [flags]")
+	fmt.Fprintln(os.Stderr, "usage: voqtrace record|run|info|timeline|explain [flags]")
 	os.Exit(2)
 }
 

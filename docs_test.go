@@ -1,0 +1,126 @@
+package voqsim
+
+// TestDocLinks keeps the Markdown documentation navigable: every
+// relative link in the repo-root *.md files must point at a file that
+// exists, and every fragment must match a heading's GitHub-style
+// anchor in the target file. External links (http/https/mailto) are
+// not fetched. CI runs this in the docs job.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"unicode"
+)
+
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+func TestDocLinks(t *testing.T) {
+	files, err := filepath.Glob("*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no markdown files found at the repo root")
+	}
+	for _, file := range files {
+		body, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, target := range extractLinks(string(body)) {
+			checkLink(t, file, target)
+		}
+	}
+}
+
+// extractLinks returns the link targets of doc, ignoring fenced code
+// blocks (ASCII diagrams and shell snippets are not hypertext).
+func extractLinks(doc string) []string {
+	var targets []string
+	inFence := false
+	for _, line := range strings.Split(doc, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+			targets = append(targets, m[1])
+		}
+	}
+	return targets
+}
+
+func checkLink(t *testing.T, file, target string) {
+	t.Helper()
+	if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+		strings.HasPrefix(target, "mailto:") {
+		return
+	}
+	path, frag, _ := strings.Cut(target, "#")
+	if path == "" {
+		path = file // intra-document fragment
+	}
+	path = filepath.FromSlash(path)
+	if _, err := os.Stat(path); err != nil {
+		t.Errorf("%s: broken link %q: %v", file, target, err)
+		return
+	}
+	if frag == "" {
+		return
+	}
+	body, err := os.ReadFile(path)
+	if err != nil {
+		t.Errorf("%s: link %q: %v", file, target, err)
+		return
+	}
+	for _, a := range headingAnchors(string(body)) {
+		if a == frag {
+			return
+		}
+	}
+	t.Errorf("%s: link %q: no heading in %s has anchor #%s", file, target, path, frag)
+}
+
+// headingAnchors returns the GitHub-style anchor of every Markdown
+// heading in doc.
+func headingAnchors(doc string) []string {
+	var anchors []string
+	inFence := false
+	for _, line := range strings.Split(doc, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		text := strings.TrimLeft(line, "#")
+		if !strings.HasPrefix(text, " ") {
+			continue
+		}
+		anchors = append(anchors, anchorize(strings.TrimSpace(text)))
+	}
+	return anchors
+}
+
+// anchorize mirrors GitHub's heading-to-anchor rule: lowercase, drop
+// everything but letters, digits, spaces, hyphens and underscores,
+// then turn spaces into hyphens.
+func anchorize(heading string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '-' || r == '_':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}

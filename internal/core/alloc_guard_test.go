@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"voqsim/internal/obs"
+	"voqsim/internal/xrand"
+)
+
+// TestMatchZeroAllocsTracingDisabled guards the observability layer's
+// disabled fast path: with no observer attached — the state every
+// tier-1 benchmark runs in — the word-parallel match kernel must stay
+// allocation-free, as recorded in BENCH_fifoms.json.
+func TestMatchZeroAllocsTracingDisabled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed guard")
+	}
+	res := testing.Benchmark(func(b *testing.B) { benchMatch(b, 64, "uniform", &FIFOMS{}) })
+	if a := res.AllocsPerOp(); a != 0 {
+		t.Fatalf("FIFOMS match with tracing disabled: %d allocs/op (%d B/op), want 0",
+			a, res.AllocedBytesPerOp())
+	}
+}
+
+// TestMatchZeroAllocsTracingEnabled pins the enabled path's per-slot
+// cost model from DESIGN.md §8: the ring buffer and metric handles are
+// allocated at attach time, so steady-state emission itself must not
+// allocate either (in flight-recorder mode, where nothing streams to a
+// sink).
+func TestMatchZeroAllocsTracingEnabled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed guard")
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		arb := &FIFOMS{}
+		s := loadedMatchSwitch(64, "uniform", arb)
+		s.SetObserver(&obs.Observer{
+			Trace:   obs.NewTracer(obs.DefaultTracerCap),
+			Metrics: obs.NewRegistry(),
+		})
+		r := xrand.New(11)
+		m := NewMatching(64)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Clear()
+			arb.Match(s, 100, r, m)
+		}
+	})
+	if a := res.AllocsPerOp(); a != 0 {
+		t.Fatalf("FIFOMS match with tracing enabled: %d allocs/op (%d B/op), want 0",
+			a, res.AllocedBytesPerOp())
+	}
+}

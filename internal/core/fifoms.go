@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"voqsim/internal/destset"
+	"voqsim/internal/obs"
 	"voqsim/internal/xrand"
 )
 
@@ -117,11 +118,15 @@ func fillOnes(ws []uint64, n int) {
 }
 
 // Match implements Arbiter.
-func (f *FIFOMS) Match(s *Switch, _ int64, r *xrand.Rand, m *Matching) {
+func (f *FIFOMS) Match(s *Switch, slot int64, r *xrand.Rand, m *Matching) {
 	n := s.Ports()
 	f.ensure(n)
 	fillOnes(f.inFree, n)
 	fillOnes(f.outFree, n)
+
+	// o is nil in ordinary runs; every observation below hides behind
+	// one predictable branch so the kernel's hot loops are untouched.
+	o := s.Observer()
 
 	maxRounds := f.MaxRounds
 	if maxRounds <= 0 {
@@ -129,7 +134,7 @@ func (f *FIFOMS) Match(s *Switch, _ int64, r *xrand.Rand, m *Matching) {
 	}
 
 	if f.NoFanoutSplitting {
-		f.matchNoSplit(s, n, maxRounds, r, m)
+		f.matchNoSplit(s, n, maxRounds, r, m, slot, o)
 		return
 	}
 
@@ -185,10 +190,16 @@ func (f *FIFOMS) Match(s *Switch, _ int64, r *xrand.Rand, m *Matching) {
 		if !f.buildTranspose() {
 			break // no requests, hence no grants: converged
 		}
+		if o != nil {
+			f.observeRequests(o, slot, m.Rounds, false)
+		}
 
 		// Grant step over actual requesters only.
 		if !f.grantStep(r) {
 			break
+		}
+		if o != nil {
+			f.observeGrants(o, slot, m.Rounds)
 		}
 
 		// Reserve the matched ports and record the grants.
@@ -370,11 +381,63 @@ func (f *FIFOMS) grantStep(r *xrand.Rand) bool {
 	return len(f.grants) > 0
 }
 
+// observeRequests emits one EvRequest per requested (input, output)
+// pair of the current round and counts the pairs — the request side of
+// the grant/request-ratio metric. Under the no-splitting discipline
+// (nosplit true) an input's request only stands if every output of its
+// mask is still free. Only called with an observer attached.
+func (f *FIFOMS) observeRequests(o *obs.Observer, slot int64, round int, nosplit bool) {
+	w := f.words
+	traceOn := o.TraceOn()
+	var pairs int64
+	for wi := 0; wi < w; wi++ {
+		fw := f.inFree[wi]
+		for fw != 0 {
+			in := wi<<6 + bits.TrailingZeros64(fw)
+			fw &= fw - 1
+			if f.minTS[in] < 0 || (nosplit && !f.participates(in)) {
+				continue
+			}
+			row := f.reqMask[in*w : in*w+w]
+			for mw, mv := range row {
+				base := mw << 6
+				for mv != 0 {
+					out := base + bits.TrailingZeros64(mv)
+					mv &= mv - 1
+					pairs++
+					if traceOn {
+						o.Trace.Emit(obs.Event{
+							Slot: slot, Type: obs.EvRequest, In: int32(in), Out: int32(out),
+							Round: int32(round), TS: f.minTS[in], Packet: -1,
+						})
+					}
+				}
+			}
+		}
+	}
+	o.Counter(obs.MetricRequests).Add(pairs)
+}
+
+// observeGrants emits one EvGrant per grant standing after the round's
+// grant step and counts them. Only called with an observer attached.
+func (f *FIFOMS) observeGrants(o *obs.Observer, slot int64, round int) {
+	if o.TraceOn() {
+		for _, out := range f.grants {
+			in := f.granted[out]
+			o.Trace.Emit(obs.Event{
+				Slot: slot, Type: obs.EvGrant, In: int32(in), Out: int32(out),
+				Round: int32(round), TS: f.minTS[in], Packet: -1,
+			})
+		}
+	}
+	o.Counter(obs.MetricGrants).Add(int64(len(f.grants)))
+}
+
 // matchNoSplit is the all-or-nothing ablation's round loop. The
 // request masks over *all* outputs are invariant across rounds
 // (occupancy cannot change inside Match), so they are computed once;
 // each round only re-filters against the shrinking free-output set.
-func (f *FIFOMS) matchNoSplit(s *Switch, n, maxRounds int, r *xrand.Rand, m *Matching) {
+func (f *FIFOMS) matchNoSplit(s *Switch, n, maxRounds int, r *xrand.Rand, m *Matching, slot int64, o *obs.Observer) {
 	w := f.words
 	for in := 0; in < n; in++ {
 		f.computeRequestAll(s, in)
@@ -400,6 +463,9 @@ func (f *FIFOMS) matchNoSplit(s *Switch, n, maxRounds int, r *xrand.Rand, m *Mat
 		}
 		if !any {
 			break
+		}
+		if o != nil {
+			f.observeRequests(o, slot, m.Rounds, true)
 		}
 
 		if !f.grantStep(r) {
@@ -435,6 +501,10 @@ func (f *FIFOMS) matchNoSplit(s *Switch, n, maxRounds int, r *xrand.Rand, m *Mat
 			// so the slot has converged.
 			m.Rounds++
 			break
+		}
+		if o != nil {
+			// Only surviving (non-withdrawn) grants are observed.
+			f.observeGrants(o, slot, m.Rounds)
 		}
 
 		for _, out := range f.grants {

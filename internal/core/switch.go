@@ -8,6 +8,7 @@ import (
 	"voqsim/internal/crossbar"
 	"voqsim/internal/destset"
 	"voqsim/internal/fifoq"
+	"voqsim/internal/obs"
 	"voqsim/internal/xrand"
 )
 
@@ -72,6 +73,21 @@ type Switch struct {
 	lastRounds  int
 	totalRounds int64
 	activeSlots int64 // slots in which any cell was queued at arbitration time
+
+	// Observability (DESIGN.md §8). obs is nil in ordinary runs — the
+	// single nil check per instrumentation site is the whole disabled
+	// cost. The metric handles below are cached at SetObserver time so
+	// no per-slot path ever does a registry lookup; they are nil-safe
+	// no-ops when metrics are off.
+	obs         *obs.Observer
+	cArrivals   *obs.Counter
+	cEnqueues   *obs.Counter
+	cDepartures *obs.Counter
+	cCompleted  *obs.Counter
+	cSplits     *obs.Counter
+	cRounds     *obs.Counter
+	cActive     *obs.Counter
+	occHWM      []*obs.Gauge
 
 	// scratch reused every slot
 	grantsByIn [][]int
@@ -146,6 +162,32 @@ func (s *Switch) Arbiter() Arbiter { return s.arbiter }
 
 // Fabric exposes the crossbar for utilisation reporting.
 func (s *Switch) Fabric() *crossbar.Fabric { return s.fabric }
+
+// SetObserver attaches (or, with nil, detaches) the observability
+// layer. Call it before the run starts: counters assume they saw
+// every slot. The observer is shared with the arbiter, which reads it
+// through Observer to emit per-round request/grant events.
+func (s *Switch) SetObserver(o *obs.Observer) {
+	s.obs = o
+	s.cArrivals = o.Counter(obs.MetricArrivals)
+	s.cEnqueues = o.Counter(obs.MetricEnqueues)
+	s.cDepartures = o.Counter(obs.MetricDepartures)
+	s.cCompleted = o.Counter(obs.MetricCompleted)
+	s.cSplits = o.Counter(obs.MetricSplits)
+	s.cRounds = o.Counter(obs.MetricRounds)
+	s.cActive = o.Counter(obs.MetricActiveSlots)
+	s.occHWM = nil
+	if o.MetricsOn() {
+		s.occHWM = make([]*obs.Gauge, s.n)
+		for i := range s.occHWM {
+			s.occHWM[i] = o.Gauge(obs.OccHWM(i))
+		}
+	}
+}
+
+// Observer returns the attached observability layer, nil when
+// disabled. Arbiters fetch it once per Match call.
+func (s *Switch) Observer() *obs.Observer { return s.obs }
 
 // newAddressCell takes an address cell from the port's freelist or
 // allocates one.
@@ -244,6 +286,31 @@ func (s *Switch) Arrive(p *cell.Packet) {
 	default:
 		panic("core: unknown preprocess mode")
 	}
+	if s.obs != nil {
+		s.observeArrival(p, fanout)
+	}
+}
+
+// observeArrival records a packet's arrival and per-destination
+// enqueues; only called with an observer attached.
+func (s *Switch) observeArrival(p *cell.Packet, fanout int) {
+	if s.obs.TraceOn() {
+		s.obs.Trace.Emit(obs.Event{
+			Slot: p.Arrival, Type: obs.EvArrival, In: int32(p.Input), Out: -1,
+			Round: -1, Aux: int32(fanout), TS: p.Arrival, Packet: int64(p.ID),
+		})
+		p.Dests.ForEach(func(out int) {
+			s.obs.Trace.Emit(obs.Event{
+				Slot: p.Arrival, Type: obs.EvEnqueue, In: int32(p.Input), Out: int32(out),
+				Round: -1, TS: p.Arrival, Packet: int64(p.ID),
+			})
+		})
+	}
+	s.cArrivals.Inc()
+	s.cEnqueues.Add(int64(fanout))
+	if s.occHWM != nil {
+		s.occHWM[p.Input].Max(int64(s.ports[p.Input].dataCells))
+	}
 }
 
 // HOL returns the head-of-line address cell of input in's VOQ for
@@ -300,6 +367,10 @@ func (s *Switch) Step(slot int64, deliver func(cell.Delivery)) {
 		s.arbiter.Match(s, slot, s.rnd, s.match)
 		s.activeSlots++
 		s.totalRounds += int64(s.match.Rounds)
+		if s.obs != nil {
+			s.cActive.Inc()
+			s.cRounds.Add(int64(s.match.Rounds))
+		}
 	}
 	s.lastRounds = s.match.Rounds
 
@@ -359,6 +430,9 @@ func (s *Switch) Step(slot int64, deliver func(cell.Delivery)) {
 				port.dataCells--
 			}
 			deliver(cell.Delivery{ID: ac.Data.Packet.ID, In: in, Out: out, Slot: slot, Last: last})
+			if s.obs != nil {
+				s.observeDeparture(slot, in, out, ac, last)
+			}
 			// The delivery is out the door; recycle the cells. The data
 			// cell is recycled only on its last copy (in ModeShared its
 			// siblings in this very loop still point at it until then).
@@ -370,6 +444,39 @@ func (s *Switch) Step(slot int64, deliver func(cell.Delivery)) {
 			ac.Data = nil
 			port.freeAddr = append(port.freeAddr, ac)
 		}
+		// Fanout splitting (Section III): the packet's data cell still
+		// has unserved destinations after this slot's copies left, so
+		// its residue stays queued and competes again — an event only
+		// contention can cause, hence worth tracing.
+		if s.obs != nil && s.mode == ModeShared && data != nil && data.FanoutCounter > 0 {
+			if s.obs.TraceOn() {
+				s.obs.Trace.Emit(obs.Event{
+					Slot: slot, Type: obs.EvFanoutSplit, In: int32(in), Out: -1, Round: -1,
+					Aux: int32(data.FanoutCounter), TS: data.Packet.Arrival, Packet: int64(data.Packet.ID),
+				})
+			}
+			s.cSplits.Inc()
+		}
+	}
+}
+
+// observeDeparture records one delivered copy; only called with an
+// observer attached. ac is the just-popped address cell (its Data
+// pointer is still live).
+func (s *Switch) observeDeparture(slot int64, in, out int, ac *cell.AddressCell, last bool) {
+	if s.obs.TraceOn() {
+		aux := int32(0)
+		if last {
+			aux = 1
+		}
+		s.obs.Trace.Emit(obs.Event{
+			Slot: slot, Type: obs.EvDeparture, In: int32(in), Out: int32(out),
+			Round: -1, Aux: aux, TS: ac.TimeStamp, Packet: int64(ac.Data.Packet.ID),
+		})
+	}
+	s.cDepartures.Inc()
+	if last {
+		s.cCompleted.Inc()
 	}
 }
 

@@ -5,6 +5,13 @@
 // decision, so they are represented as packed bit vectors: membership,
 // insertion and removal are O(1), and iteration and popcount are O(N/64).
 // N is bounded only by memory; the simulator uses N up to a few thousand.
+//
+// The packed words are also the currency of the word-parallel fast
+// paths (DESIGN.md §7): Words exposes a set's backing words and
+// WordsPerRow the shared row stride, so schedulers can intersect
+// occupancy, request and free-port sets with bare uint64 arithmetic
+// and walk survivors via trailing-zero iteration — without going
+// through per-element calls.
 package destset
 
 import (

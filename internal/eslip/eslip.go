@@ -38,6 +38,7 @@ import (
 	"voqsim/internal/cell"
 	"voqsim/internal/destset"
 	"voqsim/internal/fifoq"
+	"voqsim/internal/obs"
 )
 
 // mcEntry is a queued multicast packet with its unserved destinations.
@@ -74,6 +75,25 @@ type Switch struct {
 	totalRounds int64
 	activeSlots int64
 
+	// payloads counts buffered payloads per input (unicast cells plus
+	// multicast packets), kept incrementally so the occupancy
+	// high-water gauge costs O(1) per arrival instead of an O(N) scan.
+	payloads []int
+
+	// Observability (DESIGN.md §8); obs is nil in ordinary runs and
+	// the metric handles are nil-safe no-ops.
+	obs         *obs.Observer
+	cArrivals   *obs.Counter
+	cEnqueues   *obs.Counter
+	cDepartures *obs.Counter
+	cCompleted  *obs.Counter
+	cSplits     *obs.Counter
+	cRequests   *obs.Counter
+	cGrants     *obs.Counter
+	cRounds     *obs.Counter
+	cActive     *obs.Counter
+	occHWM      []*obs.Gauge
+
 	// scratch
 	inputFree  []bool
 	outputFree []bool
@@ -106,6 +126,7 @@ func New(n int) *Switch {
 		uniGrant:   make([]int, n),
 		mcGrant:    make([]int, n),
 		served:     make([]int, n),
+		payloads:   make([]int, n),
 	}
 	for i := range s.uniVOQ {
 		s.uniVOQ[i] = make([]fifoq.Queue[uniCell], n)
@@ -132,6 +153,28 @@ func (s *Switch) Ports() int { return s.n }
 // Name identifies the algorithm in reports.
 func (s *Switch) Name() string { return "eslip" }
 
+// SetObserver attaches (or detaches, with nil) the observability
+// layer; call it before the run starts.
+func (s *Switch) SetObserver(o *obs.Observer) {
+	s.obs = o
+	s.cArrivals = o.Counter(obs.MetricArrivals)
+	s.cEnqueues = o.Counter(obs.MetricEnqueues)
+	s.cDepartures = o.Counter(obs.MetricDepartures)
+	s.cCompleted = o.Counter(obs.MetricCompleted)
+	s.cSplits = o.Counter(obs.MetricSplits)
+	s.cRequests = o.Counter(obs.MetricRequests)
+	s.cGrants = o.Counter(obs.MetricGrants)
+	s.cRounds = o.Counter(obs.MetricRounds)
+	s.cActive = o.Counter(obs.MetricActiveSlots)
+	s.occHWM = nil
+	if o.MetricsOn() {
+		s.occHWM = make([]*obs.Gauge, s.n)
+		for i := range s.occHWM {
+			s.occHWM[i] = o.Gauge(obs.OccHWM(i))
+		}
+	}
+}
+
 // Arrive enqueues a packet: unicast cells enter their VOQ, multicast
 // packets enter the input's multicast queue whole.
 func (s *Switch) Arrive(p *cell.Packet) {
@@ -139,11 +182,13 @@ func (s *Switch) Arrive(p *cell.Packet) {
 		panic(fmt.Sprintf("eslip: arrival at invalid input %d", p.Input))
 	}
 	fanout := p.Dests.Count()
+	enqueueOut := int32(-1) // multicast: one entry in the single mc FIFO
 	switch {
 	case fanout == 0:
 		panic("eslip: arrival with empty destination set")
 	case fanout == 1:
 		out := p.Dests.Min()
+		enqueueOut = int32(out)
 		if s.uniVOQ[p.Input][out].Empty() {
 			s.uniOcc[out].Add(p.Input)
 		}
@@ -153,6 +198,24 @@ func (s *Switch) Arrive(p *cell.Packet) {
 			s.mcOcc.Add(p.Input)
 		}
 		s.mcQ[p.Input].Push(&mcEntry{p: p, remaining: p.Dests.Clone()})
+	}
+	s.payloads[p.Input]++
+	if s.obs != nil {
+		if s.obs.TraceOn() {
+			s.obs.Trace.Emit(obs.Event{
+				Slot: p.Arrival, Type: obs.EvArrival, In: int32(p.Input), Out: -1,
+				Round: -1, Aux: int32(fanout), TS: p.Arrival, Packet: int64(p.ID),
+			})
+			s.obs.Trace.Emit(obs.Event{
+				Slot: p.Arrival, Type: obs.EvEnqueue, In: int32(p.Input), Out: enqueueOut,
+				Round: -1, TS: p.Arrival, Packet: int64(p.ID),
+			})
+		}
+		s.cArrivals.Inc()
+		s.cEnqueues.Inc()
+		if s.occHWM != nil {
+			s.occHWM[p.Input].Max(int64(s.payloads[p.Input]))
+		}
 	}
 }
 
@@ -180,6 +243,9 @@ func (s *Switch) Step(slot int64, deliver func(cell.Delivery)) {
 		s.mcCand.Clear()
 		s.mcCand.UnionWith(s.mcOcc)
 		s.mcCand.IntersectWith(s.freeIn)
+		if s.obs != nil {
+			s.observeRequests(slot, iter)
+		}
 		anyGrant := false
 		for out := 0; out < n; out++ {
 			s.uniGrant[out] = -1
@@ -239,11 +305,15 @@ func (s *Switch) Step(slot int64, deliver func(cell.Delivery)) {
 				}
 				e := s.mcQ[in].Front()
 				e.remaining.Remove(out)
+				last := e.remaining.Empty()
 				s.outputFree[out] = false
-				deliver(cell.Delivery{ID: e.p.ID, In: in, Out: out, Slot: slot, Last: e.remaining.Empty()})
+				deliver(cell.Delivery{ID: e.p.ID, In: in, Out: out, Slot: slot, Last: last})
 				s.served[in]++
 				tookMulticast = true
 				matched = true
+				if s.obs != nil {
+					s.observeDelivery(slot, iter, in, out, e.p, last)
+				}
 			}
 			if tookMulticast {
 				s.inputFree[in] = false
@@ -260,11 +330,15 @@ func (s *Switch) Step(slot int64, deliver func(cell.Delivery)) {
 				if s.uniVOQ[in][out].Empty() {
 					s.uniOcc[out].Remove(in)
 				}
+				s.payloads[in]--
 				s.outputFree[out] = false
 				s.inputFree[in] = false
 				s.freeIn.Remove(in)
 				deliver(cell.Delivery{ID: c.p.ID, In: in, Out: out, Slot: slot, Last: true})
 				matched = true
+				if s.obs != nil {
+					s.observeDelivery(slot, iter, in, out, c.p, true)
+				}
 				if iter == 0 {
 					s.grantPtr[out] = (in + 1) % n
 					s.acceptPtr[in] = (out + 1) % n
@@ -286,12 +360,24 @@ func (s *Switch) Step(slot int64, deliver func(cell.Delivery)) {
 	for in := 0; in < n; in++ {
 		if !s.mcQ[in].Empty() && s.mcQ[in].Front().remaining.Empty() {
 			s.mcQ[in].Pop()
+			s.payloads[in]--
 			if s.mcQ[in].Empty() {
 				s.mcOcc.Remove(in)
 			}
 			if in == s.mcPtr {
 				s.mcPtr = (s.mcPtr + 1) % n
 			}
+		} else if s.obs != nil && s.served[in] > 0 && !s.mcQ[in].Empty() {
+			// Partially served: the residue stays at HOL (fanout
+			// splitting) and competes again next slot.
+			e := s.mcQ[in].Front()
+			if s.obs.TraceOn() {
+				s.obs.Trace.Emit(obs.Event{
+					Slot: slot, Type: obs.EvFanoutSplit, In: int32(in), Out: -1, Round: -1,
+					Aux: int32(e.remaining.Count()), TS: e.p.Arrival, Packet: int64(e.p.ID),
+				})
+			}
+			s.cSplits.Inc()
 		}
 	}
 
@@ -299,6 +385,81 @@ func (s *Switch) Step(slot int64, deliver func(cell.Delivery)) {
 	if busy {
 		s.activeSlots++
 		s.totalRounds += int64(rounds)
+		if s.obs != nil {
+			s.cActive.Inc()
+			s.cRounds.Add(int64(rounds))
+		}
+	}
+}
+
+// observeRequests emits this iteration's implicit ESLIP requests —
+// every free input's HOL multicast packet requests its remaining free
+// outputs, and every non-empty unicast VOQ with a free input and free
+// output requests that output — and counts the pairs. Only called with
+// an observer attached.
+func (s *Switch) observeRequests(slot int64, iter int) {
+	traceOn := s.obs.TraceOn()
+	var pairs int64
+	s.mcCand.ForEach(func(in int) {
+		e := s.mcQ[in].Front()
+		e.remaining.ForEach(func(out int) {
+			if !s.outputFree[out] {
+				return
+			}
+			pairs++
+			if traceOn {
+				s.obs.Trace.Emit(obs.Event{
+					Slot: slot, Type: obs.EvRequest, In: int32(in), Out: int32(out),
+					Round: int32(iter), TS: e.p.Arrival, Packet: int64(e.p.ID),
+				})
+			}
+		})
+	})
+	for out := 0; out < s.n; out++ {
+		if !s.outputFree[out] {
+			continue
+		}
+		s.uniCand.Clear()
+		s.uniCand.UnionWith(s.uniOcc[out])
+		s.uniCand.IntersectWith(s.freeIn)
+		s.uniCand.ForEach(func(in int) {
+			pairs++
+			if traceOn {
+				p := s.uniVOQ[in][out].Front().p
+				s.obs.Trace.Emit(obs.Event{
+					Slot: slot, Type: obs.EvRequest, In: int32(in), Out: int32(out),
+					Round: int32(iter), TS: p.Arrival, Packet: int64(p.ID),
+				})
+			}
+		})
+	}
+	s.cRequests.Add(pairs)
+}
+
+// observeDelivery emits the grant and departure events for one accepted
+// copy and bumps the matching counters. Only called with an observer
+// attached.
+func (s *Switch) observeDelivery(slot int64, iter, in, out int, p *cell.Packet, last bool) {
+	if s.obs.TraceOn() {
+		// The grant event records the accepted match (grant + accept
+		// collapsed); TS is the packet's arrival, ESLIP's implicit age.
+		s.obs.Trace.Emit(obs.Event{
+			Slot: slot, Type: obs.EvGrant, In: int32(in), Out: int32(out),
+			Round: int32(iter), TS: p.Arrival, Packet: int64(p.ID),
+		})
+		aux := int32(0)
+		if last {
+			aux = 1
+		}
+		s.obs.Trace.Emit(obs.Event{
+			Slot: slot, Type: obs.EvDeparture, In: int32(in), Out: int32(out),
+			Round: -1, Aux: aux, TS: p.Arrival, Packet: int64(p.ID),
+		})
+	}
+	s.cGrants.Inc()
+	s.cDepartures.Inc()
+	if last {
+		s.cCompleted.Inc()
 	}
 }
 

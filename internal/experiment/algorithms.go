@@ -9,6 +9,11 @@
 // independent simulations, so the sweep scales linearly with cores —
 // while keeping results bit-reproducible: every point derives its own
 // seed from the sweep seed, never from scheduling order.
+//
+// The checked-in EXPERIMENTS.md is the rendered output of these sweeps
+// (via internal/report and cmd/voqreport); its "Worked reproduction"
+// section shows how to regenerate individual figure points with
+// cmd/voqsweep using the same seeds.
 package experiment
 
 import (

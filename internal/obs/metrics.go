@@ -1,0 +1,147 @@
+package obs
+
+import "sort"
+
+// MetricKind distinguishes the two metric flavours the registry holds.
+type MetricKind uint8
+
+const (
+	// KindCounter is a monotonically non-decreasing count.
+	KindCounter MetricKind = iota
+	// KindGauge is a point-in-time or high-water value.
+	KindGauge
+)
+
+// String returns "counter" or "gauge".
+func (k MetricKind) String() string {
+	if k == KindCounter {
+		return "counter"
+	}
+	return "gauge"
+}
+
+// MarshalJSON encodes the kind as its String form.
+func (k MetricKind) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + k.String() + `"`), nil
+}
+
+// Counter is a monotonic int64 count. The zero value is ready to use;
+// obtain shared named instances from a Registry.
+type Counter struct{ v int64 }
+
+// Add increases the counter by d (negative deltas are a programming
+// error but are not policed on the hot path).
+func (c *Counter) Add(d int64) {
+	if c != nil {
+		c.v += d
+	}
+}
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is an instantaneous int64 value with a high-water helper.
+type Gauge struct{ v int64 }
+
+// Set overwrites the gauge.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Max raises the gauge to v if v is larger — the one-liner behind
+// every high-water mark in the registry.
+func (g *Gauge) Max(v int64) {
+	if g != nil && v > g.v {
+		g.v = v
+	}
+}
+
+// Value returns the current value (0 on a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Metric is one snapshotted value.
+type Metric struct {
+	Name  string     `json:"name"`
+	Kind  MetricKind `json:"kind"`
+	Value int64      `json:"value"`
+}
+
+// Registry is a set of named counters and gauges. Names are
+// lower_snake_case with an optional _total suffix for counters and a
+// per-port index suffix where applicable (e.g. occ_hwm_port_03); the
+// standard names the switches register are listed in DESIGN.md §8.
+// Counter and Gauge are get-or-create, so instrumentation can look a
+// metric up once at attach time and keep the pointer — lookups never
+// belong on a per-slot path. Not safe for concurrent use.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+	}
+}
+
+// Counter returns the named counter, creating it at zero on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	if _, ok := r.gauges[name]; ok {
+		panic("obs: metric " + name + " already registered as a gauge")
+	}
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it at zero on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	if _, ok := r.counters[name]; ok {
+		panic("obs: metric " + name + " already registered as a counter")
+	}
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Snapshot returns every metric's current value, sorted by name, so a
+// registry can be sampled mid-run (voqsim -metrics-every) without
+// disturbing it.
+func (r *Registry) Snapshot() []Metric {
+	out := make([]Metric, 0, len(r.counters)+len(r.gauges))
+	for name, c := range r.counters {
+		out = append(out, Metric{Name: name, Kind: KindCounter, Value: c.v})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Metric{Name: name, Kind: KindGauge, Value: g.v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

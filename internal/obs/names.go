@@ -1,0 +1,41 @@
+package obs
+
+import "fmt"
+
+// Standard metric names registered by the instrumented switches, so
+// that tools and tests never disagree on spelling. Not every switch
+// registers every name: request/grant/round counters come from the
+// arbitration step, occupancy high-water marks from the queueing step.
+const (
+	// MetricArrivals counts packets handed to Arrive.
+	MetricArrivals = "arrivals_total"
+	// MetricEnqueues counts queue entries created (address cells on
+	// the paper's structure; cells or packets on the baselines).
+	MetricEnqueues = "enqueued_cells_total"
+	// MetricDepartures counts cell copies delivered across the fabric.
+	MetricDepartures = "departures_total"
+	// MetricCompleted counts packets whose last copy departed.
+	MetricCompleted = "packets_completed_total"
+	// MetricSplits counts fanout splits: slots in which an input
+	// served only part of a multicast packet's remaining destinations.
+	// Divide by MetricArrivals for the paper's splits-per-packet rate.
+	MetricSplits = "splits_total"
+	// MetricRequests counts (input, output) request pairs over all
+	// arbitration rounds.
+	MetricRequests = "requests_total"
+	// MetricGrants counts grants issued by outputs; the grant/request
+	// ratio MetricGrants/MetricRequests measures arbitration
+	// efficiency.
+	MetricGrants = "grants_total"
+	// MetricRounds counts arbitration rounds over the run.
+	MetricRounds = "rounds_total"
+	// MetricActiveSlots counts slots in which the arbiter had any
+	// queued cell to consider; MetricRounds/MetricActiveSlots is the
+	// Figure 5 convergence metric.
+	MetricActiveSlots = "active_slots_total"
+)
+
+// OccHWM returns the per-port occupancy high-water-mark gauge name,
+// e.g. "occ_hwm_port_03": the largest number of buffered payloads the
+// port ever held (the peak of the paper's queue-size metric).
+func OccHWM(port int) string { return fmt.Sprintf("occ_hwm_port_%02d", port) }

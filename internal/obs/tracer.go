@@ -1,0 +1,115 @@
+package obs
+
+// Tracer is a ring buffer of Events. Emit is O(1) and allocation-free:
+// the buffer is a flat []Event written in arrival order, wrapping at
+// capacity.
+//
+// Two disciplines govern a full ring (DESIGN.md §8):
+//
+//   - Streaming: with a flush callback attached via OnFull, a full
+//     ring is drained to the callback and recording continues. This is
+//     how cmd/voqsim's -trace writes unbounded JSONL traces with a
+//     bounded-memory tracer.
+//   - Flight recorder: without a callback, the oldest event is
+//     overwritten and Dropped counts the loss. This keeps "the last
+//     64k decisions before the anomaly" available at zero i/o cost.
+//
+// The tracer is not safe for concurrent use, matching the simulator's
+// single-goroutine-per-run discipline.
+type Tracer struct {
+	buf     []Event
+	start   int // index of the oldest event
+	n       int // live events
+	dropped int64
+	flush   func([]Event) error
+	err     error // first flush error, sticky
+}
+
+// DefaultTracerCap is the ring capacity used when NewTracer is given a
+// non-positive one: 64Ki events ≈ 2.5 MiB, a long flight-recorder
+// window at a few hundred events per slot.
+const DefaultTracerCap = 1 << 16
+
+// NewTracer returns a tracer with the given ring capacity (values < 1
+// fall back to DefaultTracerCap).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = DefaultTracerCap
+	}
+	return &Tracer{buf: make([]Event, capacity)}
+}
+
+// OnFull attaches a flush callback, switching the tracer from flight
+// recorder to streaming: whenever the ring fills, its contents are
+// passed to fn in order and the ring is reset. Call Flush at the end
+// of the run to drain the final partial batch. A callback error is
+// sticky (see Err) and stops further flushes from retrying the sink.
+func (t *Tracer) OnFull(fn func(batch []Event) error) { t.flush = fn }
+
+// Emit records one event.
+func (t *Tracer) Emit(e Event) {
+	if t.n == len(t.buf) {
+		if t.flush != nil {
+			t.drain()
+		} else {
+			// Flight recorder: overwrite the oldest.
+			t.buf[t.start] = e
+			t.start++
+			if t.start == len(t.buf) {
+				t.start = 0
+			}
+			t.dropped++
+			return
+		}
+	}
+	i := t.start + t.n
+	if i >= len(t.buf) {
+		i -= len(t.buf)
+	}
+	t.buf[i] = e
+	t.n++
+}
+
+// drain hands the ring's contents to the flush callback and resets it.
+func (t *Tracer) drain() {
+	batch := t.Events()
+	t.start, t.n = 0, 0
+	if t.err != nil {
+		return // sink already failed; drop silently but keep counting
+	}
+	if err := t.flush(batch); err != nil {
+		t.err = err
+	}
+}
+
+// Flush drains buffered events to the OnFull callback (a no-op without
+// one) and returns the first sink error seen, if any.
+func (t *Tracer) Flush() error {
+	if t.flush != nil && t.n > 0 {
+		t.drain()
+	}
+	return t.err
+}
+
+// Err returns the first error the flush callback reported.
+func (t *Tracer) Err() error { return t.err }
+
+// Len returns the number of events currently buffered.
+func (t *Tracer) Len() int { return t.n }
+
+// Cap returns the ring capacity.
+func (t *Tracer) Cap() int { return len(t.buf) }
+
+// Dropped returns how many events were overwritten in flight-recorder
+// mode (always 0 in streaming mode).
+func (t *Tracer) Dropped() int64 { return t.dropped }
+
+// Events returns the buffered events, oldest first, as a fresh slice.
+func (t *Tracer) Events() []Event {
+	out := make([]Event, t.n)
+	head := copy(out, t.buf[t.start:min(t.start+t.n, len(t.buf))])
+	if head < t.n {
+		copy(out[head:], t.buf[:t.n-head])
+	}
+	return out
+}

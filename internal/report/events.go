@@ -1,0 +1,122 @@
+package report
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"voqsim/internal/obs"
+)
+
+// EventSink returns a flush function suitable for obs.Tracer.OnFull
+// (and for the final Flush) that appends each batch to w as JSON
+// Lines, one event per line. Wrap w in a bufio.Writer and flush it
+// yourself if w is unbuffered.
+func EventSink(w io.Writer) func([]obs.Event) error {
+	enc := json.NewEncoder(w)
+	return func(events []obs.Event) error {
+		for i := range events {
+			if err := enc.Encode(&events[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// WriteEventsJSONL writes events to w as JSON Lines.
+func WriteEventsJSONL(w io.Writer, events []obs.Event) error {
+	return EventSink(w)(events)
+}
+
+// ReadEventsJSONL parses a JSON Lines event stream produced by
+// WriteEventsJSONL / EventSink. Blank lines are skipped.
+func ReadEventsJSONL(r io.Reader) ([]obs.Event, error) {
+	var events []obs.Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var e obs.Event
+		if err := json.Unmarshal(b, &e); err != nil {
+			return nil, fmt.Errorf("report: trace line %d: %w", line, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("report: reading trace: %w", err)
+	}
+	return events, nil
+}
+
+// WriteEventsCSV writes events to w as CSV with a header row, columns
+// matching the JSONL field order.
+func WriteEventsCSV(w io.Writer, events []obs.Event) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"slot", "ev", "in", "out", "round", "aux", "ts", "pkt"}); err != nil {
+		return err
+	}
+	for i := range events {
+		e := &events[i]
+		rec := []string{
+			strconv.FormatInt(e.Slot, 10),
+			e.Type.String(),
+			strconv.FormatInt(int64(e.In), 10),
+			strconv.FormatInt(int64(e.Out), 10),
+			strconv.FormatInt(int64(e.Round), 10),
+			strconv.FormatInt(int64(e.Aux), 10),
+			strconv.FormatInt(e.TS, 10),
+			strconv.FormatInt(e.Packet, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// MetricsSnapshot is one timestamped registry snapshot, as emitted by
+// voqsim -metrics-every.
+type MetricsSnapshot struct {
+	Slot    int64        `json:"slot"`
+	Metrics []obs.Metric `json:"metrics"`
+}
+
+// WriteMetricsJSONL appends one snapshot to w as a single JSON line.
+func WriteMetricsJSONL(w io.Writer, slot int64, metrics []obs.Metric) error {
+	return json.NewEncoder(w).Encode(MetricsSnapshot{Slot: slot, Metrics: metrics})
+}
+
+// WriteMetricsCSV writes one snapshot to w as CSV rows
+// (slot,name,kind,value), emitting the header only when header is
+// true — pass true for the first snapshot of a file.
+func WriteMetricsCSV(w io.Writer, slot int64, metrics []obs.Metric, header bool) error {
+	cw := csv.NewWriter(w)
+	if header {
+		if err := cw.Write([]string{"slot", "name", "kind", "value"}); err != nil {
+			return err
+		}
+	}
+	for _, m := range metrics {
+		rec := []string{
+			strconv.FormatInt(slot, 10),
+			m.Name,
+			m.Kind.String(),
+			strconv.FormatInt(m.Value, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -15,6 +15,7 @@ import (
 
 	"voqsim/internal/core"
 	"voqsim/internal/destset"
+	"voqsim/internal/obs"
 	"voqsim/internal/xrand"
 )
 
@@ -61,8 +62,9 @@ func (a *Arbiter) ensure(n int) {
 }
 
 // Match implements core.Arbiter.
-func (a *Arbiter) Match(s *core.Switch, _ int64, r *xrand.Rand, m *core.Matching) {
+func (a *Arbiter) Match(s *core.Switch, slot int64, r *xrand.Rand, m *core.Matching) {
 	n := s.Ports()
+	o := s.Observer() // nil in ordinary runs
 	a.ensure(n)
 	for i := range a.inFree {
 		a.inFree[i] = ^uint64(0)
@@ -79,6 +81,9 @@ func (a *Arbiter) Match(s *core.Switch, _ int64, r *xrand.Rand, m *core.Matching
 	}
 
 	for iter := 0; iter < maxIter; iter++ {
+		if o != nil {
+			a.observeRequests(s, o, slot, iter)
+		}
 		// Grant: each free output picks uniformly among free inputs
 		// with a queued cell for it (single-pass reservoir sampling
 		// over the occupancy ∩ free-input words; the ascending scan
@@ -122,6 +127,7 @@ func (a *Arbiter) Match(s *core.Switch, _ int64, r *xrand.Rand, m *core.Matching
 		}
 
 		matched := false
+		var granted int64
 		for in := 0; in < n; in++ {
 			out := a.acceptPick[in]
 			if out == core.None {
@@ -131,10 +137,55 @@ func (a *Arbiter) Match(s *core.Switch, _ int64, r *xrand.Rand, m *core.Matching
 			a.inFree[in>>6] &^= 1 << uint(in&63)
 			a.outputFree[out] = false
 			matched = true
+			if o != nil {
+				granted++
+				if o.TraceOn() {
+					// PIM has no scheduling weight; TS is -1. The grant
+					// event records the accepted match (grant + accept
+					// collapsed), mirroring FIFOMS's standing grants.
+					o.Trace.Emit(obs.Event{
+						Slot: slot, Type: obs.EvGrant, In: int32(in), Out: int32(out),
+						Round: int32(iter), TS: -1, Packet: -1,
+					})
+				}
+			}
+		}
+		if o != nil {
+			o.Counter(obs.MetricGrants).Add(granted)
 		}
 		if !matched {
 			break
 		}
 		m.Rounds++
 	}
+}
+
+// observeRequests emits this iteration's implicit PIM requests — every
+// free input requests every free output it holds a cell for — and
+// counts the pairs. Only called with an observer attached.
+func (a *Arbiter) observeRequests(s *core.Switch, o *obs.Observer, slot int64, iter int) {
+	traceOn := o.TraceOn()
+	var pairs int64
+	for out := 0; out < s.Ports(); out++ {
+		if !a.outputFree[out] {
+			continue
+		}
+		occ := s.OccOutWords(out)
+		for wi, wv := range occ {
+			wv &= a.inFree[wi]
+			base := wi << 6
+			for wv != 0 {
+				in := base + bits.TrailingZeros64(wv)
+				wv &= wv - 1
+				pairs++
+				if traceOn {
+					o.Trace.Emit(obs.Event{
+						Slot: slot, Type: obs.EvRequest, In: int32(in), Out: int32(out),
+						Round: int32(iter), TS: -1, Packet: -1,
+					})
+				}
+			}
+		}
+	}
+	o.Counter(obs.MetricRequests).Add(pairs)
 }

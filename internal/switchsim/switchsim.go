@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"voqsim/internal/cell"
+	"voqsim/internal/obs"
 	"voqsim/internal/stats"
 	"voqsim/internal/traffic"
 	"voqsim/internal/xrand"
@@ -56,6 +57,13 @@ type RoundsReporter interface {
 // engine then records mean and peak memory.
 type BytesReporter interface {
 	BufferedBytes() int64
+}
+
+// Observable is optionally implemented by switches that support the
+// slot-level observability layer (DESIGN.md §8): core.Switch,
+// eslip.Switch and wba.Switch.
+type Observable interface {
+	SetObserver(o *obs.Observer)
 }
 
 // Config controls one simulation run.
@@ -193,6 +201,11 @@ type Runner struct {
 	delivered      int64
 
 	series *SeriesRecorder // optional, attached with Observe
+
+	// Observability (DESIGN.md §8), attached with Instrument.
+	obs          *obs.Observer
+	metricsEvery int64
+	metricsFn    func(slot int64, metrics []obs.Metric)
 }
 
 // New prepares a run of sw under the given traffic pattern. root
@@ -215,6 +228,33 @@ func New(sw Switch, pat traffic.Pattern, cfg Config, root *xrand.Rand) *Runner {
 // Results digest (per-output breakdowns, histograms). Read it after
 // Run returns.
 func (r *Runner) Tracker() *stats.DelayTracker { return r.tracker }
+
+// Instrument attaches the observability layer to the underlying
+// switch. It reports false — and attaches nothing — when the switch
+// architecture does not implement Observable. Call before Run; the
+// instrumentation makes no RNG draws, so an instrumented run is
+// bit-identical to an unobserved one.
+func (r *Runner) Instrument(o *obs.Observer) bool {
+	ob, ok := r.sw.(Observable)
+	if !ok {
+		return false
+	}
+	ob.SetObserver(o)
+	r.obs = o
+	return true
+}
+
+// OnMetricsEvery registers fn to receive a metrics snapshot every
+// `every` slots (at slots every-1, 2*every-1, ... — i.e. after every
+// full block of `every` slots). It requires a prior Instrument with a
+// metrics-enabled observer; otherwise fn never fires.
+func (r *Runner) OnMetricsEvery(every int64, fn func(slot int64, metrics []obs.Metric)) {
+	if every <= 0 {
+		panic("switchsim: non-positive metrics interval")
+	}
+	r.metricsEvery = every
+	r.metricsFn = fn
+}
 
 // WarmupSlots returns the number of slots excluded from statistics.
 func (r *Runner) WarmupSlots() int64 {
@@ -315,6 +355,9 @@ func (r *Runner) tick(slot, warmup int64) {
 			rounds = rr.LastRounds()
 		}
 		r.series.observe(slot, r.sw, slotDelivered, rounds)
+	}
+	if r.metricsFn != nil && r.obs.MetricsOn() && (slot+1)%r.metricsEvery == 0 {
+		r.metricsFn(slot, r.obs.Metrics.Snapshot())
 	}
 
 	if slot >= warmup {

@@ -23,6 +23,7 @@ import (
 	"voqsim/internal/cell"
 	"voqsim/internal/destset"
 	"voqsim/internal/fifoq"
+	"voqsim/internal/obs"
 	"voqsim/internal/xrand"
 )
 
@@ -44,6 +45,19 @@ type Switch struct {
 	// all N queues per output.
 	occ   *destset.Set
 	heads []*entry
+
+	// Observability (DESIGN.md §8); obs is nil in ordinary runs and
+	// the metric handles are nil-safe no-ops.
+	obs         *obs.Observer
+	cArrivals   *obs.Counter
+	cEnqueues   *obs.Counter
+	cDepartures *obs.Counter
+	cCompleted  *obs.Counter
+	cSplits     *obs.Counter
+	cRequests   *obs.Counter
+	cGrants     *obs.Counter
+	occHWM      []*obs.Gauge
+	served      []int // copies delivered per input this slot (observation only)
 }
 
 // New returns an n x n WBA switch drawing tie-break randomness from
@@ -67,6 +81,30 @@ func (s *Switch) Ports() int { return s.n }
 // Name identifies the algorithm in reports.
 func (s *Switch) Name() string { return "wba" }
 
+// SetObserver attaches (or detaches, with nil) the observability
+// layer; call it before the run starts.
+func (s *Switch) SetObserver(o *obs.Observer) {
+	s.obs = o
+	s.cArrivals = o.Counter(obs.MetricArrivals)
+	s.cEnqueues = o.Counter(obs.MetricEnqueues)
+	s.cDepartures = o.Counter(obs.MetricDepartures)
+	s.cCompleted = o.Counter(obs.MetricCompleted)
+	s.cSplits = o.Counter(obs.MetricSplits)
+	s.cRequests = o.Counter(obs.MetricRequests)
+	s.cGrants = o.Counter(obs.MetricGrants)
+	s.occHWM = nil
+	s.served = nil
+	if o != nil {
+		s.served = make([]int, s.n)
+	}
+	if o.MetricsOn() {
+		s.occHWM = make([]*obs.Gauge, s.n)
+		for i := range s.occHWM {
+			s.occHWM[i] = o.Gauge(obs.OccHWM(i))
+		}
+	}
+}
+
 // Arrive appends a packet to its input's FIFO queue.
 func (s *Switch) Arrive(p *cell.Packet) {
 	if p.Input < 0 || p.Input >= s.n {
@@ -79,6 +117,24 @@ func (s *Switch) Arrive(p *cell.Packet) {
 		s.occ.Add(p.Input)
 	}
 	s.queues[p.Input].Push(&entry{p: p, remaining: p.Dests.Clone()})
+	if s.obs != nil {
+		if s.obs.TraceOn() {
+			s.obs.Trace.Emit(obs.Event{
+				Slot: p.Arrival, Type: obs.EvArrival, In: int32(p.Input), Out: -1,
+				Round: -1, Aux: int32(p.Dests.Count()), TS: p.Arrival, Packet: int64(p.ID),
+			})
+			// One entry in the input's single FIFO, whatever the fanout.
+			s.obs.Trace.Emit(obs.Event{
+				Slot: p.Arrival, Type: obs.EvEnqueue, In: int32(p.Input), Out: -1,
+				Round: -1, TS: p.Arrival, Packet: int64(p.ID),
+			})
+		}
+		s.cArrivals.Inc()
+		s.cEnqueues.Inc()
+		if s.occHWM != nil {
+			s.occHWM[p.Input].Max(int64(s.queues[p.Input].Len()))
+		}
+	}
 }
 
 // Step runs one time slot of request/grant arbitration and transfer.
@@ -87,6 +143,9 @@ func (s *Switch) Step(slot int64, deliver func(cell.Delivery)) {
 	// mutate remaining in place, never the head pointer.
 	occWords := s.occ.Words()
 	s.occ.ForEach(func(in int) { s.heads[in] = s.queues[in].Front() })
+	if s.obs != nil {
+		s.observeRequests(slot)
+	}
 
 	for out := 0; out < s.n; out++ {
 		// Grant: heaviest (oldest) HOL request for this output wins;
@@ -122,11 +181,50 @@ func (s *Switch) Step(slot int64, deliver func(cell.Delivery)) {
 		}
 		e := s.heads[chosen]
 		e.remaining.Remove(out)
-		deliver(cell.Delivery{ID: e.p.ID, In: chosen, Out: out, Slot: slot, Last: e.remaining.Empty()})
+		last := e.remaining.Empty()
+		deliver(cell.Delivery{ID: e.p.ID, In: chosen, Out: out, Slot: slot, Last: last})
+		if s.obs != nil {
+			s.served[chosen]++
+			if s.obs.TraceOn() {
+				// WBA's single arbitration pass is round 0; TS records
+				// the winning packet's arrival (its age is its weight).
+				s.obs.Trace.Emit(obs.Event{
+					Slot: slot, Type: obs.EvGrant, In: int32(chosen), Out: int32(out),
+					Round: 0, TS: e.p.Arrival, Packet: int64(e.p.ID),
+				})
+				aux := int32(0)
+				if last {
+					aux = 1
+				}
+				s.obs.Trace.Emit(obs.Event{
+					Slot: slot, Type: obs.EvDeparture, In: int32(chosen), Out: int32(out),
+					Round: -1, Aux: aux, TS: e.p.Arrival, Packet: int64(e.p.ID),
+				})
+			}
+			s.cGrants.Inc()
+			s.cDepartures.Inc()
+			if last {
+				s.cCompleted.Inc()
+			}
+		}
 	}
 
 	// Advance fully served head-of-line packets.
 	for in := 0; in < s.n; in++ {
+		if s.obs != nil && s.served[in] > 0 {
+			if e := s.heads[in]; !e.remaining.Empty() {
+				// Partially served: the residue stays at HOL (fanout
+				// splitting) and competes again next slot, older.
+				if s.obs.TraceOn() {
+					s.obs.Trace.Emit(obs.Event{
+						Slot: slot, Type: obs.EvFanoutSplit, In: int32(in), Out: -1, Round: -1,
+						Aux: int32(e.remaining.Count()), TS: e.p.Arrival, Packet: int64(e.p.ID),
+					})
+				}
+				s.cSplits.Inc()
+			}
+			s.served[in] = 0
+		}
 		s.heads[in] = nil
 		if !s.queues[in].Empty() && s.queues[in].Front().remaining.Empty() {
 			s.queues[in].Pop()
@@ -135,6 +233,27 @@ func (s *Switch) Step(slot int64, deliver func(cell.Delivery)) {
 			}
 		}
 	}
+}
+
+// observeRequests emits this slot's implicit WBA requests — every live
+// input's HOL packet requests all of its remaining destinations — and
+// counts the pairs. Only called with an observer attached.
+func (s *Switch) observeRequests(slot int64) {
+	traceOn := s.obs.TraceOn()
+	var pairs int64
+	s.occ.ForEach(func(in int) {
+		e := s.heads[in]
+		pairs += int64(e.remaining.Count())
+		if traceOn {
+			e.remaining.ForEach(func(out int) {
+				s.obs.Trace.Emit(obs.Event{
+					Slot: slot, Type: obs.EvRequest, In: int32(in), Out: int32(out),
+					Round: 0, TS: e.p.Arrival, Packet: int64(e.p.ID),
+				})
+			})
+		}
+	})
+	s.cRequests.Add(pairs)
 }
 
 // QueueSizes fills dst with the per-input packet counts.

@@ -18,6 +18,26 @@
 // splitmix64 expansion of the user seed. Substreams are derived by
 // hashing a (seed, label, index) triple with splitmix64, which gives
 // independent start states rather than relying on sequence jumping.
+//
+// # Substream discipline
+//
+// Every independent consumer gets its own substream via Split(label,
+// index), never a share of a sibling's. The conventions, which all
+// determinism tests rely on:
+//
+//   - The run seed makes one root; the engine derives
+//     Split("traffic", 0) and the architecture Split("switch", 0).
+//   - Traffic gives each input port its own substream (one per port
+//     index), so per-port arrival processes are independent and a
+//     port's draw sequence is unchanged by activity at other ports.
+//   - Schedulers split again per concern (e.g. "wba" tie-breaks); an
+//     arbiter's draws come only from the stream the engine passes it.
+//   - Anything added to a run that must not perturb it — the
+//     observability layer is the canonical case — draws nothing: an
+//     instrumented run must stay bit-identical to an unobserved one.
+//
+// Under this discipline a sweep point is reproducible bit-for-bit from
+// (seed, labels) alone, regardless of worker count or run order.
 package xrand
 
 import "math"
