@@ -20,6 +20,7 @@
 //	-series FILE        write a per-slot backlog time series CSV
 //	-trace FILE         write a slot-level event trace (JSONL) of the run
 //	-metrics-every K    print a metrics snapshot to stderr every K slots
+//	-check              re-run under the invariant checker (DESIGN.md §9)
 //	-cpuprofile FILE    write a CPU profile of the run (go tool pprof)
 //	-memprofile FILE    write a heap profile at exit
 //
@@ -40,11 +41,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
 
 	"voqsim"
+	"voqsim/internal/check"
 	"voqsim/internal/experiment"
 	"voqsim/internal/obs"
 	"voqsim/internal/report"
@@ -69,6 +72,7 @@ func main() {
 		seriesOut = flag.String("series", "", "also write a per-slot backlog time series CSV to this file")
 		traceOut  = flag.String("trace", "", "also write a slot-level event trace (JSONL) to this file")
 		metricsK  = flag.Int64("metrics-every", 0, "print a metrics snapshot (JSONL) to stderr every K slots")
+		checkRun  = flag.Bool("check", false, "re-run under the runtime invariant checker and report its verdict")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -120,6 +124,19 @@ func main() {
 
 	if *traceOut != "" || *metricsK > 0 {
 		if err := runObserved(*traceOut, *metricsK, *algo, *n, *slots, *seed, report.Load, *trafficK, *b, *maxFanout, *eOn, *mcFrac); err != nil {
+			fmt.Fprintf(os.Stderr, "voqsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *checkRun {
+		// In -json mode the verdict goes to stderr so stdout stays a
+		// single machine-parseable document.
+		verdictTo := io.Writer(os.Stdout)
+		if *asJSON {
+			verdictTo = os.Stderr
+		}
+		if err := runChecked(verdictTo, *algo, *n, *slots, *seed, report.Load, *trafficK, *b, *maxFanout, *eOn, *mcFrac); err != nil {
 			fmt.Fprintf(os.Stderr, "voqsim: %v\n", err)
 			os.Exit(1)
 		}
@@ -194,11 +211,11 @@ func startProfiles(cpuPath, memPath string) (stop func(), err error) {
 	}, nil
 }
 
-// buildRunner reconstructs the exact simulation the facade ran — same
+// buildSim reconstructs the exact simulation the facade ran — same
 // pattern, same seed derivation — so a second pass can attach
-// recorders or the observability layer. The rerun is exact: the engine
-// is deterministic in the seed.
-func buildRunner(algo string, n int, slots int64, seed uint64, load float64, family string, b float64, maxFanout int, eOn, mcFrac float64) (*switchsim.Runner, error) {
+// recorders, the observability layer or the invariant checker. The
+// rerun is exact: the engine is deterministic in the seed.
+func buildSim(algo string, n int, slots int64, seed uint64, load float64, family string, b float64, maxFanout int, eOn, mcFrac float64) (switchsim.Switch, traffic.Pattern, switchsim.Config, *xrand.Rand, error) {
 	var pat traffic.Pattern
 	var err error
 	switch family {
@@ -211,18 +228,49 @@ func buildRunner(algo string, n int, slots int64, seed uint64, load float64, fam
 	case "mixed":
 		pat, err = traffic.MixedAtLoad(load, mcFrac, maxFanout, n)
 	default:
-		return nil, fmt.Errorf("observed rerun not supported for traffic family %q", family)
+		err = fmt.Errorf("rerun not supported for traffic family %q", family)
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, switchsim.Config{}, nil, err
 	}
 	a, err := experiment.ByName(algo)
 	if err != nil {
-		return nil, err
+		return nil, nil, switchsim.Config{}, nil, err
 	}
 	seedRoot := xrand.New(seed)
 	sw := a.New(n, seedRoot.Split("switch", 0))
-	return switchsim.New(sw, pat, switchsim.Config{Slots: slots, Seed: seed}, seedRoot.Split("traffic", 0)), nil
+	return sw, pat, switchsim.Config{Slots: slots, Seed: seed}, seedRoot.Split("traffic", 0), nil
+}
+
+// buildRunner is buildSim packaged as an engine Runner.
+func buildRunner(algo string, n int, slots int64, seed uint64, load float64, family string, b float64, maxFanout int, eOn, mcFrac float64) (*switchsim.Runner, error) {
+	sw, pat, cfg, trafficRoot, err := buildSim(algo, n, slots, seed, load, family, b, maxFanout, eOn, mcFrac)
+	if err != nil {
+		return nil, err
+	}
+	return switchsim.New(sw, pat, cfg, trafficRoot), nil
+}
+
+// runChecked re-runs the identical simulation wrapped in the runtime
+// invariant checker (internal/check, DESIGN.md §9) and reports its
+// verdict. The checker is passive — the checked rerun delivers
+// bit-identically to the measured run — so a clean verdict certifies
+// the run that was just reported.
+func runChecked(verdictTo io.Writer, algo string, n int, slots int64, seed uint64, load float64, family string, b float64, maxFanout int, eOn, mcFrac float64) error {
+	sw, pat, cfg, trafficRoot, err := buildSim(algo, n, slots, seed, load, family, b, maxFanout, eOn, mcFrac)
+	if err != nil {
+		return err
+	}
+	_, ck, err := switchsim.CheckedRun(algo, sw, pat, cfg, trafficRoot, check.Options{})
+	if err != nil {
+		for _, v := range ck.Violations() {
+			fmt.Fprintf(os.Stderr, "voqsim: check: %s\n", v)
+		}
+		return fmt.Errorf("invariant check failed: %d violations (profile %s)", ck.Total(), ck.Profile())
+	}
+	fmt.Fprintf(verdictTo, "check:                ok (profile %s, %d invariants, %d slots)\n",
+		ck.Profile(), check.NumInvariants, slots)
+	return nil
 }
 
 // writeSeries re-runs the identical simulation with a series recorder

@@ -12,6 +12,7 @@
 //	-b, -maxfanout, -eon, -mcfrac      family shape parameters
 //	-n, -slots, -seed, -workers        run setup
 //	-metrics in_delay,avg_queue        metrics to print
+//	-check                             invariant-check every point (exit 1 on violation)
 //	-csv FILE / -json FILE             exports
 //	-cpuprofile FILE / -memprofile FILE  pprof profiles of the sweep
 //
@@ -52,6 +53,7 @@ func main() {
 		csvPath     = flag.String("csv", "", "write long-form CSV to this file")
 		jsonPath    = flag.String("json", "", "write the full table as JSON to this file")
 		configPath  = flag.String("config", "", "run a scenario file instead of flag-built traffic (see internal/scenario)")
+		checkRun    = flag.Bool("check", false, "run every point under the runtime invariant checker; exit 1 on any violation")
 		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf     = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -64,7 +66,7 @@ func main() {
 	defer stopProfiles()
 
 	if *configPath != "" {
-		runScenario(*configPath, *metricsFlag, *csvPath, *jsonPath)
+		runScenario(*configPath, *metricsFlag, *csvPath, *jsonPath, *checkRun)
 		return
 	}
 
@@ -95,6 +97,7 @@ func main() {
 		Seed:       *seed,
 		Workers:    *workers,
 		Pattern:    pattern,
+		Check:      *checkRun,
 	}
 	tbl, err := sweep.Run()
 	if err != nil {
@@ -116,6 +119,22 @@ func main() {
 			fatal(err)
 		}
 	}
+	reportCheck(tbl, *checkRun)
+}
+
+// reportCheck prints the invariant-checker verdict of a checked sweep
+// and exits non-zero when any point drew a violation.
+func reportCheck(tbl *experiment.Table, checked bool) {
+	if !checked {
+		return
+	}
+	if fails := tbl.CheckFailures(); len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintf(os.Stderr, "voqsweep: check: %s\n", f)
+		}
+		fatal(fmt.Errorf("invariant check failed on %d points", len(fails)))
+	}
+	fmt.Println("check: all points passed the invariant checker")
 }
 
 // startProfiles starts CPU profiling and/or arranges a heap profile,
@@ -155,7 +174,7 @@ func startProfiles(cpuPath, memPath string) (stop func(), err error) {
 }
 
 // runScenario executes a version-controlled scenario file.
-func runScenario(path, metricsFlag, csvPath, jsonPath string) {
+func runScenario(path, metricsFlag, csvPath, jsonPath string, checked bool) {
 	f, err := os.Open(path)
 	if err != nil {
 		fatal(err)
@@ -169,6 +188,7 @@ func runScenario(path, metricsFlag, csvPath, jsonPath string) {
 	if err != nil {
 		fatal(err)
 	}
+	sweep.Check = sweep.Check || checked
 	metrics, err := parseMetrics(metricsFlag)
 	if err != nil {
 		fatal(err)
@@ -192,6 +212,7 @@ func runScenario(path, metricsFlag, csvPath, jsonPath string) {
 			fatal(err)
 		}
 	}
+	reportCheck(tbl, sweep.Check)
 }
 
 func parseLoads(s string) ([]float64, error) {

@@ -1,0 +1,70 @@
+package voqsim
+
+// Golden regression test for voqsweep's rendered outputs, mirroring
+// the 4x4 trace golden in internal/report: a pinned seed on a pinned
+// 4x4 grid must render byte-identical text and CSV until someone
+// deliberately changes the engine or the formatters. Regenerate with:
+//
+//	go test -run TestCLIVoqsweepGolden -update-golden .
+//
+// The goldens embed full-precision floats ('g', -1), so they pin the
+// simulation itself, not just the formatting. Go's spec keeps this
+// deterministic per platform; architectures that fuse multiply-adds
+// could in principle diverge, in which case the goldens (like the
+// checked-in BENCH numbers) are authoritative for amd64 CI.
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata goldens from current output")
+
+// checkGolden compares got against the named golden file, rewriting it
+// under -update-golden.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update-golden to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s (regenerate with -update-golden if intended)\ngot:\n%s\nwant:\n%s",
+			path, got, want)
+	}
+}
+
+func TestCLIVoqsweepGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	csvPath := filepath.Join(t.TempDir(), "sweep.csv")
+	out := runTool(t, "voqsweep", "",
+		"-n", "4", "-seed", "42", "-slots", "2000",
+		"-loads", "0.3,0.6", "-algos", "fifoms,oqfifo",
+		"-traffic", "bernoulli", "-b", "0.3",
+		"-metrics", "in_delay,avg_queue,throughput",
+		"-check", "-csv", csvPath)
+	// The checked run's verdict line is part of the pinned surface: the
+	// golden fails if the sweep ever stops passing the checker.
+	if !strings.Contains(out, "check: all points passed") {
+		t.Fatalf("missing checker verdict:\n%s", out)
+	}
+	checkGolden(t, "voqsweep_4x4.golden", out)
+
+	csv, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "voqsweep_4x4_csv.golden", string(csv))
+}

@@ -1,0 +1,730 @@
+// Package check is the runtime invariant checker for switch
+// simulations: it wraps any switch and verifies, slot by slot, the
+// structural properties the paper's correctness argument rests on
+// (Pan & Yang §II–III) plus the repo's own observability contract
+// (DESIGN.md §8).
+//
+// The checker is a man-in-the-middle: it sees every Arrive and every
+// Delivery the wrapped switch emits, maintains its own shadow model of
+// what the buffers must contain, and cross-checks the switch's
+// accounting counters against that model. Violations are collected, not
+// panicked, so a single run can report several independent breakages.
+//
+// The invariant catalogue (DESIGN.md §9 documents each in full):
+//
+//	I1 output exclusivity    — each output delivers ≤ 1 cell per slot
+//	I2 input discipline      — per-slot input grants obey the queue mode
+//	I3 delivery validity     — deliveries name real, owed (in,out,pkt)
+//	I4 FIFO order            — per-queue FIFO and timestamp monotonicity
+//	I5 fanout accounting     — Last ⇔ final copy of the packet
+//	I6 conservation          — offered = delivered + buffered, counters
+//	                           agree with the shadow model
+//	I7 event consistency     — obs events ↔ arrivals/deliveries 1:1
+//	I8 arbitration rule      — grants go to requesters; min-timestamp
+//	                           arbiters grant the minimum requested TS
+//
+// Checking is behavioural passivity by construction: the checker never
+// draws randomness and never mutates the wrapped switch beyond
+// attaching an observer (which the engine guarantees is draw-free), so
+// a checked run delivers bit-identically to an unchecked one.
+package check
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"voqsim/internal/cell"
+	"voqsim/internal/core"
+	"voqsim/internal/destset"
+	"voqsim/internal/eslip"
+	"voqsim/internal/fifoq"
+	"voqsim/internal/obs"
+	"voqsim/internal/sched/pim"
+	"voqsim/internal/wba"
+)
+
+// NumInvariants is the size of the invariant catalogue (I1..I8).
+const NumInvariants = 8
+
+// Switch is the minimal structural surface the checker needs. It is a
+// subset of switchsim.Switch, declared here so that switchsim can
+// import check without a cycle.
+type Switch interface {
+	Ports() int
+	Arrive(p *cell.Packet)
+	Step(slot int64, deliver func(cell.Delivery))
+	QueueSizes(into []int) []int
+	BufferedCells() int64
+}
+
+// Unwrapper is implemented by test shims that wrap a real switch (for
+// example the fault-injection mutants in this package's tests). The
+// checker unwraps before detecting the architecture profile so that a
+// tampering wrapper around a core.Switch is still checked under the
+// full core rules rather than the conservative default.
+type Unwrapper interface {
+	CheckUnwrap() Switch
+}
+
+// observable matches switchsim.Observable without importing it.
+type observable interface {
+	SetObserver(o *obs.Observer)
+}
+
+// GrantRule says how request/grant events from the wrapped switch are
+// judged under I8.
+type GrantRule uint8
+
+const (
+	// GrantAuto selects a rule from the detected architecture profile.
+	GrantAuto GrantRule = iota
+	// GrantNone disables I8 (the architecture emits no request/grant
+	// events, or emits them with semantics the checker does not model).
+	GrantNone
+	// GrantRequesters checks only that every grant goes to an input
+	// that requested that output in the same arbitration round.
+	GrantRequesters
+	// GrantMinTS additionally checks the FIFOMS property (§III Table 2):
+	// a grant carries the minimum timestamp requested at its output in
+	// that round.
+	GrantMinTS
+)
+
+// Options tunes a Checker. The zero value asks for full checking with
+// defaults filled in by Wrap.
+type Options struct {
+	// Every is the cadence, in slots, of the deep cross-check of switch
+	// counters against the shadow model (I6 and the per-queue state of
+	// I4). Delivery-level checks always run every slot. Default 1.
+	Every int64
+	// MaxViolations caps how many violations are recorded verbatim
+	// (further ones are only counted). Default 32.
+	MaxViolations int
+	// NoEvents disables attaching an observer, turning off I7/I8.
+	// Deliveries and shadow state are still checked.
+	NoEvents bool
+	// Grant overrides the I8 rule; GrantAuto uses the detected profile.
+	Grant GrantRule
+}
+
+// Violation is one detected invariant breakage.
+type Violation struct {
+	Slot      int64  // slot in which the breakage was observed
+	Invariant string // catalogue id, "I1".."I8"
+	Msg       string // human-readable detail
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("slot %d: %s: %s", v.Slot, v.Invariant, v.Msg)
+}
+
+// Error aggregates a run's violations.
+type Error struct {
+	Violations []Violation // first Options.MaxViolations, in order
+	Total      int         // total observed, including unrecorded ones
+}
+
+func (e *Error) Error() string {
+	if len(e.Violations) == 0 {
+		return fmt.Sprintf("check: %d invariant violations", e.Total)
+	}
+	msg := fmt.Sprintf("check: %d invariant violations, first: %s", e.Total, e.Violations[0])
+	if e.Total > 1 {
+		msg += fmt.Sprintf(" (and %d more)", e.Total-1)
+	}
+	return msg
+}
+
+// Per-slot input-side delivery discipline.
+type inputRule uint8
+
+const (
+	// inputAny places no per-slot constraint on an input (conservative).
+	inputAny inputRule = iota
+	// inputSharedPacket allows several deliveries from one input per
+	// slot only if they belong to the same packet (ModeShared fanout
+	// splitting, and WBA/ESLIP multicast residue service).
+	inputSharedPacket
+	// inputSingleDelivery allows at most one delivery per input per
+	// slot (ModeCopied: strictly unicast crossbar).
+	inputSingleDelivery
+)
+
+// Semantics of Delivery.Last / departure Aux.
+type lastRule uint8
+
+const (
+	// lastUnknown skips I5 (architecture's Last semantics not modelled).
+	lastUnknown lastRule = iota
+	// lastPacket: Last is set exactly on the final copy of the packet.
+	lastPacket
+	// lastCopy: every delivery is a full cell (ModeCopied); Last always.
+	lastCopy
+)
+
+// profile is the detected architecture contract the checker enforces.
+type profile struct {
+	core      *core.Switch // non-nil for core-substrate switches
+	wba       *wba.Switch  // non-nil for WBA
+	eslip     *eslip.Switch
+	input     inputRule
+	last      lastRule
+	grant     GrantRule
+	fifoOrder bool // per-(in,out) timestamp monotonicity holds
+	pairsEq   bool // grant events ↔ delivered pairs are a bijection
+	name      string
+}
+
+// detect classifies the (unwrapped) switch into a checking profile.
+func detect(sw Switch) profile {
+	switch s := sw.(type) {
+	case *core.Switch:
+		p := profile{core: s, fifoOrder: true, name: "core/" + s.Arbiter().Name()}
+		if s.Arbiter().Mode() == core.ModeShared {
+			p.input, p.last = inputSharedPacket, lastPacket
+		} else {
+			p.input, p.last = inputSingleDelivery, lastCopy
+		}
+		switch s.Arbiter().(type) {
+		case *core.FIFOMS:
+			p.grant, p.pairsEq = GrantMinTS, true
+		case *pim.Arbiter:
+			p.grant, p.pairsEq = GrantRequesters, true
+		default:
+			p.grant = GrantNone
+		}
+		return p
+	case *wba.Switch:
+		// WBA serves whole packets FIFO per input; its "age" criterion
+		// is the arrival slot, so grants carry the minimum requested
+		// timestamp, like FIFOMS.
+		return profile{wba: s, input: inputSharedPacket, last: lastPacket,
+			grant: GrantMinTS, fifoOrder: true, pairsEq: true, name: "wba"}
+	case *eslip.Switch:
+		// ESLIP's multicast queue bypasses the unicast VOQs, so
+		// per-(in,out) timestamp monotonicity does not hold; grants are
+		// only checked against the round's requesters.
+		return profile{eslip: s, input: inputSharedPacket, last: lastPacket,
+			grant: GrantRequesters, pairsEq: true, name: "eslip"}
+	default:
+		return profile{input: inputAny, last: lastUnknown, grant: GrantNone, name: "generic"}
+	}
+}
+
+// pktState is the checker's shadow record of one live packet.
+type pktState struct {
+	input     int
+	arrival   int64
+	remaining *destset.Set // destinations not yet delivered
+}
+
+// shadowCell mirrors one address cell in a shadow VOQ.
+type shadowCell struct {
+	id cell.PacketID
+	ts int64
+}
+
+// Checker wraps a switch and verifies the invariant catalogue. It
+// implements Switch itself, plus pass-throughs for the reporter
+// capabilities of the wrapped switch, so it can be dropped anywhere the
+// original switch was used.
+type Checker struct {
+	inner Switch // the switch as driven (possibly a test wrapper)
+	base  Switch // fully unwrapped switch, used for state inspection
+	prof  profile
+	opt   Options
+	n     int
+
+	// Shadow model.
+	pkts    map[cell.PacketID]*pktState
+	voq     []fifoq.Queue[shadowCell] // core: n*n shadow VOQs, [in*n+out]
+	inq     []fifoq.Queue[cell.PacketID]
+	lastTS  []int64 // last delivered timestamp per (in,out)
+	initial []bool  // lastTS[i] not yet written
+
+	// Per-slot matching state.
+	outSlot []int64 // last slot each output delivered in
+	inSlot  []int64
+	inPkt   []cell.PacketID
+
+	// Conservation counters.
+	offeredPackets   int64
+	offeredCopies    int64
+	deliveredCopies  int64
+	completedPackets int64
+	outstanding      int64 // address-cell copies still owed
+	resident         int64 // packets with ≥1 copy still owed
+	perInResident    []int64
+	perInOutstanding []int64
+
+	// Event capture (I7/I8).
+	tracer     *obs.Tracer
+	events     []obs.Event
+	arrivals   []cell.Packet // ID/Input/Arrival + fanout via aux
+	arrFanout  []int
+	deliveries []cell.Delivery
+
+	sizes []int // scratch for QueueSizes
+
+	violations []Violation
+	total      int
+	slots      int64
+}
+
+// Wrap returns a Checker around sw. The checker detects the switch's
+// architecture (unwrapping any Unwrapper shims first), fills Options
+// defaults, and — unless opt.NoEvents — attaches an observer to
+// capture arbitration and lifecycle events for I7/I8.
+func Wrap(sw Switch, opt Options) *Checker {
+	if opt.Every <= 0 {
+		opt.Every = 1
+	}
+	if opt.MaxViolations <= 0 {
+		opt.MaxViolations = 32
+	}
+	base := sw
+	for {
+		u, ok := base.(Unwrapper)
+		if !ok {
+			break
+		}
+		base = u.CheckUnwrap()
+	}
+	prof := detect(base)
+	if opt.Grant != GrantAuto {
+		prof.grant = opt.Grant
+		if prof.grant == GrantNone {
+			prof.pairsEq = false
+		}
+	}
+	n := sw.Ports()
+	c := &Checker{
+		inner:            sw,
+		base:             base,
+		prof:             prof,
+		opt:              opt,
+		n:                n,
+		pkts:             make(map[cell.PacketID]*pktState),
+		lastTS:           make([]int64, n*n),
+		initial:          make([]bool, n*n),
+		outSlot:          make([]int64, n),
+		inSlot:           make([]int64, n),
+		inPkt:            make([]cell.PacketID, n),
+		perInResident:    make([]int64, n),
+		perInOutstanding: make([]int64, n),
+		sizes:            make([]int, n),
+	}
+	for i := range c.outSlot {
+		c.outSlot[i] = -1
+		c.inSlot[i] = -1
+	}
+	if prof.core != nil {
+		c.voq = make([]fifoq.Queue[shadowCell], n*n)
+	}
+	if prof.wba != nil {
+		c.inq = make([]fifoq.Queue[cell.PacketID], n)
+	}
+	if !opt.NoEvents {
+		if ob, ok := base.(observable); ok {
+			c.tracer = obs.NewTracer(1 << 12)
+			c.tracer.OnFull(func(batch []obs.Event) error {
+				c.events = append(c.events, batch...)
+				return nil
+			})
+			ob.SetObserver(&obs.Observer{Trace: c.tracer})
+		}
+	}
+	return c
+}
+
+// Ports implements Switch.
+func (c *Checker) Ports() int { return c.inner.Ports() }
+
+// QueueSizes implements Switch by forwarding to the wrapped switch.
+func (c *Checker) QueueSizes(into []int) []int { return c.inner.QueueSizes(into) }
+
+// BufferedCells implements Switch by forwarding to the wrapped switch.
+func (c *Checker) BufferedCells() int64 { return c.inner.BufferedCells() }
+
+// Inner returns the wrapped switch as driven (not unwrapped).
+func (c *Checker) Inner() Switch { return c.inner }
+
+// Arrive records the packet in the shadow model and forwards it.
+func (c *Checker) Arrive(p *cell.Packet) {
+	slot := p.Arrival
+	if old := c.pkts[p.ID]; old != nil {
+		c.violatef(slot, "I3", "duplicate arrival of packet %d", p.ID)
+	}
+	fanout := p.Fanout()
+	st := &pktState{input: p.Input, arrival: p.Arrival, remaining: p.Dests.Clone()}
+	c.pkts[p.ID] = st
+	c.offeredPackets++
+	c.offeredCopies += int64(fanout)
+	c.outstanding += int64(fanout)
+	c.resident++
+	if p.Input >= 0 && p.Input < c.n {
+		c.perInResident[p.Input]++
+		c.perInOutstanding[p.Input] += int64(fanout)
+	}
+	if c.prof.core != nil {
+		sc := shadowCell{id: p.ID, ts: p.Arrival}
+		p.Dests.ForEach(func(out int) {
+			c.voq[p.Input*c.n+out].Push(sc)
+		})
+	}
+	if c.prof.wba != nil {
+		c.inq[p.Input].Push(p.ID)
+	}
+	if c.tracer != nil {
+		c.arrivals = append(c.arrivals, *p)
+		c.arrFanout = append(c.arrFanout, fanout)
+	}
+	c.inner.Arrive(p)
+}
+
+// Step forwards the slot to the wrapped switch, checking every
+// delivery it emits, then runs the slot-level cross-checks.
+func (c *Checker) Step(slot int64, deliver func(cell.Delivery)) {
+	c.inner.Step(slot, func(d cell.Delivery) {
+		c.checkDelivery(slot, d)
+		if c.tracer != nil {
+			c.deliveries = append(c.deliveries, d)
+		}
+		if deliver != nil {
+			deliver(d)
+		}
+	})
+	c.slots++
+	if c.tracer != nil {
+		c.verifyEvents(slot)
+	}
+	if c.slots%c.opt.Every == 0 {
+		c.deepCheck(slot)
+	}
+}
+
+// checkDelivery verifies one delivery record against the shadow model
+// (I1–I5) and updates the model.
+func (c *Checker) checkDelivery(slot int64, d cell.Delivery) {
+	if d.Slot != slot {
+		c.violatef(slot, "I3", "delivery of packet %d stamped slot %d", d.ID, d.Slot)
+	}
+	if d.In < 0 || d.In >= c.n || d.Out < 0 || d.Out >= c.n {
+		c.violatef(slot, "I3", "delivery (%d->%d) outside %d ports", d.In, d.Out, c.n)
+		return
+	}
+	// I1: one cell per output per slot (crossbar constraint, §III).
+	if c.outSlot[d.Out] == slot {
+		c.violatef(slot, "I1", "output %d delivered twice", d.Out)
+	}
+	c.outSlot[d.Out] = slot
+
+	st := c.pkts[d.ID]
+	if st == nil {
+		c.violatef(slot, "I3", "delivery of unknown packet %d", d.ID)
+		return
+	}
+	if st.input != d.In {
+		c.violatef(slot, "I3", "packet %d arrived at input %d, delivered from %d",
+			d.ID, st.input, d.In)
+	}
+
+	// I2: input-side discipline for this queue mode.
+	switch c.prof.input {
+	case inputSharedPacket:
+		if c.inSlot[d.In] == slot && c.inPkt[d.In] != d.ID {
+			c.violatef(slot, "I2", "input %d delivered two packets (%d and %d) in one slot",
+				d.In, c.inPkt[d.In], d.ID)
+		}
+	case inputSingleDelivery:
+		if c.inSlot[d.In] == slot {
+			c.violatef(slot, "I2", "input %d delivered twice in one slot", d.In)
+		}
+	}
+	c.inSlot[d.In] = slot
+	c.inPkt[d.In] = d.ID
+
+	// I3: the copy must still be owed to this output.
+	if !st.remaining.Contains(d.Out) {
+		c.violatef(slot, "I3", "packet %d not (or no longer) destined to output %d", d.ID, d.Out)
+		return
+	}
+
+	// I4: FIFO order of the shadow queue feeding this delivery.
+	if c.prof.core != nil {
+		q := &c.voq[d.In*c.n+d.Out]
+		switch {
+		case q.Len() == 0:
+			c.violatef(slot, "I4", "VOQ[%d][%d] shadow empty on delivery of packet %d",
+				d.In, d.Out, d.ID)
+		case q.Front().id != d.ID:
+			c.violatef(slot, "I4", "VOQ[%d][%d] HOL is packet %d, delivered %d",
+				d.In, d.Out, q.Front().id, d.ID)
+		default:
+			q.Pop()
+		}
+	}
+	if c.prof.wba != nil {
+		q := &c.inq[d.In]
+		if q.Len() == 0 || q.Front() != d.ID {
+			c.violatef(slot, "I4", "input %d FIFO head is not packet %d", d.In, d.ID)
+		}
+	}
+	if c.prof.fifoOrder {
+		k := d.In*c.n + d.Out
+		if c.initial[k] && st.arrival < c.lastTS[k] {
+			c.violatef(slot, "I4", "timestamp regression on (%d,%d): %d after %d",
+				d.In, d.Out, st.arrival, c.lastTS[k])
+		}
+		c.lastTS[k] = st.arrival
+		c.initial[k] = true
+	}
+
+	// Account the copy.
+	st.remaining.Remove(d.Out)
+	c.outstanding--
+	c.perInOutstanding[d.In]--
+	c.deliveredCopies++
+	final := st.remaining.Empty()
+
+	// I5: Last semantics (§II Table 1: destroy the data cell when the
+	// fanout counter reaches zero).
+	switch c.prof.last {
+	case lastPacket:
+		if d.Last != final {
+			c.violatef(slot, "I5", "packet %d Last=%v with %d copies outstanding",
+				d.ID, d.Last, st.remaining.Count())
+		}
+	case lastCopy:
+		if !d.Last {
+			c.violatef(slot, "I5", "copied-mode delivery of packet %d without Last", d.ID)
+		}
+	}
+
+	if final {
+		c.completedPackets++
+		c.resident--
+		c.perInResident[d.In]--
+		if c.prof.wba != nil {
+			q := &c.inq[d.In]
+			if q.Len() > 0 && q.Front() == d.ID {
+				q.Pop()
+			}
+		}
+		delete(c.pkts, d.ID)
+	}
+}
+
+// deepCheck cross-checks the switch's own counters and queue state
+// against the shadow model (I6, plus per-queue I4 state for core).
+func (c *Checker) deepCheck(slot int64) {
+	if c.offeredCopies != c.deliveredCopies+c.outstanding {
+		c.violatef(slot, "I6", "copy conservation broken: offered %d != delivered %d + outstanding %d",
+			c.offeredCopies, c.deliveredCopies, c.outstanding)
+	}
+	switch {
+	case c.prof.core != nil:
+		s := c.prof.core
+		if got := s.BufferedAddressCells(); got != c.outstanding {
+			c.violatef(slot, "I6", "switch holds %d address cells, shadow expects %d",
+				got, c.outstanding)
+		}
+		want := c.resident
+		if s.Arbiter().Mode() == core.ModeCopied {
+			want = c.outstanding
+		}
+		if got := s.BufferedCells(); got != want {
+			c.violatef(slot, "I6", "switch holds %d data cells, shadow expects %d", got, want)
+		}
+		c.deepCheckCoreQueues(slot, s)
+	case c.prof.wba != nil || c.prof.eslip != nil:
+		if got := c.base.BufferedCells(); got != c.resident {
+			c.violatef(slot, "I6", "switch holds %d packets, shadow expects %d", got, c.resident)
+		}
+		c.base.QueueSizes(c.sizes)
+		for in, got := range c.sizes {
+			if int64(got) != c.perInResident[in] {
+				c.violatef(slot, "I6", "input %d reports %d queued packets, shadow expects %d",
+					in, got, c.perInResident[in])
+			}
+		}
+	}
+}
+
+// deepCheckCoreQueues compares every VOQ's length and HOL timestamp
+// with the shadow FIFO, and the per-input data-cell counts.
+func (c *Checker) deepCheckCoreQueues(slot int64, s *core.Switch) {
+	copied := s.Arbiter().Mode() == core.ModeCopied
+	s.QueueSizes(c.sizes)
+	for in := 0; in < c.n; in++ {
+		want := c.perInResident[in]
+		if copied {
+			want = c.perInOutstanding[in]
+		}
+		if int64(c.sizes[in]) != want {
+			c.violatef(slot, "I6", "input %d reports %d data cells, shadow expects %d",
+				in, c.sizes[in], want)
+		}
+		for out := 0; out < c.n; out++ {
+			q := &c.voq[in*c.n+out]
+			if got := s.VOQLen(in, out); got != q.Len() {
+				c.violatef(slot, "I6", "VOQ[%d][%d] length %d, shadow expects %d",
+					in, out, got, q.Len())
+				continue
+			}
+			wantTS := int64(math.MaxInt64) // empty-VOQ sentinel (see core.HOLTime)
+			if q.Len() > 0 {
+				wantTS = q.Front().ts
+			}
+			if got := s.HOLTime(in, out); got != wantTS {
+				c.violatef(slot, "I4", "VOQ[%d][%d] HOL timestamp %d, shadow expects %d",
+					in, out, got, wantTS)
+			}
+		}
+	}
+}
+
+// verifyEvents drains the tracer and checks the slot's event stream
+// against the arrivals and deliveries the checker saw first-hand (I7),
+// and the grants against the requests (I8).
+func (c *Checker) verifyEvents(slot int64) {
+	c.tracer.Flush()
+	type reqKey struct{ round, out int32 }
+	var reqs map[reqKey]map[int32]int64
+	type pair struct{ in, out int32 }
+	var granted map[pair]int
+	ai, di := 0, 0
+	for _, e := range c.events {
+		switch e.Type {
+		case obs.EvArrival:
+			if ai >= len(c.arrivals) {
+				c.violatef(slot, "I7", "arrival event for packet %d with no matching Arrive", e.Packet)
+				break
+			}
+			p := &c.arrivals[ai]
+			if e.Packet != int64(p.ID) || int(e.In) != p.Input ||
+				e.Slot != p.Arrival || int(e.Aux) != c.arrFanout[ai] {
+				c.violatef(slot, "I7", "arrival event %d/in=%d/fanout=%d disagrees with packet %d/in=%d/fanout=%d",
+					e.Packet, e.In, e.Aux, p.ID, p.Input, c.arrFanout[ai])
+			}
+			ai++
+		case obs.EvDeparture:
+			if di >= len(c.deliveries) {
+				c.violatef(slot, "I7", "departure event for packet %d with no matching delivery", e.Packet)
+				break
+			}
+			d := c.deliveries[di]
+			last := d.Last
+			if e.Packet != int64(d.ID) || int(e.In) != d.In || int(e.Out) != d.Out ||
+				e.Slot != d.Slot || (c.prof.last != lastUnknown && (e.Aux == 1) != last) {
+				c.violatef(slot, "I7", "departure event pkt=%d %d->%d disagrees with delivery pkt=%d %d->%d",
+					e.Packet, e.In, e.Out, d.ID, d.In, d.Out)
+			}
+			di++
+		case obs.EvRequest:
+			if c.prof.grant == GrantNone {
+				break
+			}
+			if reqs == nil {
+				reqs = make(map[reqKey]map[int32]int64)
+			}
+			k := reqKey{e.Round, e.Out}
+			m := reqs[k]
+			if m == nil {
+				m = make(map[int32]int64)
+				reqs[k] = m
+			}
+			m[e.In] = e.TS
+		case obs.EvGrant:
+			if c.prof.grant == GrantNone {
+				break
+			}
+			m := reqs[reqKey{e.Round, e.Out}]
+			ts, ok := m[e.In]
+			if !ok {
+				c.violatef(slot, "I8", "output %d granted non-requester input %d in round %d",
+					e.Out, e.In, e.Round)
+			} else if c.prof.grant == GrantMinTS {
+				if e.TS != ts {
+					c.violatef(slot, "I8", "grant (%d->%d) carries ts %d, request said %d",
+						e.In, e.Out, e.TS, ts)
+				}
+				min := int64(math.MaxInt64)
+				for _, t := range m {
+					if t < min {
+						min = t
+					}
+				}
+				if e.TS != min {
+					c.violatef(slot, "I8", "output %d round %d granted ts %d, minimum requested is %d",
+						e.Out, e.Round, e.TS, min)
+				}
+			}
+			if c.prof.pairsEq {
+				if granted == nil {
+					granted = make(map[pair]int)
+				}
+				granted[pair{e.In, e.Out}]++
+			}
+		}
+	}
+	if ai != len(c.arrivals) {
+		c.violatef(slot, "I7", "%d arrivals emitted no arrival event", len(c.arrivals)-ai)
+	}
+	if di != len(c.deliveries) {
+		c.violatef(slot, "I7", "%d deliveries emitted no departure event", len(c.deliveries)-di)
+	}
+	if c.prof.pairsEq {
+		for _, d := range c.deliveries {
+			granted[pair{int32(d.In), int32(d.Out)}]--
+		}
+		keys := make([]pair, 0, len(granted))
+		for p, cnt := range granted {
+			if cnt != 0 {
+				keys = append(keys, p)
+			}
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			return keys[i].in < keys[j].in || (keys[i].in == keys[j].in && keys[i].out < keys[j].out)
+		})
+		for _, p := range keys {
+			if granted[p] > 0 {
+				c.violatef(slot, "I7", "grant (%d->%d) produced no delivery", p.in, p.out)
+			} else {
+				c.violatef(slot, "I7", "delivery (%d->%d) had no surviving grant", p.in, p.out)
+			}
+		}
+	}
+	c.events = c.events[:0]
+	c.arrivals = c.arrivals[:0]
+	c.arrFanout = c.arrFanout[:0]
+	c.deliveries = c.deliveries[:0]
+}
+
+// violatef records one violation, keeping at most MaxViolations.
+func (c *Checker) violatef(slot int64, inv, format string, args ...any) {
+	c.total++
+	if len(c.violations) < c.opt.MaxViolations {
+		c.violations = append(c.violations,
+			Violation{Slot: slot, Invariant: inv, Msg: fmt.Sprintf(format, args...)})
+	}
+}
+
+// Profile names the detected architecture profile, e.g. "core/fifoms".
+func (c *Checker) Profile() string { return c.prof.name }
+
+// Violations returns the recorded violations (at most MaxViolations).
+func (c *Checker) Violations() []Violation { return c.violations }
+
+// Total returns the total number of violations observed.
+func (c *Checker) Total() int { return c.total }
+
+// Err returns nil if the run was clean, or an *Error describing the
+// violations.
+func (c *Checker) Err() error {
+	if c.total == 0 {
+		return nil
+	}
+	return &Error{Violations: c.violations, Total: c.total}
+}

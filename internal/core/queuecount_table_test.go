@@ -1,0 +1,60 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestQueueCountTable pins the Section II feasibility numbers case by
+// case — including the edge sizes (N=1, the word boundary, and the
+// saturation threshold at N=63) that the smoke assertions in
+// invariants_test.go leave unpinned.
+func TestQueueCountTable(t *testing.T) {
+	cases := []struct {
+		n           int
+		traditional int64
+		paper       int64
+	}{
+		{1, 1, 1}, // a 1-port "switch": one VOQ either way
+		{2, 3, 2},
+		{4, 15, 4},
+		{8, 255, 8},
+		{16, 65535, 16}, // the paper's headline comparison
+		{32, 4294967295, 32},
+		{62, (int64(1) << 62) - 1, 62},
+		{63, math.MaxInt64, 63}, // saturates rather than overflows
+		{64, math.MaxInt64, 64},
+		{1000, math.MaxInt64, 1000},
+	}
+	for _, tc := range cases {
+		if got := QueueCountTraditional(tc.n); got != tc.traditional {
+			t.Errorf("QueueCountTraditional(%d) = %d, want %d", tc.n, got, tc.traditional)
+		}
+		if got := QueueCountPaper(tc.n); got != tc.paper {
+			t.Errorf("QueueCountPaper(%d) = %d, want %d", tc.n, got, tc.paper)
+		}
+	}
+}
+
+// TestQueueCountPanics pins the contract that both counters reject
+// non-positive sizes (the existing test only covers the traditional
+// one at zero).
+func TestQueueCountPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		call func()
+	}{
+		{"traditional/-1", func() { QueueCountTraditional(-1) }},
+		{"paper/0", func() { QueueCountPaper(0) }},
+		{"paper/-7", func() { QueueCountPaper(-7) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected a panic")
+				}
+			}()
+			tc.call()
+		})
+	}
+}

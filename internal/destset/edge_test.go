@@ -1,0 +1,109 @@
+package destset
+
+import (
+	"math"
+	"testing"
+)
+
+// TestUniverseOfOne pins the degenerate N=1 universe end to end: one
+// possible member, one backing word, and every operation behaving.
+func TestUniverseOfOne(t *testing.T) {
+	s := New(1)
+	if s.Universe() != 1 || len(s.Words()) != 1 {
+		t.Fatalf("universe %d, words %d", s.Universe(), len(s.Words()))
+	}
+	if !s.Empty() || s.Count() != 0 || s.Min() != -1 {
+		t.Fatal("fresh 1-universe set not empty")
+	}
+	s.Add(0)
+	if s.Empty() || s.Count() != 1 || !s.Contains(0) || s.Min() != 0 {
+		t.Fatalf("after Add(0): %v", s)
+	}
+	if got := s.String(); got != "{0}/1" {
+		t.Fatalf("String() = %q", got)
+	}
+	if s.NextOneFrom(0) != 0 || s.NextOneFrom(1) != -1 {
+		t.Fatal("NextOneFrom on 1-universe")
+	}
+	c := s.Clone()
+	s.Remove(0)
+	if !s.Empty() || c.Empty() {
+		t.Fatal("Remove/Clone aliasing on 1-universe")
+	}
+}
+
+// TestFullSetAcrossWordBoundaries pins full sets at universes around
+// the 64-bit word boundary, where an off-by-one in the word count or a
+// stray high bit would first show.
+func TestFullSetAcrossWordBoundaries(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 127, 128} {
+		s := New(n)
+		for p := 0; p < n; p++ {
+			s.Add(p)
+		}
+		if s.Count() != n {
+			t.Errorf("n=%d: full set Count() = %d", n, s.Count())
+		}
+		if wantWords := (n + 63) / 64; len(s.Words()) != wantWords {
+			t.Errorf("n=%d: %d backing words, want %d", n, len(s.Words()), wantWords)
+		}
+		// No bits may leak past the universe in the last word.
+		last := s.Words()[len(s.Words())-1]
+		if rem := n & 63; rem != 0 {
+			if mask := uint64(1)<<uint(rem) - 1; last&^mask != 0 {
+				t.Errorf("n=%d: bits beyond the universe: %064b", n, last)
+			}
+		} else if last != math.MaxUint64 {
+			t.Errorf("n=%d: full last word is %064b", n, last)
+		}
+		// Full-set iteration must visit everything in order.
+		want := 0
+		s.ForEach(func(p int) {
+			if p != want {
+				t.Fatalf("n=%d: ForEach visited %d, want %d", n, p, want)
+			}
+			want++
+		})
+		if want != n {
+			t.Errorf("n=%d: ForEach visited %d members", n, want)
+		}
+		// Removing everything empties every word.
+		for p := 0; p < n; p++ {
+			s.Remove(p)
+		}
+		if !s.Empty() {
+			t.Errorf("n=%d: not empty after removing all", n)
+		}
+	}
+}
+
+// TestSingleBitRows pins membership for each single bit at and around
+// word boundaries — the rows a word-parallel scheduler kernel reads.
+func TestSingleBitRows(t *testing.T) {
+	const n = 130
+	for _, p := range []int{0, 1, 62, 63, 64, 65, 127, 128, 129} {
+		s := FromMembers(n, p)
+		if s.Count() != 1 || !s.Contains(p) || s.Min() != p {
+			t.Errorf("singleton {%d}: count=%d min=%d", p, s.Count(), s.Min())
+		}
+		if got := s.NextOneFrom(0); got != p {
+			t.Errorf("singleton {%d}: NextOneFrom(0) = %d", p, got)
+		}
+		if got := s.NextOneFrom(p + 1); got != -1 {
+			t.Errorf("singleton {%d}: NextOneFrom(%d) = %d", p, p+1, got)
+		}
+		// Exactly one bit set in exactly one word.
+		bits := 0
+		for wi, w := range s.Words() {
+			for ; w != 0; w &= w - 1 {
+				bits++
+			}
+			if wantWord := p >> 6; (wi == wantWord) != (s.Words()[wi] != 0) {
+				t.Errorf("singleton {%d}: word %d occupancy wrong", p, wi)
+			}
+		}
+		if bits != 1 {
+			t.Errorf("singleton {%d}: %d bits set", p, bits)
+		}
+	}
+}

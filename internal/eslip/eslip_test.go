@@ -5,8 +5,6 @@ import (
 
 	"voqsim/internal/cell"
 	"voqsim/internal/destset"
-	"voqsim/internal/switchsim"
-	"voqsim/internal/traffic"
 	"voqsim/internal/xrand"
 )
 
@@ -190,23 +188,6 @@ func TestConservation(t *testing.T) {
 	}
 	if delivered != offered {
 		t.Fatalf("delivered %d of %d copies", delivered, offered)
-	}
-}
-
-func TestStableUnderPaperTraffic(t *testing.T) {
-	pat := traffic.Bernoulli{P: 0.25, B: 0.2} // load 0.8
-	res := switchsim.New(New(16), pat, switchsim.Config{Slots: 30_000, Seed: 3}, xrand.New(3)).Run("eslip")
-	if res.Unstable {
-		t.Fatal("eslip unstable at load 0.8")
-	}
-	if res.Throughput < 0.78 {
-		t.Fatalf("throughput %v", res.Throughput)
-	}
-	if res.Rounds.Count == 0 {
-		t.Fatal("rounds not recorded")
-	}
-	if res.AvgBufferBytes <= 0 {
-		t.Fatal("bytes not recorded")
 	}
 }
 

@@ -1,0 +1,31 @@
+// This test lives in an external test package because it drives the
+// switch through switchsim, and switchsim (via internal/check's
+// architecture detection) imports eslip — an in-package test would be
+// an import cycle.
+package eslip_test
+
+import (
+	"testing"
+
+	"voqsim/internal/eslip"
+	"voqsim/internal/switchsim"
+	"voqsim/internal/traffic"
+	"voqsim/internal/xrand"
+)
+
+func TestStableUnderPaperTraffic(t *testing.T) {
+	pat := traffic.Bernoulli{P: 0.25, B: 0.2} // load 0.8
+	res := switchsim.New(eslip.New(16), pat, switchsim.Config{Slots: 30_000, Seed: 3}, xrand.New(3)).Run("eslip")
+	if res.Unstable {
+		t.Fatal("eslip unstable at load 0.8")
+	}
+	if res.Throughput < 0.78 {
+		t.Fatalf("throughput %v", res.Throughput)
+	}
+	if res.Rounds.Count == 0 {
+		t.Fatal("rounds not recorded")
+	}
+	if res.AvgBufferBytes <= 0 {
+		t.Fatal("bytes not recorded")
+	}
+}

@@ -1,0 +1,49 @@
+package experiment
+
+import (
+	"testing"
+
+	"voqsim/internal/traffic"
+)
+
+// TestCheckedSweep pins that a checked sweep (a) reports no invariant
+// failures on the real roster and (b) measures bit-identically to the
+// unchecked sweep — the checker must stay passive through the whole
+// experiment pipeline.
+func TestCheckedSweep(t *testing.T) {
+	mk := func(check bool) *Sweep {
+		return &Sweep{
+			Name:  "checked",
+			Title: "checked sweep smoke",
+			N:     4,
+			Loads: []float64{0.4, 0.8},
+			Pattern: func(load float64, n int) (traffic.Pattern, error) {
+				return traffic.BernoulliAtLoad(load, 0.3, n)
+			},
+			Algorithms: []Algorithm{FIFOMS, WBA, ESLIP, PIM},
+			Slots:      400,
+			Seed:       99,
+			Check:      check,
+		}
+	}
+	checked, err := mk(true).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fails := checked.CheckFailures(); len(fails) != 0 {
+		t.Fatalf("checked sweep flagged violations: %v", fails)
+	}
+	plain, err := mk(false).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ai := range plain.Points {
+		for li := range plain.Points[ai] {
+			if checked.Points[ai][li].Results != plain.Points[ai][li].Results {
+				t.Fatalf("point %s@%v diverged under checking:\nchecked %+v\nplain   %+v",
+					plain.Algos[ai], plain.Loads[li],
+					checked.Points[ai][li].Results, plain.Points[ai][li].Results)
+			}
+		}
+	}
+}

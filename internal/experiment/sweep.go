@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	invcheck "voqsim/internal/check"
 	"voqsim/internal/switchsim"
 	"voqsim/internal/traffic"
 	"voqsim/internal/xrand"
@@ -29,14 +30,20 @@ type Sweep struct {
 	Seed        uint64 // base seed; every point derives its own
 	Workers     int    // parallel points (default GOMAXPROCS)
 	UnstableCap int64  // backlog ceiling (default 1000*N)
+	// Check runs every point under the runtime invariant checker
+	// (internal/check). Measurements are unchanged — the checker is
+	// passive — but any violation is recorded in the point's
+	// CheckError, and Table.CheckFailures surfaces them.
+	Check bool
 }
 
 // Point is one measured (algorithm, load) grid cell.
 type Point struct {
-	Algorithm string            `json:"algorithm"`
-	Load      float64           `json:"load"`
-	Skipped   string            `json:"skipped,omitempty"` // non-empty when the load is unreachable
-	Results   switchsim.Results `json:"results"`
+	Algorithm  string            `json:"algorithm"`
+	Load       float64           `json:"load"`
+	Skipped    string            `json:"skipped,omitempty"` // non-empty when the load is unreachable
+	CheckError string            `json:"check_error,omitempty"`
+	Results    switchsim.Results `json:"results"`
 }
 
 // Table is a completed sweep: Points[a][l] holds algorithm a at load l.
@@ -114,8 +121,31 @@ func (s *Sweep) runPoint(ai, li int) Point {
 
 	sw := algo.New(s.N, switchRoot)
 	cfg := switchsim.Config{Slots: s.Slots, Seed: seed, UnstableCellLimit: s.UnstableCap}
+	if s.Check {
+		res, _, err := switchsim.CheckedRun(algo.Name, sw, pat, cfg, trafficRoot, invcheck.Options{})
+		pt.Results = res
+		if err != nil {
+			pt.CheckError = err.Error()
+		}
+		return pt
+	}
 	pt.Results = switchsim.New(sw, pat, cfg, trafficRoot).Run(algo.Name)
 	return pt
+}
+
+// CheckFailures lists every point of a checked sweep that drew an
+// invariant-checker verdict, rendered "algo@load: error". Empty for a
+// clean (or unchecked) table.
+func (t *Table) CheckFailures() []string {
+	var out []string
+	for ai, row := range t.Points {
+		for li, pt := range row {
+			if pt.CheckError != "" {
+				out = append(out, fmt.Sprintf("%s@%.3f: %s", t.Algos[ai], t.Loads[li], pt.CheckError))
+			}
+		}
+	}
+	return out
 }
 
 // Get returns the point for the given algorithm name and load index.

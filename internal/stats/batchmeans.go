@@ -61,3 +61,18 @@ func (b *BatchMeans) HalfWidth95() float64 {
 // Reliable reports whether enough batches have completed (>= 10) for
 // the interval to be taken seriously.
 func (b *BatchMeans) Reliable() bool { return b.means.Count() >= 10 }
+
+// Merge folds the completed batches of o into b, for combining
+// estimators built over disjoint segments of a series (e.g. per-worker
+// shards of one run). Both estimators must use the same batch size;
+// mixing sizes would average means of unequal weight, so it panics.
+// Partial trailing batches on either side are discarded, exactly as
+// Mean discards them — which makes the merge order-insensitive over
+// completed batches but not equivalent to streaming the raw series
+// when a segment boundary splits a batch.
+func (b *BatchMeans) Merge(o *BatchMeans) {
+	if b.batchSize != o.batchSize {
+		panic("stats: merging batch-means estimators of different batch sizes")
+	}
+	b.means.Merge(&o.means)
+}

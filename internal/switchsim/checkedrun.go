@@ -1,0 +1,68 @@
+package switchsim
+
+import (
+	"voqsim/internal/check"
+	"voqsim/internal/traffic"
+	"voqsim/internal/xrand"
+)
+
+// CheckedRun runs the same simulation as New(...).Run(name) with the
+// switch wrapped in the runtime invariant checker (internal/check).
+// The measured Results are identical to an unchecked run — the checker
+// draws no randomness and forwards the switch's optional reporter
+// capabilities — so perf and correctness PRs can flip checking on
+// without disturbing any baseline numbers. The returned error is the
+// checker's verdict (nil for a clean run); Results are valid either
+// way.
+func CheckedRun(name string, sw Switch, pat traffic.Pattern, cfg Config, root *xrand.Rand, opt check.Options) (Results, *check.Checker, error) {
+	ck := check.Wrap(sw, opt)
+	res := New(checkedSwitch(sw, ck), pat, cfg, root).Run(name)
+	return res, ck, ck.Err()
+}
+
+// checkedSwitch wraps the checker so that the engine still sees the
+// inner switch's RoundsReporter/BytesReporter capabilities. It
+// deliberately does not forward Observable: the checker owns the
+// switch's observer slot while checking is on (so Instrument on a
+// checked run reports false instead of silently detaching the
+// checker's event capture).
+func checkedSwitch(sw Switch, ck *check.Checker) Switch {
+	rr, hasRounds := sw.(RoundsReporter)
+	br, hasBytes := sw.(BytesReporter)
+	base := checkedBase{ck}
+	switch {
+	case hasRounds && hasBytes:
+		return &checkedBoth{base, rr, br}
+	case hasRounds:
+		return &checkedRounds{base, rr}
+	case hasBytes:
+		return &checkedBytes{base, br}
+	default:
+		return &base
+	}
+}
+
+type checkedBase struct{ *check.Checker }
+
+type checkedRounds struct {
+	checkedBase
+	rr RoundsReporter
+}
+
+func (c *checkedRounds) LastRounds() int { return c.rr.LastRounds() }
+
+type checkedBytes struct {
+	checkedBase
+	br BytesReporter
+}
+
+func (c *checkedBytes) BufferedBytes() int64 { return c.br.BufferedBytes() }
+
+type checkedBoth struct {
+	checkedBase
+	rr RoundsReporter
+	br BytesReporter
+}
+
+func (c *checkedBoth) LastRounds() int      { return c.rr.LastRounds() }
+func (c *checkedBoth) BufferedBytes() int64 { return c.br.BufferedBytes() }
