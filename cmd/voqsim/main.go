@@ -16,6 +16,9 @@
 //	-mcfrac 0.5         multicast fraction (mixed)
 //	-slots 200000       simulated slots
 //	-seed 1             run seed
+//	-checkpoint FILE    atomically save a resume snapshot to FILE during the run
+//	-checkpoint-every K snapshot cadence in slots (default slots/10 with -checkpoint)
+//	-resume FILE        resume a run from a snapshot written by -checkpoint
 //	-json               print the full report as JSON
 //	-series FILE        write a per-slot backlog time series CSV
 //	-trace FILE         write a slot-level event trace (JSONL) of the run
@@ -30,6 +33,10 @@
 // trace to voqtrace timeline / voqtrace explain. Tracing and metrics
 // are supported for the core VOQ schedulers (fifoms, islip, pim, 2drr,
 // lqfms and variants) plus eslip and wba.
+//
+// A resumed run is bit-identical to one that was never interrupted:
+// same flags + the snapshot file reproduce the original report exactly
+// (the snapshot's identity header rejects mismatched flags).
 //
 // Example — the paper's Figure 4 operating point at load 0.8:
 //
@@ -68,6 +75,9 @@ func main() {
 		mcFrac    = flag.Float64("mcfrac", 0.5, "multicast fraction of arrivals (mixed)")
 		slots     = flag.Int64("slots", 200_000, "simulated slots")
 		seed      = flag.Uint64("seed", 1, "run seed")
+		ckptPath  = flag.String("checkpoint", "", "atomically save a resume snapshot to this file during the run")
+		ckptEvery = flag.Int64("checkpoint-every", 0, "snapshot cadence in slots (default slots/10 with -checkpoint)")
+		resumePth = flag.String("resume", "", "resume the run from this snapshot file (same flags as the original run)")
 		asJSON    = flag.Bool("json", false, "print the report as JSON")
 		seriesOut = flag.String("series", "", "also write a per-slot backlog time series CSV to this file")
 		traceOut  = flag.String("trace", "", "also write a slot-level event trace (JSONL) to this file")
@@ -103,13 +113,19 @@ func main() {
 		os.Exit(2)
 	}
 
-	report, err := voqsim.Run(voqsim.Config{
+	cfg := voqsim.Config{
 		Ports:     *n,
 		Scheduler: voqsim.Scheduler(*algo),
 		Traffic:   tr,
 		Slots:     *slots,
 		Seed:      *seed,
-	})
+	}
+	var report voqsim.Report
+	if *ckptPath != "" || *resumePth != "" {
+		report, err = runResumable(cfg, *ckptPath, *ckptEvery, *resumePth)
+	} else {
+		report, err = voqsim.Run(cfg)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "voqsim: %v\n", err)
 		os.Exit(1)
@@ -173,6 +189,40 @@ func main() {
 	fmt.Printf("throughput:           %.4f copies/output/slot\n", report.Throughput)
 	fmt.Printf("completed packets:    %d\n", report.CompletedPackets)
 	fmt.Printf("delivered copies:     %d\n", report.DeliveredCopies)
+}
+
+// runResumable is the checkpoint/resume path of the main run: it
+// restores resumePath when given (continuing mid-run bit-identically),
+// and keeps ckptPath updated with the latest snapshot so a killed run
+// can be picked up with -resume.
+func runResumable(cfg voqsim.Config, ckptPath string, every int64, resumePath string) (voqsim.Report, error) {
+	var blob []byte
+	if resumePath != "" {
+		var err error
+		blob, err = os.ReadFile(resumePath)
+		if err != nil {
+			return voqsim.Report{}, err
+		}
+	}
+	var sink voqsim.CheckpointFunc
+	if ckptPath != "" {
+		if every <= 0 {
+			every = cfg.Slots / 10
+			if every <= 0 {
+				every = 1
+			}
+		}
+		sink = func(nextSlot int64, blob []byte) error {
+			tmp := ckptPath + ".tmp"
+			if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+				return err
+			}
+			return os.Rename(tmp, ckptPath)
+		}
+	} else {
+		every = 0
+	}
+	return voqsim.RunResumable(cfg, blob, every, sink)
 }
 
 // startProfiles starts CPU profiling and/or arranges a heap profile,

@@ -13,6 +13,10 @@
 //	-n, -slots, -seed, -workers        run setup
 //	-metrics in_delay,avg_queue        metrics to print
 //	-check                             invariant-check every point (exit 1 on violation)
+//	-resume-dir DIR                    make the sweep resumable: finished points and
+//	                                   mid-run checkpoints live in DIR, and a re-run
+//	                                   with the same flags picks up where it stopped
+//	-checkpoint-every K                checkpoint cadence in slots (with -resume-dir)
 //	-csv FILE / -json FILE             exports
 //	-cpuprofile FILE / -memprofile FILE  pprof profiles of the sweep
 //
@@ -54,6 +58,8 @@ func main() {
 		jsonPath    = flag.String("json", "", "write the full table as JSON to this file")
 		configPath  = flag.String("config", "", "run a scenario file instead of flag-built traffic (see internal/scenario)")
 		checkRun    = flag.Bool("check", false, "run every point under the runtime invariant checker; exit 1 on any violation")
+		resumeDir   = flag.String("resume-dir", "", "checkpoint directory; a re-run of the identical sweep resumes from it")
+		ckptEvery   = flag.Int64("checkpoint-every", 0, "checkpoint cadence in slots (with -resume-dir; 0 = a tenth of -slots)")
 		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf     = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -66,7 +72,7 @@ func main() {
 	defer stopProfiles()
 
 	if *configPath != "" {
-		runScenario(*configPath, *metricsFlag, *csvPath, *jsonPath, *checkRun)
+		runScenario(*configPath, *metricsFlag, *csvPath, *jsonPath, *checkRun, *resumeDir, *ckptEvery)
 		return
 	}
 
@@ -88,16 +94,18 @@ func main() {
 	}
 
 	sweep := &experiment.Sweep{
-		Name:       "sweep",
-		Title:      fmt.Sprintf("%s, %dx%d", title, *n, *n),
-		N:          *n,
-		Loads:      loads,
-		Algorithms: algos,
-		Slots:      *slots,
-		Seed:       *seed,
-		Workers:    *workers,
-		Pattern:    pattern,
-		Check:      *checkRun,
+		Name:            "sweep",
+		Title:           fmt.Sprintf("%s, %dx%d", title, *n, *n),
+		N:               *n,
+		Loads:           loads,
+		Algorithms:      algos,
+		Slots:           *slots,
+		Seed:            *seed,
+		Workers:         *workers,
+		Pattern:         pattern,
+		Check:           *checkRun,
+		CheckpointDir:   *resumeDir,
+		CheckpointEvery: *ckptEvery,
 	}
 	tbl, err := sweep.Run()
 	if err != nil {
@@ -174,7 +182,7 @@ func startProfiles(cpuPath, memPath string) (stop func(), err error) {
 }
 
 // runScenario executes a version-controlled scenario file.
-func runScenario(path, metricsFlag, csvPath, jsonPath string, checked bool) {
+func runScenario(path, metricsFlag, csvPath, jsonPath string, checked bool, resumeDir string, ckptEvery int64) {
 	f, err := os.Open(path)
 	if err != nil {
 		fatal(err)
@@ -189,6 +197,8 @@ func runScenario(path, metricsFlag, csvPath, jsonPath string, checked bool) {
 		fatal(err)
 	}
 	sweep.Check = sweep.Check || checked
+	sweep.CheckpointDir = resumeDir
+	sweep.CheckpointEvery = ckptEvery
 	metrics, err := parseMetrics(metricsFlag)
 	if err != nil {
 		fatal(err)

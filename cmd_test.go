@@ -86,6 +86,32 @@ func TestCLIVoqsimSeries(t *testing.T) {
 	}
 }
 
+func TestCLIVoqsimCheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	snap := filepath.Join(t.TempDir(), "run.snap")
+	args := []string{"-algo", "fifoms", "-load", "0.5", "-slots", "4000", "-seed", "9"}
+
+	// A checkpointed run leaves its latest snapshot behind and reports
+	// exactly what an unobserved run does.
+	want := runTool(t, "voqsim", "", args...)
+	got := runTool(t, "voqsim", "", append(args, "-checkpoint", snap, "-checkpoint-every", "1000")...)
+	if got != want {
+		t.Fatalf("checkpointing changed the report:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("checkpoint file: %v", err)
+	}
+
+	// Resuming the snapshot (taken at slot 3000 of 4000) replays only
+	// the tail yet reproduces the full-run report byte for byte.
+	got = runTool(t, "voqsim", "", append(args, "-resume", snap)...)
+	if got != want {
+		t.Fatalf("resumed report differs:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
 func TestCLIVoqsweep(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and runs binaries")

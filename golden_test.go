@@ -44,17 +44,25 @@ func checkGolden(t *testing.T, name, got string) {
 	}
 }
 
+// goldenSweepArgs returns the pinned 4x4 sweep invocation, writing the
+// CSV export to csvPath; extra flags are appended.
+func goldenSweepArgs(csvPath string, extra ...string) []string {
+	args := []string{
+		"-n", "4", "-seed", "42", "-slots", "2000",
+		"-loads", "0.3,0.6", "-algos", "fifoms,oqfifo",
+		"-traffic", "bernoulli", "-b", "0.3",
+		"-metrics", "in_delay,avg_queue,throughput",
+		"-check", "-csv", csvPath,
+	}
+	return append(args, extra...)
+}
+
 func TestCLIVoqsweepGolden(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and runs binaries")
 	}
 	csvPath := filepath.Join(t.TempDir(), "sweep.csv")
-	out := runTool(t, "voqsweep", "",
-		"-n", "4", "-seed", "42", "-slots", "2000",
-		"-loads", "0.3,0.6", "-algos", "fifoms,oqfifo",
-		"-traffic", "bernoulli", "-b", "0.3",
-		"-metrics", "in_delay,avg_queue,throughput",
-		"-check", "-csv", csvPath)
+	out := runTool(t, "voqsweep", "", goldenSweepArgs(csvPath)...)
 	// The checked run's verdict line is part of the pinned surface: the
 	// golden fails if the sweep ever stops passing the checker.
 	if !strings.Contains(out, "check: all points passed") {
@@ -63,6 +71,51 @@ func TestCLIVoqsweepGolden(t *testing.T) {
 	checkGolden(t, "voqsweep_4x4.golden", out)
 
 	csv, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "voqsweep_4x4_csv.golden", string(csv))
+}
+
+// TestCLIVoqsweepResumeGolden pins the -resume-dir protocol against
+// the same goldens: a resumable sweep, and a sweep resumed mid-grid
+// after losing a finished point, must reproduce the uninterrupted
+// table byte for byte.
+func TestCLIVoqsweepResumeGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	tmp := t.TempDir()
+	dir := filepath.Join(tmp, "ckpt")
+
+	// Leg 1: a fresh resumable run matches the pinned goldens exactly —
+	// checkpointing is passive.
+	csvPath := filepath.Join(tmp, "sweep1.csv")
+	out := runTool(t, "voqsweep", "", goldenSweepArgs(csvPath, "-resume-dir", dir)...)
+	checkGolden(t, "voqsweep_4x4.golden", out)
+	csv, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "voqsweep_4x4_csv.golden", string(csv))
+
+	// Leg 2: drop one finished point and re-run with the same directory.
+	// The sweep reloads three points from disk, re-simulates the lost
+	// one, and still renders the identical goldens.
+	done, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 4 {
+		t.Fatalf("checkpoint dir holds %d finished points, want 4", len(done))
+	}
+	if err := os.Remove(done[0]); err != nil {
+		t.Fatal(err)
+	}
+	csvPath = filepath.Join(tmp, "sweep2.csv")
+	out = runTool(t, "voqsweep", "", goldenSweepArgs(csvPath, "-resume-dir", dir)...)
+	checkGolden(t, "voqsweep_4x4.golden", out)
+	csv, err = os.ReadFile(csvPath)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -335,6 +335,11 @@ func Wrap(sw Switch, opt Options) *Checker {
 			ob.SetObserver(&obs.Observer{Trace: c.tracer})
 		}
 	}
+	if base.BufferedCells() > 0 {
+		// Wrapping a switch restored from a snapshot: seed the shadow
+		// model from its buffer content (state.go).
+		c.prime()
+	}
 	return c
 }
 

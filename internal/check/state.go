@@ -1,0 +1,113 @@
+package check
+
+import (
+	"voqsim/internal/cell"
+	"voqsim/internal/destset"
+	"voqsim/internal/snap"
+)
+
+// Checkpoint integration. The checker's shadow model is normally built
+// by observing every Arrive, which assumes it wraps an *empty* switch.
+// Restoring a snapshot breaks that assumption: the switch comes back
+// mid-run with buffered packets the checker never saw, and invariants
+// I3/I4/I6 would fire immediately. Priming reads the restored buffer
+// content through each architecture's ForEachBuffered iterator and
+// seeds the shadow model as if the checker had watched those packets
+// arrive — after which all eight invariants hold for the rest of the
+// run exactly as in an unbroken checked run.
+//
+// Two paths reach it:
+//
+//   - Wrap detects a non-empty switch (restored before wrapping) and
+//     primes on the spot;
+//   - LoadState (the checker forwards snapshot hooks to the wrapped
+//     switch, so a checked runner can itself be restored) primes after
+//     the inner switch has loaded.
+
+// snapshotter matches switchsim.SnapshottableSwitch's state hooks
+// without importing switchsim.
+type snapshotter interface {
+	SaveState(w *snap.Writer)
+	LoadState(r *snap.Reader) error
+}
+
+// CanSnapshot reports whether the wrapped architecture supports the
+// snapshot hooks. The checker satisfies the hook interface statically
+// regardless of its base, so callers deciding snapshottability must
+// probe this instead of a type assertion.
+func (c *Checker) CanSnapshot() bool {
+	_, ok := c.base.(snapshotter)
+	return ok
+}
+
+// SaveState forwards to the wrapped switch, so a checked switch can be
+// snapshotted transparently. It panics if the wrapped architecture has
+// no snapshot support — the same configurations that can call it on
+// the bare switch can call it on the checked one.
+func (c *Checker) SaveState(w *snap.Writer) {
+	s, ok := c.base.(snapshotter)
+	if !ok {
+		panic("check: wrapped switch does not support snapshots")
+	}
+	s.SaveState(w)
+}
+
+// LoadState forwards to the wrapped switch, then primes the shadow
+// model from the restored buffer content. The checker must be fresh
+// (wrapped around an empty switch, no slots stepped).
+func (c *Checker) LoadState(r *snap.Reader) error {
+	s, ok := c.base.(snapshotter)
+	if !ok {
+		r.Failf("check: wrapped switch does not support snapshots")
+		return r.Err()
+	}
+	if err := s.LoadState(r); err != nil {
+		return err
+	}
+	c.prime()
+	return nil
+}
+
+// prime seeds the shadow model from the wrapped switch's current
+// buffer content. It is a no-op for an empty switch and for the
+// generic profile (whose deep checks don't inspect buffered state).
+func (c *Checker) prime() {
+	switch {
+	case c.prof.core != nil:
+		c.prof.core.ForEachBuffered(func(in, out int, p *cell.Packet) {
+			st := c.pkts[p.ID]
+			if st == nil {
+				st = &pktState{input: in, arrival: p.Arrival, remaining: destset.New(c.n)}
+				c.pkts[p.ID] = st
+				c.offeredPackets++
+				c.resident++
+				c.perInResident[in]++
+			}
+			st.remaining.Add(out)
+			c.offeredCopies++
+			c.outstanding++
+			c.perInOutstanding[in]++
+			c.voq[in*c.n+out].Push(shadowCell{id: p.ID, ts: p.Arrival})
+		})
+	case c.prof.wba != nil:
+		c.prof.wba.ForEachBuffered(func(in int, p *cell.Packet, remaining *destset.Set) {
+			c.primePacket(in, p, remaining)
+			c.inq[in].Push(p.ID)
+		})
+	case c.prof.eslip != nil:
+		c.prof.eslip.ForEachBuffered(c.primePacket)
+	}
+}
+
+// primePacket seeds one whole buffered packet (wba/eslip shapes, where
+// the iterator reports each packet once with its residual set).
+func (c *Checker) primePacket(in int, p *cell.Packet, remaining *destset.Set) {
+	copies := int64(remaining.Count())
+	c.pkts[p.ID] = &pktState{input: in, arrival: p.Arrival, remaining: remaining.Clone()}
+	c.offeredPackets++
+	c.offeredCopies += copies
+	c.outstanding += copies
+	c.resident++
+	c.perInResident[in]++
+	c.perInOutstanding[in] += copies
+}

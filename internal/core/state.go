@@ -1,0 +1,247 @@
+package core
+
+import (
+	"voqsim/internal/cell"
+	"voqsim/internal/snap"
+)
+
+// Checkpoint hooks (DESIGN.md §10). The serialized state is the
+// *logical* buffer content: per input, a table of live packets (with
+// their data-cell fanout counters) plus, per VOQ, the front-to-back
+// sequence of table indices its address cells reference. Encoding
+// references instead of cells preserves the one-data-cell-per-packet
+// sharing of ModeShared exactly, so a restored fanout-k packet still
+// occupies one data cell.
+//
+// Deliberately not serialized:
+//
+//   - the freelists — a performance cache, refilled on demand;
+//   - the cached holTS/occIn/occOut mirrors — LoadState rebuilds them
+//     coherently by re-pushing every cell through pushCell;
+//   - the Matching, crossbar Config and scratch slices — per-slot
+//     state, rebuilt from scratch at the next Step;
+//   - the observer and its cached metric handles — observability must
+//     never influence a run, so it is reattached, not restored.
+
+// StatefulArbiter is implemented by arbiters whose private state
+// persists across slots (iSLIP's rotating pointers). Arbiters that
+// keep only per-slot scratch — FIFOMS, PIM, LQFMS, 2DRR — do not
+// implement it and serialize nothing.
+type StatefulArbiter interface {
+	Arbiter
+	SaveArbiterState(w *snap.Writer)
+	LoadArbiterState(n int, r *snap.Reader) error
+}
+
+// ForEachBuffered calls fn for every buffered address cell, VOQ by
+// VOQ, front to back. A fanout-k packet is visited once per output
+// still owed a copy. External inspectors (the invariant checker's
+// shadow-model priming) use it to read the buffer content without
+// reaching into the queues.
+func (s *Switch) ForEachBuffered(fn func(in, out int, p *cell.Packet)) {
+	for in := range s.ports {
+		for out := 0; out < s.n; out++ {
+			q := &s.ports[in].voqs[out]
+			for i := 0; i < q.Len(); i++ {
+				fn(in, out, q.At(i).Data.Packet)
+			}
+		}
+	}
+}
+
+// SaveState appends the switch's complete evolving state as one
+// "core" section.
+func (s *Switch) SaveState(w *snap.Writer) {
+	w.Begin("core")
+	w.Int(s.n)
+	w.U8(uint8(s.mode))
+	snap.WriteRand(w, s.rnd)
+	w.Int(s.lastRounds)
+	w.I64(s.totalRounds)
+	w.I64(s.activeSlots)
+	s.fabric.SaveState(w)
+	for in := range s.ports {
+		s.savePort(w, in)
+	}
+	if sa, ok := s.arbiter.(StatefulArbiter); ok {
+		w.Bool(true)
+		sa.SaveArbiterState(w)
+	} else {
+		w.Bool(false)
+	}
+	w.End()
+}
+
+// savePort appends one input port: its arrival guard, the table of
+// live packets, and each VOQ as indices into that table.
+func (s *Switch) savePort(w *snap.Writer, in int) {
+	port := &s.ports[in]
+	w.I64(port.lastArrival)
+
+	// The table deduplicates by *cell.Packet: in ModeShared the
+	// packet's single data cell carries the live fanout counter; in
+	// ModeCopied every queued copy has a private fanout-1 data cell,
+	// but the copies still share one Packet, which is what makes the
+	// table well defined in both modes.
+	index := make(map[*cell.Packet]int)
+	var packets []*cell.Packet
+	var counters []int
+	for out := 0; out < s.n; out++ {
+		q := &port.voqs[out]
+		for i := 0; i < q.Len(); i++ {
+			ac := q.At(i)
+			p := ac.Data.Packet
+			if _, ok := index[p]; !ok {
+				index[p] = len(packets)
+				packets = append(packets, p)
+				counters = append(counters, ac.Data.FanoutCounter)
+			}
+		}
+	}
+	w.Count(len(packets))
+	for i, p := range packets {
+		w.I64(int64(p.ID))
+		w.I64(p.Arrival)
+		w.Int(counters[i])
+		snap.WriteDests(w, p.Dests)
+	}
+	for out := 0; out < s.n; out++ {
+		q := &port.voqs[out]
+		w.Count(q.Len())
+		for i := 0; i < q.Len(); i++ {
+			w.Int(index[q.At(i).Data.Packet])
+		}
+	}
+}
+
+// LoadState restores state written by SaveState into a freshly built
+// switch of the same size, arbiter and mode. The VOQs are rebuilt by
+// re-pushing every address cell through pushCell, which regenerates
+// the cached holTS/occIn/occOut mirrors as a side effect — they
+// cannot drift from the queues they mirror.
+func (s *Switch) LoadState(r *snap.Reader) error {
+	if err := r.Section("core"); err != nil {
+		return err
+	}
+	if n := r.Int(); r.Err() == nil && n != s.n {
+		r.Failf("snapshot is for a %d-port switch, this one has %d", n, s.n)
+	}
+	if m := PreprocessMode(r.U8()); r.Err() == nil && m != s.mode {
+		r.Failf("snapshot preprocess mode %v, arbiter uses %v", m, s.mode)
+	}
+	snap.ReadRand(r, s.rnd)
+	s.lastRounds = r.Int()
+	s.totalRounds = r.I64()
+	s.activeSlots = r.I64()
+	if err := s.fabric.LoadState(r); err != nil {
+		return err
+	}
+	for in := 0; in < s.n; in++ {
+		if err := s.loadPort(r, in); err != nil {
+			return err
+		}
+	}
+	hasArb := r.Bool()
+	sa, stateful := s.arbiter.(StatefulArbiter)
+	if r.Err() == nil && hasArb != stateful {
+		r.Failf("snapshot arbiter statefulness %v, arbiter %s statefulness %v", hasArb, s.arbiter.Name(), stateful)
+	}
+	if r.Err() == nil && hasArb {
+		if err := sa.LoadArbiterState(s.n, r); err != nil {
+			return err
+		}
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	return r.EndSection()
+}
+
+// loadPort restores one input port written by savePort.
+func (s *Switch) loadPort(r *snap.Reader, in int) error {
+	port := &s.ports[in]
+	port.lastArrival = r.I64()
+	if r.Err() == nil && (port.lastArrival < -1 || port.lastArrival >= r.NextSlot()) {
+		// The guard in Arrive panics on out-of-order arrivals, so a
+		// last-arrival stamp at or past the resume slot must be
+		// rejected here, where it is an input error, not a bug.
+		r.Failf("input %d last arrival %d outside [-1,%d)", in, port.lastArrival, r.NextSlot())
+		return r.Err()
+	}
+
+	// Each table entry costs at least id(8)+arrival(8)+counter(8)+
+	// dests presence(1)+count(4) = 29 bytes.
+	nPkts := r.Count(29)
+	packets := make([]*cell.Packet, nPkts)
+	datas := make([]*cell.DataCell, nPkts)
+	refs := make([]int, nPkts)
+	for i := 0; i < nPkts; i++ {
+		id := cell.PacketID(r.I64())
+		arrival := r.I64()
+		counter := r.Int()
+		dests := snap.ReadDests(r, s.n)
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if dests == nil || dests.Empty() {
+			r.Failf("buffered packet %d has no destinations", id)
+			return r.Err()
+		}
+		if counter < 1 || counter > dests.Count() {
+			r.Failf("buffered packet %d fanout counter %d outside [1,%d]", id, counter, dests.Count())
+			return r.Err()
+		}
+		if arrival < 0 || arrival >= r.NextSlot() {
+			r.Failf("buffered packet %d arrival %d outside [0,%d)", id, arrival, r.NextSlot())
+			return r.Err()
+		}
+		packets[i] = &cell.Packet{ID: id, Input: in, Arrival: arrival, Dests: dests}
+		if s.mode == ModeShared {
+			datas[i] = &cell.DataCell{Packet: packets[i], FanoutCounter: counter}
+			port.dataCells++
+		}
+	}
+	for out := 0; out < s.n; out++ {
+		qLen := r.Count(8)
+		for k := 0; k < qLen; k++ {
+			idx := r.Int()
+			if r.Err() != nil {
+				return r.Err()
+			}
+			if idx < 0 || idx >= nPkts {
+				r.Failf("VOQ(%d,%d) references packet index %d of %d", in, out, idx, nPkts)
+				return r.Err()
+			}
+			p := packets[idx]
+			if !p.Dests.Contains(out) {
+				r.Failf("VOQ(%d,%d) holds packet %d that is not addressed to %d", in, out, p.ID, out)
+				return r.Err()
+			}
+			refs[idx]++
+			data := datas[idx]
+			if s.mode == ModeCopied {
+				data = &cell.DataCell{Packet: p, FanoutCounter: 1}
+				port.dataCells++
+			}
+			s.pushCell(in, out, &cell.AddressCell{TimeStamp: p.Arrival, Data: data, Output: out})
+		}
+	}
+	if s.mode == ModeShared {
+		// The fanout counter must equal the address cells still queued,
+		// or Served() would mis-time the data cell's release.
+		for i, d := range datas {
+			if refs[i] != d.FanoutCounter {
+				r.Failf("packet %d has %d queued cells but fanout counter %d", packets[i].ID, refs[i], d.FanoutCounter)
+				return r.Err()
+			}
+		}
+	} else {
+		for i, p := range packets {
+			if refs[i] == 0 {
+				r.Failf("buffered packet %d has no queued cells", p.ID)
+				return r.Err()
+			}
+		}
+	}
+	return r.Err()
+}

@@ -1,0 +1,27 @@
+package crossbar
+
+import "voqsim/internal/snap"
+
+// Checkpoint hooks. The fabric's only evolving state is its
+// utilisation accounting; the scratch buffers are per-Apply and the
+// crosspoint Config is rebuilt from scratch every slot.
+
+// SaveState appends the fabric's utilisation counters.
+func (f *Fabric) SaveState(w *snap.Writer) {
+	w.I64(f.slots)
+	w.I64(f.copiesCarried)
+	w.I64(f.cellsCarried)
+	w.I64(f.multicastSlots)
+}
+
+// LoadState restores counters written by SaveState.
+func (f *Fabric) LoadState(r *snap.Reader) error {
+	f.slots = r.I64()
+	f.copiesCarried = r.I64()
+	f.cellsCarried = r.I64()
+	f.multicastSlots = r.I64()
+	if r.Err() == nil && (f.slots < 0 || f.copiesCarried < 0 || f.cellsCarried < 0 || f.multicastSlots < 0) {
+		r.Failf("negative fabric counter")
+	}
+	return r.Err()
+}

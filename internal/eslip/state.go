@@ -1,0 +1,164 @@
+package eslip
+
+import (
+	"voqsim/internal/cell"
+	"voqsim/internal/destset"
+	"voqsim/internal/snap"
+)
+
+// Checkpoint hooks. Serialized state: the unicast VOQs, the multicast
+// queues with each entry's residual destination set (fanout splitting
+// mutates it in place, so a packet's remaining set differs from its
+// original destinations mid-service), the three scheduler pointers
+// and the rounds accounting. The occupancy bitsets (uniOcc, mcOcc)
+// and payload counts are derived caches, rebuilt while loading; the
+// scratch sets and observability handles are per-slot or reattached.
+
+// ForEachBuffered calls fn for every buffered packet with its residual
+// destination set (not a copy — do not mutate): multicast entries from
+// the shared per-input queues, then each unicast VOQ front to back.
+// External inspectors (the invariant checker's shadow-model priming)
+// use it to read the buffer content.
+func (s *Switch) ForEachBuffered(fn func(in int, p *cell.Packet, remaining *destset.Set)) {
+	for in := 0; in < s.n; in++ {
+		q := &s.mcQ[in]
+		for i := 0; i < q.Len(); i++ {
+			e := q.At(i)
+			fn(in, e.p, e.remaining)
+		}
+		for out := 0; out < s.n; out++ {
+			uq := &s.uniVOQ[in][out]
+			for i := 0; i < uq.Len(); i++ {
+				c := uq.At(i)
+				fn(in, c.p, c.p.Dests)
+			}
+		}
+	}
+}
+
+// SaveState appends the switch's complete evolving state as one
+// "eslip" section.
+func (s *Switch) SaveState(w *snap.Writer) {
+	w.Begin("eslip")
+	w.Int(s.n)
+	w.Ints(s.grantPtr)
+	w.Ints(s.acceptPtr)
+	w.Int(s.mcPtr)
+	w.Int(s.lastRounds)
+	w.I64(s.totalRounds)
+	w.I64(s.activeSlots)
+	for in := 0; in < s.n; in++ {
+		q := &s.mcQ[in]
+		w.Count(q.Len())
+		for i := 0; i < q.Len(); i++ {
+			e := q.At(i)
+			w.I64(int64(e.p.ID))
+			w.I64(e.p.Arrival)
+			snap.WriteDests(w, e.p.Dests)
+			snap.WriteDests(w, e.remaining)
+		}
+		for out := 0; out < s.n; out++ {
+			uq := &s.uniVOQ[in][out]
+			w.Count(uq.Len())
+			for i := 0; i < uq.Len(); i++ {
+				c := uq.At(i)
+				w.I64(int64(c.p.ID))
+				w.I64(c.p.Arrival)
+			}
+		}
+	}
+	w.End()
+}
+
+// LoadState restores state written by SaveState into a fresh switch
+// of the same size, rebuilding the occupancy bitsets and payload
+// counts from the queues as they fill.
+func (s *Switch) LoadState(r *snap.Reader) error {
+	if err := r.Section("eslip"); err != nil {
+		return err
+	}
+	if n := r.Int(); r.Err() == nil && n != s.n {
+		r.Failf("snapshot is for a %d-port switch, this one has %d", n, s.n)
+	}
+	grant := r.Ints()
+	accept := r.Ints()
+	mcPtr := r.Int()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if len(grant) != s.n || len(accept) != s.n {
+		r.Failf("pointer vectors sized %d/%d for %d ports", len(grant), len(accept), s.n)
+		return r.Err()
+	}
+	for i := 0; i < s.n; i++ {
+		if grant[i] < 0 || grant[i] >= s.n || accept[i] < 0 || accept[i] >= s.n {
+			r.Failf("pointer (%d,%d) at port %d outside [0,%d)", grant[i], accept[i], i, s.n)
+			return r.Err()
+		}
+	}
+	if mcPtr < 0 || mcPtr >= s.n {
+		r.Failf("multicast pointer %d outside [0,%d)", mcPtr, s.n)
+		return r.Err()
+	}
+	copy(s.grantPtr, grant)
+	copy(s.acceptPtr, accept)
+	s.mcPtr = mcPtr
+	s.lastRounds = r.Int()
+	s.totalRounds = r.I64()
+	s.activeSlots = r.I64()
+	for in := 0; in < s.n; in++ {
+		// Multicast entries cost at least id(8)+arrival(8)+2 dest sets
+		// (5 each) = 26 bytes.
+		mcLen := r.Count(26)
+		for i := 0; i < mcLen; i++ {
+			id := cell.PacketID(r.I64())
+			arrival := r.I64()
+			dests := snap.ReadDests(r, s.n)
+			remaining := snap.ReadDests(r, s.n)
+			if r.Err() != nil {
+				return r.Err()
+			}
+			if dests == nil || dests.Count() < 2 || remaining == nil || remaining.Empty() {
+				r.Failf("multicast entry %d at input %d has invalid destination sets", id, in)
+				return r.Err()
+			}
+			if arrival < 0 || arrival >= r.NextSlot() {
+				r.Failf("multicast entry %d at input %d arrival %d outside [0,%d)", id, in, arrival, r.NextSlot())
+				return r.Err()
+			}
+			sub := remaining.Clone()
+			sub.SubtractWith(dests)
+			if !sub.Empty() {
+				r.Failf("multicast entry %d at input %d has remaining outside its destinations", id, in)
+				return r.Err()
+			}
+			p := &cell.Packet{ID: id, Input: in, Arrival: arrival, Dests: dests}
+			if s.mcQ[in].Empty() {
+				s.mcOcc.Add(in)
+			}
+			s.mcQ[in].Push(&mcEntry{p: p, remaining: remaining})
+			s.payloads[in]++
+		}
+		for out := 0; out < s.n; out++ {
+			uqLen := r.Count(16)
+			for i := 0; i < uqLen; i++ {
+				id := cell.PacketID(r.I64())
+				arrival := r.I64()
+				if r.Err() != nil {
+					return r.Err()
+				}
+				if arrival < 0 || arrival >= r.NextSlot() {
+					r.Failf("unicast cell %d at VOQ(%d,%d) arrival %d outside [0,%d)", id, in, out, arrival, r.NextSlot())
+					return r.Err()
+				}
+				p := &cell.Packet{ID: id, Input: in, Arrival: arrival, Dests: destset.FromMembers(s.n, out)}
+				if s.uniVOQ[in][out].Empty() {
+					s.uniOcc[out].Add(in)
+				}
+				s.uniVOQ[in][out].Push(uniCell{p: p})
+				s.payloads[in]++
+			}
+		}
+	}
+	return r.EndSection()
+}

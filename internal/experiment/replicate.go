@@ -27,10 +27,13 @@ type ReplicateConfig struct {
 	N         int
 	// Replications is the number of independent runs (default 10).
 	Replications int
-	// Slots per replication (default 50k).
+	// Slots per replication. Zero selects the default (50k); a
+	// negative value is a configuration error Replicate rejects.
 	Slots int64
 	// Seed is the base; replication r uses an independent derivation.
-	Seed    uint64
+	Seed uint64
+	// Workers caps how many replications run concurrently; zero or
+	// negative uses runtime.GOMAXPROCS(0), i.e. one per CPU.
 	Workers int
 }
 
@@ -38,7 +41,7 @@ func (c ReplicateConfig) withDefaults() ReplicateConfig {
 	if c.Replications <= 0 {
 		c.Replications = 10
 	}
-	if c.Slots <= 0 {
+	if c.Slots == 0 {
 		c.Slots = 50_000
 	}
 	if c.Seed == 0 {
@@ -88,6 +91,9 @@ func Replicate(cfg ReplicateConfig) (*ReplicateSummary, error) {
 	cfg = cfg.withDefaults()
 	if cfg.N <= 0 || cfg.Pattern == nil || cfg.Algorithm.New == nil {
 		return nil, fmt.Errorf("experiment: incomplete replicate config")
+	}
+	if cfg.Slots < 0 {
+		return nil, fmt.Errorf("experiment: negative slot budget %d", cfg.Slots)
 	}
 	pat, err := cfg.Pattern(cfg.Load, cfg.N)
 	if err != nil {

@@ -1,0 +1,114 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"voqsim/internal/switchsim"
+	"voqsim/internal/traffic"
+)
+
+// Mid-sweep resume (Sweep.CheckpointDir). A resumable sweep keeps two
+// files per grid point under the checkpoint directory:
+//
+//	<sweep>-<algo>-l<li>.json   the finished point, verbatim
+//	<sweep>-<algo>-l<li>.snap   the running point's latest snapshot
+//
+// A finished point is loaded from its JSON instead of re-simulated
+// (float64 survives Go's JSON round-trip exactly, so the assembled
+// table is bit-identical to an uninterrupted sweep). An interrupted
+// point restores its snapshot and continues from the checkpointed
+// slot, which the differential tests in internal/switchsim pin to be
+// bit-identical to never having stopped. Checkpoint writes are
+// best-effort: a failing disk degrades the sweep to non-resumable, it
+// never changes results. Unusable artifacts (older format version,
+// corruption, a config drift that changes the point's identity) are
+// detected by the snapshot codec and the point silently re-runs from
+// slot 0.
+//
+// The directory is keyed by sweep name, algorithm and load index
+// only, so it must not be shared between sweeps with different
+// parameters: a changed grid would be caught by the snapshot identity
+// header, but a stale finished-point JSON is trusted as saved.
+
+// pointPaths returns the finished-result and mid-run snapshot paths
+// of one grid cell.
+func (s *Sweep) pointPaths(ai, li int) (doneFile, snapFile string) {
+	base := filepath.Join(s.CheckpointDir,
+		fmt.Sprintf("%s-%s-l%02d", s.Name, s.Algorithms[ai].Name, li))
+	return base + ".json", base + ".snap"
+}
+
+// runPointResumable is runPoint with the checkpoint protocol around
+// the simulation.
+func (s *Sweep) runPointResumable(ai, li int, pt Point, pat traffic.Pattern) Point {
+	algo := s.Algorithms[ai]
+	doneFile, snapFile := s.pointPaths(ai, li)
+
+	if data, err := os.ReadFile(doneFile); err == nil {
+		var saved Point
+		if err := json.Unmarshal(data, &saved); err == nil {
+			return saved
+		}
+		// Unreadable finished point: fall through and re-run it.
+	}
+
+	r, ck := s.pointRunner(ai, li, pat)
+	if blob, err := os.ReadFile(snapFile); err == nil {
+		if err := r.Restore(algo.Name, blob); err != nil {
+			// A failed restore may leave the runner partially loaded;
+			// rebuild it and run the point from slot 0.
+			r, ck = s.pointRunner(ai, li, pat)
+		}
+	}
+
+	// Architectures without snapshot support still participate in a
+	// resumable sweep: their points run whole and are saved as finished
+	// JSON, they just cannot be interrupted mid-run.
+	var every int64
+	var sink switchsim.CheckpointFunc
+	if r.Snapshottable() == nil {
+		every = s.CheckpointEvery
+		if every <= 0 {
+			every = r.Config().Slots / 10
+			if every <= 0 {
+				every = 1
+			}
+		}
+		sink = func(_ int64, blob []byte) error {
+			writeFileAtomic(snapFile, blob) // best-effort, see package comment
+			return nil
+		}
+	}
+	res, err := r.RunWithCheckpoints(algo.Name, every, sink)
+	if err != nil {
+		// Unreachable with a never-failing sink, but keep the point
+		// well-formed if the invariant ever changes.
+		pt.Skipped = err.Error()
+		return pt
+	}
+	pt.Results = res
+	if ck != nil {
+		if cerr := ck.Err(); cerr != nil {
+			pt.CheckError = cerr.Error()
+		}
+	}
+	if data, err := json.MarshalIndent(pt, "", "  "); err == nil {
+		if writeFileAtomic(doneFile, append(data, '\n')) == nil {
+			os.Remove(snapFile)
+		}
+	}
+	return pt
+}
+
+// writeFileAtomic writes data under a temporary name and renames it
+// into place, so readers never observe a half-written file.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

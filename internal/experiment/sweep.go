@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 
@@ -35,6 +36,17 @@ type Sweep struct {
 	// passive — but any violation is recorded in the point's
 	// CheckError, and Table.CheckFailures surfaces them.
 	Check bool
+	// CheckpointDir, when non-empty, makes the sweep resumable: each
+	// completed point's results are saved there as JSON, each running
+	// point checkpoints its simulation state periodically, and a
+	// re-run of the identical sweep loads finished points from disk
+	// and resumes interrupted ones mid-run — reproducing the
+	// uninterrupted sweep bit for bit (see resume.go).
+	CheckpointDir string
+	// CheckpointEvery is the checkpoint cadence in slots (default:
+	// a tenth of the point's slot budget). Only used with
+	// CheckpointDir.
+	CheckpointEvery int64
 }
 
 // Point is one measured (algorithm, load) grid cell.
@@ -69,6 +81,11 @@ func (s *Sweep) Run() (*Table, error) {
 	workers := s.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if s.CheckpointDir != "" {
+		if err := os.MkdirAll(s.CheckpointDir, 0o755); err != nil {
+			return nil, fmt.Errorf("experiment: checkpoint dir: %w", err)
+		}
 	}
 
 	tbl := &Table{Name: s.Name, Title: s.Title, N: s.N, Loads: s.Loads}
@@ -115,6 +132,26 @@ func (s *Sweep) runPoint(ai, li int) Point {
 		return pt
 	}
 
+	if s.CheckpointDir != "" {
+		return s.runPointResumable(ai, li, pt, pat)
+	}
+	r, ck := s.pointRunner(ai, li, pat)
+	pt.Results = r.Run(algo.Name)
+	if ck != nil {
+		if err := ck.Err(); err != nil {
+			pt.CheckError = err.Error()
+		}
+	}
+	return pt
+}
+
+// pointRunner builds the runner of one grid cell, wrapped in the
+// invariant checker when the sweep asks for checking. The point seed
+// mixes the sweep seed with the grid coordinates; the derivation is
+// pinned — checkpoint blobs embed the derived seed, so changing it
+// would orphan every saved checkpoint.
+func (s *Sweep) pointRunner(ai, li int, pat traffic.Pattern) (*switchsim.Runner, *invcheck.Checker) {
+	algo := s.Algorithms[ai]
 	seed := s.Seed ^ (uint64(ai)+1)*0x9e3779b97f4a7c15 ^ (uint64(li)+1)*0xd6e8feb86659fd93
 	trafficRoot := xrand.New(seed).Split("run-traffic", 0)
 	switchRoot := xrand.New(seed).Split("run-switch", 0)
@@ -122,15 +159,9 @@ func (s *Sweep) runPoint(ai, li int) Point {
 	sw := algo.New(s.N, switchRoot)
 	cfg := switchsim.Config{Slots: s.Slots, Seed: seed, UnstableCellLimit: s.UnstableCap}
 	if s.Check {
-		res, _, err := switchsim.CheckedRun(algo.Name, sw, pat, cfg, trafficRoot, invcheck.Options{})
-		pt.Results = res
-		if err != nil {
-			pt.CheckError = err.Error()
-		}
-		return pt
+		return switchsim.NewChecked(sw, pat, cfg, trafficRoot, invcheck.Options{})
 	}
-	pt.Results = switchsim.New(sw, pat, cfg, trafficRoot).Run(algo.Name)
-	return pt
+	return switchsim.New(sw, pat, cfg, trafficRoot), nil
 }
 
 // CheckFailures lists every point of a checked sweep that drew an

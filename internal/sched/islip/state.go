@@ -1,0 +1,49 @@
+package islip
+
+import (
+	"voqsim/internal/core"
+	"voqsim/internal/snap"
+)
+
+// iSLIP is the one core arbiter with state that persists across
+// slots: the rotating grant and accept pointers whose
+// desynchronisation *is* the algorithm. FIFOMS, PIM, LQFMS and 2DRR
+// keep only per-slot scratch and serialize nothing.
+
+var _ core.StatefulArbiter = (*Arbiter)(nil)
+
+// SaveArbiterState implements core.StatefulArbiter.
+func (a *Arbiter) SaveArbiterState(w *snap.Writer) {
+	w.Ints(a.grantPtr)
+	w.Ints(a.acceptPtr)
+}
+
+// LoadArbiterState implements core.StatefulArbiter for an n-port
+// switch. An arbiter that has not yet run a slot saved empty pointer
+// slices; those restore as the all-zero pointers ensure() would have
+// built.
+func (a *Arbiter) LoadArbiterState(n int, r *snap.Reader) error {
+	grant := r.Ints()
+	accept := r.Ints()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if len(grant) != len(accept) || (len(grant) != 0 && len(grant) != n) {
+		r.Failf("islip pointer lengths %d/%d for %d ports", len(grant), len(accept), n)
+		return r.Err()
+	}
+	a.ensure(n)
+	for i := 0; i < n; i++ {
+		g, c := 0, 0
+		if len(grant) == n {
+			g, c = grant[i], accept[i]
+		}
+		if g < 0 || g >= n || c < 0 || c >= n {
+			r.Failf("islip pointer (%d,%d) at port %d outside [0,%d)", g, c, i, n)
+			return r.Err()
+		}
+		a.grantPtr[i] = g
+		a.acceptPtr[i] = c
+	}
+	return nil
+}

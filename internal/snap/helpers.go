@@ -1,0 +1,69 @@
+package snap
+
+import (
+	"voqsim/internal/destset"
+	"voqsim/internal/xrand"
+)
+
+// Helpers for the two state-bearing value types that appear in nearly
+// every component: PRNG streams and destination sets. Keeping the
+// encodings here keeps every SaveState/LoadState pair that uses them
+// trivially consistent.
+
+// WriteRand appends the raw state of one xrand stream.
+func WriteRand(w *Writer, r *xrand.Rand) {
+	s := r.State()
+	w.U64(s[0])
+	w.U64(s[1])
+	w.U64(s[2])
+	w.U64(s[3])
+}
+
+// ReadRand restores one xrand stream written by WriteRand, recording
+// a decode failure for states no live generator can have.
+func ReadRand(rd *Reader, r *xrand.Rand) {
+	var s [4]uint64
+	for i := range s {
+		s[i] = rd.U64()
+	}
+	if rd.Err() != nil {
+		return
+	}
+	if err := r.SetState(s); err != nil {
+		rd.Failf("%v", err)
+	}
+}
+
+// WriteDests appends a possibly-nil destination set as a presence
+// byte plus the member list. Members are more compact than raw words
+// for the typical small fanouts, and re-adding them on read validates
+// each port index for free.
+func WriteDests(w *Writer, d *destset.Set) {
+	if d == nil {
+		w.Bool(false)
+		return
+	}
+	w.Bool(true)
+	w.Ints(d.Members(nil))
+}
+
+// ReadDests restores a set written by WriteDests against universe n.
+// Out-of-range members record a decode failure and yield nil.
+func ReadDests(rd *Reader, n int) *destset.Set {
+	if !rd.Bool() {
+		return nil
+	}
+	members := rd.Ints()
+	if rd.Err() != nil {
+		return nil
+	}
+	d := destset.New(n)
+	for _, m := range members {
+		if m < 0 || m >= n {
+			rd.Failf("destination %d outside [0,%d)", m, n)
+			return nil
+		}
+		d.Add(m)
+	}
+	return d
+}

@@ -15,9 +15,19 @@ import (
 // checker's verdict (nil for a clean run); Results are valid either
 // way.
 func CheckedRun(name string, sw Switch, pat traffic.Pattern, cfg Config, root *xrand.Rand, opt check.Options) (Results, *check.Checker, error) {
-	ck := check.Wrap(sw, opt)
-	res := New(checkedSwitch(sw, ck), pat, cfg, root).Run(name)
+	r, ck := NewChecked(sw, pat, cfg, root, opt)
+	res := r.Run(name)
 	return res, ck, ck.Err()
+}
+
+// NewChecked is New with the switch wrapped in the invariant checker,
+// reporter capabilities forwarded. The returned runner supports the
+// full checkpoint surface: restoring a snapshot into it primes the
+// checker's shadow model from the restored buffer content, so the
+// invariants keep holding across a resume.
+func NewChecked(sw Switch, pat traffic.Pattern, cfg Config, root *xrand.Rand, opt check.Options) (*Runner, *check.Checker) {
+	ck := check.Wrap(sw, opt)
+	return New(checkedSwitch(sw, ck), pat, cfg, root), ck
 }
 
 // checkedSwitch wraps the checker so that the engine still sees the

@@ -1,0 +1,142 @@
+package switchsim_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"voqsim/internal/experiment"
+	"voqsim/internal/snap"
+	"voqsim/internal/switchsim"
+	"voqsim/internal/xrand"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden snapshot blob in testdata/")
+
+// The golden run: a 4x4 FIFOMS simulation snapshotted halfway. Its
+// blob is pinned in testdata/ so that any change to the checkpoint
+// format — intended or not — fails the test until the format version
+// is bumped and the golden regenerated.
+const (
+	goldenAlgo = "fifoms"
+	goldenN    = 4
+	goldenSeed = 7
+	goldenSlot = 200 // snapshot taken resuming at this slot
+)
+
+var goldenPath = filepath.Join("testdata", "fifoms_4x4.snap")
+
+// goldenBlob runs the golden simulation and returns its mid-run
+// snapshot.
+func goldenBlob(t *testing.T) []byte {
+	t.Helper()
+	r, _ := buildRunner(t, goldenAlgo, goldenN, goldenSeed, 0)
+	var blob []byte
+	if _, err := r.RunWithCheckpoints(goldenAlgo, goldenSlot, func(nextSlot int64, b []byte) error {
+		if blob == nil {
+			blob = append([]byte(nil), b...)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if blob == nil {
+		t.Fatal("golden run emitted no checkpoint")
+	}
+	return blob
+}
+
+func TestSnapshotGolden(t *testing.T) {
+	blob := goldenBlob(t)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden blob (run with -update-golden to create it): %v", err)
+	}
+	if !bytes.Equal(blob, want) {
+		t.Fatalf("snapshot encoding changed: got %d bytes, golden has %d.\n"+
+			"If the format changed intentionally, bump snap.Version and run with -update-golden.",
+			len(blob), len(want))
+	}
+
+	// Compatibility: the pinned blob must still restore and resume to
+	// the exact Results of today's uninterrupted run.
+	m, err := snap.ReadMeta(want)
+	if err != nil {
+		t.Fatalf("golden blob meta: %v", err)
+	}
+	if m.Algorithm != goldenAlgo || m.Ports != goldenN || m.NextSlot != goldenSlot {
+		t.Fatalf("golden blob meta %+v does not match the pinned run", m)
+	}
+	straight, _ := buildRunner(t, goldenAlgo, goldenN, goldenSeed, 0)
+	wantRes := straight.Run(goldenAlgo)
+	resumed, _ := buildRunner(t, goldenAlgo, goldenN, goldenSeed, 0)
+	gotRes, err := resumed.ResumeRun(goldenAlgo, want)
+	if err != nil {
+		t.Fatalf("resuming golden blob: %v", err)
+	}
+	if gotRes != wantRes {
+		t.Fatalf("golden blob resume diverged:\n got %+v\nwant %+v", gotRes, wantRes)
+	}
+}
+
+// FuzzRestore drives the full restore chain — header, meta, engine
+// stats, traffic sources, switch buffers, arbiter — with adversarial
+// blobs. Any input must either restore cleanly or return an error;
+// panics and unbounded allocations are bugs. The corpus is seeded with
+// a valid snapshot plus truncated and bit-flipped variants of it.
+func FuzzRestore(f *testing.F) {
+	// A short dedicated run (300 slots) keeps the post-restore
+	// simulation cheap, so the fuzzer gets real throughput.
+	build := func(tb testing.TB) *switchsim.Runner {
+		tb.Helper()
+		alg, err := experiment.ByName(goldenAlgo)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		root := xrand.New(goldenSeed)
+		sw := alg.New(goldenN, root.Split("switch", 0))
+		cfg := switchsim.Config{Slots: 300, Seed: goldenSeed, WarmupFrac: 0.25}
+		return switchsim.New(sw, resumePattern(), cfg, root.Split("traffic", 0))
+	}
+	var seedBlob []byte
+	{
+		r := build(f)
+		var blob []byte
+		if _, err := r.RunWithCheckpoints(goldenAlgo, 100, func(_ int64, b []byte) error {
+			if blob == nil {
+				blob = append([]byte(nil), b...)
+			}
+			return nil
+		}); err != nil {
+			f.Fatal(err)
+		}
+		seedBlob = blob
+	}
+	f.Add([]byte(nil))
+	f.Add(seedBlob)
+	f.Add(seedBlob[:len(seedBlob)/2])
+	f.Add(seedBlob[:8])
+	for _, pos := range []int{6, 9, len(seedBlob) / 3, len(seedBlob) - 1} {
+		mut := append([]byte(nil), seedBlob...)
+		mut[pos] ^= 0x40
+		f.Add(mut)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := build(t)
+		if err := r.Restore(goldenAlgo, data); err != nil {
+			return
+		}
+		// A blob that restores must also run to completion.
+		r.Run(goldenAlgo)
+	})
+}

@@ -200,6 +200,12 @@ type Runner struct {
 	offeredCopies  int64
 	delivered      int64
 
+	// startSlot is 0 for a fresh run and the resume slot after a
+	// Restore; Run picks the loop up from it.
+	startSlot int64
+
+	onDelivery func(cell.Delivery) // optional, attached with OnDelivery
+
 	series *SeriesRecorder // optional, attached with Observe
 
 	// Observability (DESIGN.md §8), attached with Instrument.
@@ -223,6 +229,14 @@ func New(sw Switch, pat traffic.Pattern, cfg Config, root *xrand.Rand) *Runner {
 		sizes:   make([]int, n),
 	}
 }
+
+// Switch returns the switch the runner drives, as it was given to New
+// (including any checker or test wrapper).
+func (r *Runner) Switch() Switch { return r.sw }
+
+// Config returns the runner's effective configuration, defaults
+// applied.
+func (r *Runner) Config() Config { return r.cfg }
 
 // Tracker exposes the run's delay tracker for analyses beyond the
 // Results digest (per-output breakdowns, histograms). Read it after
@@ -261,9 +275,33 @@ func (r *Runner) WarmupSlots() int64 {
 	return int64(float64(r.cfg.Slots) * r.cfg.WarmupFrac)
 }
 
+// OnDelivery registers fn to observe every delivery as it happens,
+// in delivery order, before the engine's own accounting. It makes no
+// RNG draws and must not mutate the simulation.
+func (r *Runner) OnDelivery(fn func(cell.Delivery)) {
+	r.onDelivery = fn
+}
+
 // Run simulates the configured number of slots (or fewer, if the
-// switch goes unstable) and returns the measurements.
+// switch goes unstable) and returns the measurements. After a
+// Restore it continues from the snapshot's slot instead of slot 0.
 func (r *Runner) Run(name string) Results {
+	res, err := r.RunWithCheckpoints(name, 0, nil)
+	if err != nil {
+		// Unreachable: errors only arise from the checkpoint path,
+		// which a zero interval disables.
+		panic(err)
+	}
+	return res
+}
+
+// RunWithCheckpoints is Run with a periodic snapshot: when every > 0,
+// sink receives a snapshot blob after each block of `every` slots
+// (resuming at slots every, 2*every, ...), except at the very end of
+// the run where there is nothing left to resume. A zero interval is
+// exactly Run — the loop is shared, so checkpointing cannot change
+// what is simulated, only observe it.
+func (r *Runner) RunWithCheckpoints(name string, every int64, sink CheckpointFunc) (Results, error) {
 	warmup := r.WarmupSlots()
 	res := Results{
 		Algorithm:   name,
@@ -275,13 +313,22 @@ func (r *Runner) Run(name string) Results {
 	}
 
 	var slot int64
-	for slot = 0; slot < r.cfg.Slots; slot++ {
+	for slot = r.startSlot; slot < r.cfg.Slots; slot++ {
 		r.tick(slot, warmup)
 		if r.sw.BufferedCells() > r.cfg.UnstableCellLimit {
 			res.Unstable = true
 			res.UnstableAt = slot
 			slot++
 			break
+		}
+		if every > 0 && (slot+1)%every == 0 && slot+1 < r.cfg.Slots {
+			blob, err := r.Snapshot(name, slot+1)
+			if err != nil {
+				return res, err
+			}
+			if err := sink(slot+1, blob); err != nil {
+				return res, err
+			}
 		}
 	}
 	res.Slots = slot
@@ -320,7 +367,7 @@ func (r *Runner) Run(name string) Results {
 	if measured := slot - warmup; measured > 0 {
 		res.Throughput = float64(r.delivered) / float64(measured) / float64(r.sw.Ports())
 	}
-	return res
+	return res, nil
 }
 
 // tick simulates one slot: arrivals, switch step, sampling.
@@ -343,6 +390,9 @@ func (r *Runner) tick(slot, warmup int64) {
 	busy := r.sw.BufferedCells() > 0
 	var slotDelivered int64
 	r.sw.Step(slot, func(d cell.Delivery) {
+		if r.onDelivery != nil {
+			r.onDelivery(d)
+		}
 		slotDelivered++
 		if d.Slot >= warmup {
 			r.delivered++

@@ -1,0 +1,129 @@
+package traffic
+
+import (
+	"fmt"
+
+	"voqsim/internal/snap"
+)
+
+// Checkpoint hooks. A source's parameters are rebuilt from its
+// Pattern when the simulation is reconstructed, so only *evolving*
+// state is serialized: the PRNG stream for the stochastic sources,
+// plus the on/off state and current burst destinations for Burst and
+// the replay cursor for traces.
+
+// Snapshottable is implemented by every Source in this package: the
+// state needed to resume the arrival process exactly where it left
+// off can be exported and re-imported.
+type Snapshottable interface {
+	Source
+	SaveState(w *snap.Writer)
+	LoadState(r *snap.Reader) error
+}
+
+// Compile-time checks that no source type loses its hooks.
+var (
+	_ Snapshottable = (*bernoulliSource)(nil)
+	_ Snapshottable = (*uniformSource)(nil)
+	_ Snapshottable = (*burstSource)(nil)
+	_ Snapshottable = (*mixedSource)(nil)
+	_ Snapshottable = (*hotspotSource)(nil)
+	_ Snapshottable = (*diagonalSource)(nil)
+	_ Snapshottable = (*traceSource)(nil)
+)
+
+// SaveSources appends the state of every source of a run, in port
+// order, as one section. SaveSources panics if a source does not
+// implement Snapshottable — a new source type must grow hooks before
+// it can be checkpointed.
+func SaveSources(w *snap.Writer, sources []Source) {
+	w.Begin("traffic")
+	w.Count(len(sources))
+	for i, s := range sources {
+		ss, ok := s.(Snapshottable)
+		if !ok {
+			panic(fmt.Sprintf("traffic: source %d (%T) is not snapshottable", i, s))
+		}
+		ss.SaveState(w)
+	}
+	w.End()
+}
+
+// LoadSources restores state written by SaveSources into freshly
+// built sources of the same pattern.
+func LoadSources(r *snap.Reader, sources []Source) error {
+	if err := r.Section("traffic"); err != nil {
+		return err
+	}
+	n := r.Count(1)
+	if r.Err() == nil && n != len(sources) {
+		r.Failf("snapshot has %d sources, run has %d", n, len(sources))
+	}
+	if r.Err() != nil {
+		return r.Err()
+	}
+	for i, s := range sources {
+		ss, ok := s.(Snapshottable)
+		if !ok {
+			r.Failf("source %d (%T) is not snapshottable", i, s)
+			return r.Err()
+		}
+		if err := ss.LoadState(r); err != nil {
+			return err
+		}
+	}
+	return r.EndSection()
+}
+
+func (s *bernoulliSource) SaveState(w *snap.Writer)       { snap.WriteRand(w, s.r) }
+func (s *bernoulliSource) LoadState(r *snap.Reader) error { snap.ReadRand(r, s.r); return r.Err() }
+
+func (s *uniformSource) SaveState(w *snap.Writer)       { snap.WriteRand(w, s.r) }
+func (s *uniformSource) LoadState(r *snap.Reader) error { snap.ReadRand(r, s.r); return r.Err() }
+
+func (s *mixedSource) SaveState(w *snap.Writer)       { snap.WriteRand(w, s.r) }
+func (s *mixedSource) LoadState(r *snap.Reader) error { snap.ReadRand(r, s.r); return r.Err() }
+
+func (s *hotspotSource) SaveState(w *snap.Writer)       { snap.WriteRand(w, s.r) }
+func (s *hotspotSource) LoadState(r *snap.Reader) error { snap.ReadRand(r, s.r); return r.Err() }
+
+func (s *diagonalSource) SaveState(w *snap.Writer)       { snap.WriteRand(w, s.r) }
+func (s *diagonalSource) LoadState(r *snap.Reader) error { snap.ReadRand(r, s.r); return r.Err() }
+
+// SaveState appends the burst source's PRNG, on/off state and — when
+// a burst has ever started — the current burst's destination set
+// (kept even while off, since it only matters when on).
+func (s *burstSource) SaveState(w *snap.Writer) {
+	snap.WriteRand(w, s.r)
+	w.Bool(s.on)
+	snap.WriteDests(w, s.dests)
+}
+
+// LoadState restores state written by SaveState.
+func (s *burstSource) LoadState(r *snap.Reader) error {
+	snap.ReadRand(r, s.r)
+	s.on = r.Bool()
+	s.dests = snap.ReadDests(r, s.n)
+	if r.Err() == nil && s.on && (s.dests == nil || s.dests.Empty()) {
+		r.Failf("burst source on with no destinations")
+	}
+	return r.Err()
+}
+
+// SaveState appends the trace replay cursor. The recorded arrivals
+// themselves are part of the pattern, not the state.
+func (s *traceSource) SaveState(w *snap.Writer) { w.Int(s.next) }
+
+// LoadState restores the cursor, validating it against the trace.
+func (s *traceSource) LoadState(r *snap.Reader) error {
+	next := r.Int()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if next < 0 || next > len(s.arrivals) {
+		r.Failf("trace cursor %d outside [0,%d]", next, len(s.arrivals))
+		return r.Err()
+	}
+	s.next = next
+	return nil
+}

@@ -40,7 +40,10 @@
 // (seed, labels) alone, regardless of worker count or run order.
 package xrand
 
-import "math"
+import (
+	"errors"
+	"math"
+)
 
 // splitmix64 advances *state and returns the next output of the
 // splitmix64 generator. It is used both for seed expansion and for
@@ -81,6 +84,23 @@ func (r *Rand) Reseed(seed uint64) {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
+}
+
+// State returns the generator's raw xoshiro256** state, for
+// checkpointing. Restoring it with SetState resumes the exact draw
+// sequence.
+func (r *Rand) State() [4]uint64 { return r.s }
+
+// SetState restores a state captured with State. The all-zero state
+// is rejected: xoshiro256** would emit zeros forever from it, and no
+// reachable generator ever has it (New and Split both guard against
+// it), so it can only come from a corrupt snapshot.
+func (r *Rand) SetState(s [4]uint64) error {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		return errors.New("xrand: all-zero generator state")
+	}
+	r.s = s
+	return nil
 }
 
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }

@@ -280,25 +280,74 @@ func (r Report) String() string {
 		r.AvgQueueSize, r.MaxQueueSize, r.Throughput, state)
 }
 
-// Run simulates one switch under one traffic pattern and returns its
-// report. The run is fully determined by cfg.
-func Run(cfg Config) (Report, error) {
+// buildRunner assembles the engine runner for cfg. The seed derivation
+// here is pinned: checkpoint blobs embed the derived streams, so
+// changing it would orphan every saved snapshot.
+func buildRunner(cfg Config) (*switchsim.Runner, string, error) {
 	if cfg.Ports <= 0 {
-		return Report{}, fmt.Errorf("voqsim: Ports must be positive, got %d", cfg.Ports)
+		return nil, "", fmt.Errorf("voqsim: Ports must be positive, got %d", cfg.Ports)
 	}
 	algo, err := experiment.ByName(string(cfg.Scheduler))
 	if err != nil {
-		return Report{}, err
+		return nil, "", err
 	}
 	pat, err := cfg.Traffic.resolve(cfg.Ports)
 	if err != nil {
-		return Report{}, err
+		return nil, "", err
 	}
 	seedRoot := xrand.New(cfg.Seed)
 	sw := algo.New(cfg.Ports, seedRoot.Split("switch", 0))
 	engineCfg := switchsim.Config{Slots: cfg.Slots, Seed: cfg.Seed, WarmupFrac: cfg.WarmupFrac}
-	runner := switchsim.New(sw, pat, engineCfg, seedRoot.Split("traffic", 0))
-	return toReport(runner.Run(algo.Name)), nil
+	return switchsim.New(sw, pat, engineCfg, seedRoot.Split("traffic", 0)), algo.Name, nil
+}
+
+// Run simulates one switch under one traffic pattern and returns its
+// report. The run is fully determined by cfg.
+func Run(cfg Config) (Report, error) {
+	runner, name, err := buildRunner(cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	return toReport(runner.Run(name)), nil
+}
+
+// CheckpointFunc receives each periodic snapshot of a resumable run:
+// blob restores a run that continues at nextSlot. A non-nil error
+// aborts the run.
+type CheckpointFunc func(nextSlot int64, blob []byte) error
+
+// RunResumable is Run with the engine's checkpoint protocol attached
+// (DESIGN.md §10). When resumeFrom is non-nil the run restores that
+// snapshot — which must have been taken under an identical cfg — and
+// continues from the checkpointed slot; the report is bit-identical to
+// a run that was never interrupted. When every > 0, sink receives a
+// self-contained snapshot of the simulation state after each block of
+// `every` slots. Snapshots require a checkpointable scheduler (the
+// core VOQ family, eslip and wba).
+func RunResumable(cfg Config, resumeFrom []byte, every int64, sink CheckpointFunc) (Report, error) {
+	if every > 0 && sink == nil {
+		return Report{}, fmt.Errorf("voqsim: checkpoint interval %d without a sink", every)
+	}
+	runner, name, err := buildRunner(cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	if every > 0 {
+		// Fail before simulating, not at the first checkpoint.
+		if err := runner.Snapshottable(); err != nil {
+			return Report{}, err
+		}
+	}
+	if resumeFrom != nil {
+		if err := runner.Restore(name, resumeFrom); err != nil {
+			return Report{}, err
+		}
+	}
+	res, err := runner.RunWithCheckpoints(name, every, switchsim.CheckpointFunc(sink))
+	if err != nil {
+		return Report{}, err
+	}
+	return toReport(res), nil
 }
 
 // Compare runs every scheduler under an identical configuration (same
