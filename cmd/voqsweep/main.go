@@ -13,6 +13,7 @@
 //	-n, -slots, -seed, -workers        run setup
 //	-metrics in_delay,avg_queue        metrics to print
 //	-check                             invariant-check every point (exit 1 on violation)
+//	-progress                          stream per-point completion and ETA to stderr
 //	-resume-dir DIR                    make the sweep resumable: finished points and
 //	                                   mid-run checkpoints live in DIR, and a re-run
 //	                                   with the same flags picks up where it stopped
@@ -28,11 +29,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"voqsim/internal/experiment"
 	"voqsim/internal/scenario"
@@ -40,57 +43,75 @@ import (
 )
 
 func main() {
-	var (
-		algosFlag   = flag.String("algos", "fifoms,tatra,islip,oqfifo", "comma-separated algorithms")
-		trafficK    = flag.String("traffic", "bernoulli", "traffic family: bernoulli|uniform|burst|mixed|hotspot|diagonal")
-		loadsFlag   = flag.String("loads", "0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9,0.95", "comma-separated effective loads")
-		b           = flag.Float64("b", 0.2, "per-output probability (bernoulli, burst)")
-		maxFanout   = flag.Int("maxfanout", 8, "maximum fanout (uniform, mixed)")
-		eOn         = flag.Float64("eon", 16, "mean burst length (burst)")
-		mcFrac      = flag.Float64("mcfrac", 0.5, "multicast fraction (mixed)")
-		skew        = flag.Float64("skew", 4, "hot/cold load ratio (hotspot)")
-		n           = flag.Int("n", 16, "switch size N")
-		slots       = flag.Int64("slots", 200_000, "slots per point")
-		seed        = flag.Uint64("seed", 2004, "base seed")
-		workers     = flag.Int("workers", 0, "parallel simulations (0 = all cores)")
-		metricsFlag = flag.String("metrics", "in_delay,out_delay,avg_queue,max_queue", "metrics to print")
-		csvPath     = flag.String("csv", "", "write long-form CSV to this file")
-		jsonPath    = flag.String("json", "", "write the full table as JSON to this file")
-		configPath  = flag.String("config", "", "run a scenario file instead of flag-built traffic (see internal/scenario)")
-		checkRun    = flag.Bool("check", false, "run every point under the runtime invariant checker; exit 1 on any violation")
-		resumeDir   = flag.String("resume-dir", "", "checkpoint directory; a re-run of the identical sweep resumes from it")
-		ckptEvery   = flag.Int64("checkpoint-every", 0, "checkpoint cadence in slots (with -resume-dir; 0 = a tenth of -slots)")
-		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf     = flag.String("memprofile", "", "write a heap profile to this file at exit")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	stopProfiles, err := startProfiles(*cpuProf, *memProf)
+// run is the whole command with its streams injected, so tests can pin
+// stdout byte for byte. It returns the process exit code. Measured
+// output (tables, check verdict) goes to stdout; diagnostics and
+// -progress reporting go to stderr only.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("voqsweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		algosFlag   = fs.String("algos", "fifoms,tatra,islip,oqfifo", "comma-separated algorithms")
+		trafficK    = fs.String("traffic", "bernoulli", "traffic family: bernoulli|uniform|burst|mixed|hotspot|diagonal")
+		loadsFlag   = fs.String("loads", "0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9,0.95", "comma-separated effective loads")
+		b           = fs.Float64("b", 0.2, "per-output probability (bernoulli, burst)")
+		maxFanout   = fs.Int("maxfanout", 8, "maximum fanout (uniform, mixed)")
+		eOn         = fs.Float64("eon", 16, "mean burst length (burst)")
+		mcFrac      = fs.Float64("mcfrac", 0.5, "multicast fraction (mixed)")
+		skew        = fs.Float64("skew", 4, "hot/cold load ratio (hotspot)")
+		n           = fs.Int("n", 16, "switch size N")
+		slots       = fs.Int64("slots", 200_000, "slots per point")
+		seed        = fs.Uint64("seed", 2004, "base seed")
+		workers     = fs.Int("workers", 0, "parallel simulations (0 = all cores)")
+		metricsFlag = fs.String("metrics", "in_delay,out_delay,avg_queue,max_queue", "metrics to print")
+		csvPath     = fs.String("csv", "", "write long-form CSV to this file")
+		jsonPath    = fs.String("json", "", "write the full table as JSON to this file")
+		configPath  = fs.String("config", "", "run a scenario file instead of flag-built traffic (see internal/scenario)")
+		checkRun    = fs.Bool("check", false, "run every point under the runtime invariant checker; exit 1 on any violation")
+		progressOn  = fs.Bool("progress", false, "stream per-point completion and ETA to stderr")
+		resumeDir   = fs.String("resume-dir", "", "checkpoint directory; a re-run of the identical sweep resumes from it")
+		ckptEvery   = fs.Int64("checkpoint-every", 0, "checkpoint cadence in slots (with -resume-dir; 0 = a tenth of -slots)")
+		cpuProf     = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf     = fs.String("memprofile", "", "write a heap profile to this file at exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	stopProfiles, err := startProfiles(*cpuProf, *memProf, stderr)
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
 	defer stopProfiles()
 
+	var progress func(experiment.Progress)
+	if *progressOn {
+		progress = progressPrinter(stderr)
+	}
+
 	if *configPath != "" {
-		runScenario(*configPath, *metricsFlag, *csvPath, *jsonPath, *checkRun, *resumeDir, *ckptEvery)
-		return
+		return runScenario(*configPath, *metricsFlag, *csvPath, *jsonPath,
+			*checkRun, *resumeDir, *ckptEvery, progress, stdout, stderr)
 	}
 
 	loads, err := parseLoads(*loadsFlag)
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
 	algos, err := parseAlgos(*algosFlag)
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
 	pattern, title, err := patternFor(*trafficK, *b, *maxFanout, *eOn, *mcFrac, *skew)
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
 	metrics, err := parseMetrics(*metricsFlag)
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
 
 	sweep := &experiment.Sweep{
@@ -106,50 +127,70 @@ func main() {
 		Check:           *checkRun,
 		CheckpointDir:   *resumeDir,
 		CheckpointEvery: *ckptEvery,
+		Progress:        progress,
 	}
 	tbl, err := sweep.Run()
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
-	fmt.Print(tbl.Format(metrics...))
+	return emit(tbl, metrics, *csvPath, *jsonPath, *checkRun, stdout, stderr)
+}
 
-	if *csvPath != "" {
-		if err := writeFile(*csvPath, func(f *os.File) error {
+// emit renders the finished table: formatted metrics to stdout, then
+// the optional CSV/JSON exports and the invariant-check verdict.
+func emit(tbl *experiment.Table, metrics []experiment.Metric, csvPath, jsonPath string, checked bool, stdout, stderr io.Writer) int {
+	fmt.Fprint(stdout, tbl.Format(metrics...))
+
+	if csvPath != "" {
+		if err := writeFile(csvPath, func(f *os.File) error {
 			return tbl.WriteCSV(f, metrics...)
 		}); err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
 	}
-	if *jsonPath != "" {
-		if err := writeFile(*jsonPath, func(f *os.File) error {
+	if jsonPath != "" {
+		if err := writeFile(jsonPath, func(f *os.File) error {
 			return tbl.WriteJSON(f)
 		}); err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
 	}
-	reportCheck(tbl, *checkRun)
+	return reportCheck(tbl, checked, stdout, stderr)
+}
+
+// progressPrinter renders engine progress events, one line each, to
+// the diagnostic stream. Durations are rounded to whole milliseconds —
+// progress is for humans, and sub-millisecond noise only jitters the
+// column.
+func progressPrinter(stderr io.Writer) func(experiment.Progress) {
+	return func(p experiment.Progress) {
+		fmt.Fprintf(stderr, "voqsweep: %d/%d %s elapsed %s eta %s\n",
+			p.Done, p.Total, p.Label,
+			p.Elapsed.Round(time.Millisecond), p.ETA.Round(time.Millisecond))
+	}
 }
 
 // reportCheck prints the invariant-checker verdict of a checked sweep
-// and exits non-zero when any point drew a violation.
-func reportCheck(tbl *experiment.Table, checked bool) {
+// and returns non-zero when any point drew a violation.
+func reportCheck(tbl *experiment.Table, checked bool, stdout, stderr io.Writer) int {
 	if !checked {
-		return
+		return 0
 	}
 	if fails := tbl.CheckFailures(); len(fails) > 0 {
 		for _, f := range fails {
-			fmt.Fprintf(os.Stderr, "voqsweep: check: %s\n", f)
+			fmt.Fprintf(stderr, "voqsweep: check: %s\n", f)
 		}
-		fatal(fmt.Errorf("invariant check failed on %d points", len(fails)))
+		return fail(stderr, fmt.Errorf("invariant check failed on %d points", len(fails)))
 	}
-	fmt.Println("check: all points passed the invariant checker")
+	fmt.Fprintln(stdout, "check: all points passed the invariant checker")
+	return 0
 }
 
 // startProfiles starts CPU profiling and/or arranges a heap profile,
 // returning a stop function to run when the measured work is done.
 // Either path may be empty. The heap profile is preceded by a GC so it
 // shows live steady-state memory, not garbage awaiting collection.
-func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+func startProfiles(cpuPath, memPath string, stderr io.Writer) (stop func(), err error) {
 	var cpuFile *os.File
 	if cpuPath != "" {
 		cpuFile, err = os.Create(cpuPath)
@@ -169,12 +210,12 @@ func startProfiles(cpuPath, memPath string) (stop func(), err error) {
 		if memPath != "" {
 			f, err := os.Create(memPath)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				fmt.Fprintf(stderr, "memprofile: %v\n", err)
 				return
 			}
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				fmt.Fprintf(stderr, "memprofile: %v\n", err)
 			}
 			f.Close()
 		}
@@ -182,47 +223,33 @@ func startProfiles(cpuPath, memPath string) (stop func(), err error) {
 }
 
 // runScenario executes a version-controlled scenario file.
-func runScenario(path, metricsFlag, csvPath, jsonPath string, checked bool, resumeDir string, ckptEvery int64) {
+func runScenario(path, metricsFlag, csvPath, jsonPath string, checked bool, resumeDir string, ckptEvery int64, progress func(experiment.Progress), stdout, stderr io.Writer) int {
 	f, err := os.Open(path)
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
 	sc, err := scenario.Read(f)
 	f.Close()
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
 	sweep, err := sc.Sweep()
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
 	sweep.Check = sweep.Check || checked
 	sweep.CheckpointDir = resumeDir
 	sweep.CheckpointEvery = ckptEvery
+	sweep.Progress = progress
 	metrics, err := parseMetrics(metricsFlag)
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
 	tbl, err := sweep.Run()
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
-	fmt.Print(tbl.Format(metrics...))
-	if csvPath != "" {
-		if err := writeFile(csvPath, func(f *os.File) error {
-			return tbl.WriteCSV(f, metrics...)
-		}); err != nil {
-			fatal(err)
-		}
-	}
-	if jsonPath != "" {
-		if err := writeFile(jsonPath, func(f *os.File) error {
-			return tbl.WriteJSON(f)
-		}); err != nil {
-			fatal(err)
-		}
-	}
-	reportCheck(tbl, sweep.Check)
+	return emit(tbl, metrics, csvPath, jsonPath, sweep.Check, stdout, stderr)
 }
 
 func parseLoads(s string) ([]float64, error) {
@@ -316,7 +343,7 @@ func writeFile(path string, write func(*os.File) error) error {
 	return f.Close()
 }
 
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "voqsweep: %v\n", err)
-	os.Exit(1)
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintf(stderr, "voqsweep: %v\n", err)
+	return 1
 }

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// sweepArgs is a deliberately small grid so the whole command runs in
+// well under a second.
+var sweepArgs = []string{
+	"-traffic", "uniform", "-maxfanout", "4",
+	"-algos", "fifoms,islip",
+	"-loads", "0.3,0.7",
+	"-n", "8", "-slots", "2000", "-seed", "11",
+}
+
+func runCmd(t *testing.T, args ...string) (stdout, stderr string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	if code := run(args, &out, &errBuf); code != 0 {
+		t.Fatalf("voqsweep %v exited %d\nstderr: %s", args, code, errBuf.String())
+	}
+	return out.String(), errBuf.String()
+}
+
+// TestProgressLeavesStdoutByteIdentical is the -progress golden: the
+// flag may only talk to stderr, so stdout with it on must equal stdout
+// with it off, byte for byte.
+func TestProgressLeavesStdoutByteIdentical(t *testing.T) {
+	plain, plainErr := runCmd(t, sweepArgs...)
+	withProgress, progressErr := runCmd(t, append([]string{"-progress"}, sweepArgs...)...)
+
+	if withProgress != plain {
+		t.Errorf("-progress changed stdout\nwithout: %q\nwith:    %q", plain, withProgress)
+	}
+	if plain == "" {
+		t.Error("sweep produced no stdout at all")
+	}
+	if plainErr != "" {
+		t.Errorf("unexpected stderr without -progress: %q", plainErr)
+	}
+	lines := strings.Split(strings.TrimSuffix(progressErr, "\n"), "\n")
+	if want := 2 * 2; len(lines) != want { // one line per grid point
+		t.Fatalf("-progress wrote %d stderr lines, want %d:\n%s", len(lines), want, progressErr)
+	}
+	last := lines[len(lines)-1]
+	if !strings.HasPrefix(last, "voqsweep: 4/4 ") || !strings.Contains(last, "eta") {
+		t.Errorf("final progress line malformed: %q", last)
+	}
+}
+
+// TestStdoutDeterministic pins that repeated runs with identical flags
+// print identical tables regardless of worker count.
+func TestStdoutDeterministic(t *testing.T) {
+	first, _ := runCmd(t, sweepArgs...)
+	again, _ := runCmd(t, append([]string{"-workers", "4"}, sweepArgs...)...)
+	if first != again {
+		t.Errorf("stdout differs across runs/worker counts\nfirst: %q\nagain: %q", first, again)
+	}
+}
+
+func TestBadFlagFails(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-algos", "nosuch"}, &out, &errBuf); code == 0 {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if out.Len() != 0 {
+		t.Errorf("failure wrote to stdout: %q", out.String())
+	}
+	if !strings.Contains(errBuf.String(), "nosuch") {
+		t.Errorf("stderr does not name the bad algorithm: %q", errBuf.String())
+	}
+}

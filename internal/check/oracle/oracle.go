@@ -65,8 +65,8 @@ func (a *Arbiter) Match(s *core.Switch, _ int64, r *xrand.Rand, m *core.Matching
 				if !outputFree[out] {
 					continue
 				}
-				if hol := s.HOL(in, out); hol != nil && hol.TimeStamp < best {
-					best = hol.TimeStamp
+				if ts := s.HOLTime(in, out); ts < best {
+					best = ts
 				}
 			}
 			if best != math.MaxInt64 {
@@ -91,16 +91,16 @@ func (a *Arbiter) Match(s *core.Switch, _ int64, r *xrand.Rand, m *core.Matching
 				if minTS[in] < 0 {
 					continue
 				}
-				hol := s.HOL(in, out)
-				if hol == nil || hol.TimeStamp != minTS[in] {
+				ts := s.HOLTime(in, out)
+				if ts != minTS[in] {
 					continue // this input did not request this output
 				}
 				switch {
-				case hol.TimeStamp < bestTS:
-					bestTS = hol.TimeStamp
+				case ts < bestTS:
+					bestTS = ts
 					granted[out] = in
 					ties = 1
-				case hol.TimeStamp == bestTS:
+				case ts == bestTS:
 					ties++
 					if r.Intn(ties) == 0 {
 						granted[out] = in

@@ -22,6 +22,23 @@ func TestMatchZeroAllocsTracingDisabled(t *testing.T) {
 	}
 }
 
+// TestMatchZeroAllocsLegacy extends the guard to the frozen reference
+// kernel: its scratch state is sized on first use, and once warm the
+// legacy Match must not allocate either — the speedup comparison in
+// BENCH_fifoms.json would be polluted by GC otherwise. Covers the
+// sizes the satellite benchmarks quote.
+func TestMatchZeroAllocsLegacy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed guard")
+	}
+	for _, n := range []int{64, 128} {
+		res := testing.Benchmark(func(b *testing.B) { benchMatch(b, n, "uniform", &legacyFIFOMS{}) })
+		if a, bytes := res.AllocsPerOp(), res.AllocedBytesPerOp(); a != 0 || bytes != 0 {
+			t.Fatalf("legacy match n=%d: %d allocs/op, %d B/op, want 0/0", n, a, bytes)
+		}
+	}
+}
+
 // TestMatchZeroAllocsTracingEnabled pins the enabled path's per-slot
 // cost model from DESIGN.md §8: the ring buffer and metric handles are
 // allocated at attach time, so steady-state emission itself must not

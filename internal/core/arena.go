@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"voqsim/internal/cell"
+	"voqsim/internal/destset"
+)
+
+// The cell arena (DESIGN.md §11) is the storage backend of the paper's
+// queue structure, laid out for the per-slot loop rather than for
+// pointer convenience:
+//
+//   - Address cells are plain values (acell: a time stamp and a data
+//     slab index) held in one power-of-two ring per VOQ. Enqueue,
+//     dequeue and HOL peeks are array arithmetic — no *AddressCell is
+//     ever allocated or chased.
+//   - Data cells live in a struct-of-arrays slab: dPkt[i]/dFan[i] are
+//     packet pointer and live fanout counter of slab entry i. Address
+//     cells reference entries by index, so ModeShared's one-data-cell
+//     -per-packet sharing is an integer comparison, and freed entries
+//     are recycled through the dFree list without touching the GC.
+//   - The cached HOL mirrors the match kernels read (holTS, occIn,
+//     occOut — see switch.go) live here too, so the whole mutable
+//     buffer state of a switch is one poolable object.
+//
+// An Arena is owned by exactly one Switch at a time. The sweep engine
+// reuses arenas across points through ArenaPool + Switch.AdoptArena /
+// Switch.ReleaseArena, which keeps the grown ring buffers and slab
+// capacity warm instead of reallocating them per point.
+
+// acell is the arena's address cell: the paper's AddressCell with the
+// *DataCell pointer replaced by an index into the arena's data slab.
+type acell struct {
+	ts   int64 // arrival slot of the packet (the FIFOMS time stamp)
+	data int32 // index into dPkt/dFan
+}
+
+// voqRing is one VOQ: a power-of-two ring of value cells. The zero
+// value is an empty queue with no storage.
+type voqRing struct {
+	buf  []acell // len is 0 or a power of two
+	head uint32
+	size uint32
+}
+
+func (q *voqRing) push(c acell) {
+	if int(q.size) == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.size)&uint32(len(q.buf)-1)] = c
+	q.size++
+}
+
+func (q *voqRing) pop() acell {
+	c := q.buf[q.head]
+	q.head = (q.head + 1) & uint32(len(q.buf)-1)
+	q.size--
+	return c
+}
+
+func (q *voqRing) front() acell { return q.buf[q.head] }
+
+func (q *voqRing) at(i int) acell {
+	return q.buf[(q.head+uint32(i))&uint32(len(q.buf)-1)]
+}
+
+// grow doubles the ring, relaying the occupied window to the front so
+// the mask arithmetic stays valid.
+func (q *voqRing) grow() {
+	newCap := 2 * len(q.buf)
+	if newCap == 0 {
+		newCap = 8
+	}
+	nb := make([]acell, newCap)
+	if q.size > 0 {
+		mask := uint32(len(q.buf) - 1)
+		for i := uint32(0); i < q.size; i++ {
+			nb[i] = q.buf[(q.head+i)&mask]
+		}
+	}
+	q.buf = nb
+	q.head = 0
+}
+
+// Arena is the complete mutable buffer state of one n-port switch:
+// n*n VOQ rings, the data-cell slab, and the cached HOL mirrors.
+type Arena struct {
+	n     int
+	words int // destset.WordsPerRow(n), the occ row stride
+
+	rings []voqRing // [n*n], indexed in*n+out
+
+	// Cached head-of-line mirrors, documented on Switch: holTS[in*n+out]
+	// is the HOL stamp (emptyHOL when empty), occIn/occOut the
+	// occupancy bitmaps by input row / output row.
+	holTS  []int64
+	occIn  []uint64
+	occOut []uint64
+
+	// Per-input oldest-stamp cache, maintained on push/pop like the
+	// mirrors above: minHOL[in] is the smallest HOL stamp over input
+	// in's VOQs (emptyHOL when the input is empty) and minMask[in*words
+	// ...] the bitmap of outputs whose HOL holds that stamp. FIFOMS
+	// reads it to seed its request step in O(words) per input instead
+	// of scanning every VOQ head.
+	minHOL  []int64
+	minMask []uint64
+
+	// Data-cell slab. Entry i is live while dFan[i] > 0; freed entries
+	// are recycled LIFO through dFree, which bounds the slab length by
+	// the historical peak of concurrently buffered data cells.
+	dPkt  []*cell.Packet
+	dFan  []int32
+	dFree []int32
+}
+
+// NewArena returns an empty arena for an n-port switch.
+func NewArena(n int) *Arena {
+	if n <= 0 {
+		panic("core: non-positive arena size")
+	}
+	a := &Arena{n: n, words: destset.WordsPerRow(n)}
+	a.rings = make([]voqRing, n*n)
+	a.holTS = make([]int64, n*n)
+	for i := range a.holTS {
+		a.holTS[i] = emptyHOL
+	}
+	a.occIn = make([]uint64, n*a.words)
+	a.occOut = make([]uint64, n*a.words)
+	a.minHOL = make([]int64, n)
+	for i := range a.minHOL {
+		a.minHOL[i] = emptyHOL
+	}
+	a.minMask = make([]uint64, n*a.words)
+	return a
+}
+
+// Ports returns the switch size the arena was built for.
+func (a *Arena) Ports() int { return a.n }
+
+// Reset empties the arena while keeping every grown ring buffer and
+// the slab capacity, so the next run's steady state allocates nothing.
+// Packet references are cleared for the garbage collector.
+func (a *Arena) Reset() {
+	for i := range a.rings {
+		a.rings[i].head = 0
+		a.rings[i].size = 0
+	}
+	for i := range a.holTS {
+		a.holTS[i] = emptyHOL
+	}
+	clear(a.occIn)
+	clear(a.occOut)
+	for i := range a.minHOL {
+		a.minHOL[i] = emptyHOL
+	}
+	clear(a.minMask)
+	clear(a.dPkt) // drop packet references before truncating
+	a.dPkt = a.dPkt[:0]
+	a.dFan = a.dFan[:0]
+	a.dFree = a.dFree[:0]
+}
+
+// allocData takes a slab entry from the freelist or extends the slab,
+// and returns its index.
+func (a *Arena) allocData(p *cell.Packet, fan int32) int32 {
+	if k := len(a.dFree); k > 0 {
+		idx := a.dFree[k-1]
+		a.dFree = a.dFree[:k-1]
+		a.dPkt[idx], a.dFan[idx] = p, fan
+		return idx
+	}
+	if len(a.dPkt) >= math.MaxInt32 {
+		panic(fmt.Sprintf("core: data slab exhausted (%d live cells)", len(a.dPkt)))
+	}
+	a.dPkt = append(a.dPkt, p)
+	a.dFan = append(a.dFan, fan)
+	return int32(len(a.dPkt) - 1)
+}
+
+// freeData recycles a fully served slab entry. The caller guarantees
+// dFan[idx] reached zero.
+func (a *Arena) freeData(idx int32) {
+	a.dPkt[idx] = nil
+	a.dFree = append(a.dFree, idx)
+}
+
+// ArenaPool recycles arenas across switch lifetimes. It is not safe
+// for concurrent use: the sweep engine keeps one pool per worker.
+type ArenaPool struct {
+	free []*Arena
+}
+
+// Get returns a reset arena for an n-port switch, reusing a pooled one
+// of the same size when available.
+func (p *ArenaPool) Get(n int) *Arena {
+	for i := len(p.free) - 1; i >= 0; i-- {
+		if a := p.free[i]; a.n == n {
+			p.free = append(p.free[:i], p.free[i+1:]...)
+			a.Reset()
+			return a
+		}
+	}
+	return NewArena(n)
+}
+
+// Put stores an arena for later reuse. The arena may hold stale
+// content; Get resets it before handing it out.
+func (p *ArenaPool) Put(a *Arena) {
+	if a != nil {
+		p.free = append(p.free, a)
+	}
+}

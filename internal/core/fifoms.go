@@ -69,6 +69,7 @@ type FIFOMS struct {
 	minTS    []int64  // per input: requested time stamp, -1 = no request
 	reqMask  []uint64 // [n×words] per-input requested-output mask
 	reqT     []uint64 // [n×words] per-output requester mask (transpose)
+	reqOut   []uint64 // [words] outputs with at least one requester
 	inFree   []uint64 // [words] free-input set
 	outFree  []uint64 // [words] free-output set
 	reserved []uint64 // [words] outputs reserved in the previous round
@@ -100,6 +101,7 @@ func (f *FIFOMS) ensure(n int) {
 	f.minTS = make([]int64, n)
 	f.reqMask = make([]uint64, n*f.words)
 	f.reqT = make([]uint64, n*f.words)
+	f.reqOut = make([]uint64, f.words)
 	f.inFree = make([]uint64, f.words)
 	f.outFree = make([]uint64, f.words)
 	f.reserved = make([]uint64, f.words)
@@ -147,8 +149,30 @@ func (f *FIFOMS) Match(s *Switch, slot int64, r *xrand.Rand, m *Matching) {
 		// therefore its mask — changes only if the previous round
 		// reserved one of the outputs it was requesting.
 		if round == 0 {
-			for in := 0; in < n; in++ {
-				f.computeRequest(s, in)
+			// Every output is free at round 0, so the smallest stamp
+			// over free outputs is exactly the switch's maintained
+			// oldest-stamp cache: copy it instead of scanning HOL rows.
+			f.seedRequests(s, n)
+		} else if w == 1 {
+			// Single-word layout (n <= 64): masks are scalars, so the
+			// incremental update is pure register arithmetic.
+			res := f.reserved[0]
+			for fw := f.inFree[0]; fw != 0; fw &= fw - 1 {
+				in := bits.TrailingZeros64(fw)
+				if f.minTS[in] < 0 {
+					continue // no candidates before, none now
+				}
+				row := f.reqMask[in]
+				if row&res == 0 {
+					continue // mask untouched by last round's grants
+				}
+				row &^= res
+				f.reqMask[in] = row
+				if row == 0 {
+					// Every requested output was taken; the input
+					// falls back to its next-smallest stamp.
+					f.computeRequest(s, in)
+				}
 			}
 		} else {
 			for wi := 0; wi < w; wi++ {
@@ -215,6 +239,28 @@ func (f *FIFOMS) Match(s *Switch, slot int64, r *xrand.Rand, m *Matching) {
 	}
 }
 
+// seedRequests seeds every input's request state from the switch's
+// oldest-stamp cache (Switch.minHOL/minMask): with every output still
+// free — round 0 of the splitting discipline, every round's base set
+// under no-splitting — the smallest stamp over free outputs is exactly
+// the cached minimum over all VOQ heads, and queue state cannot change
+// inside Match. One bulk copy instead of per-input HOL-row scans; an
+// input with no buffered cells has an all-zero minMask row (the cache
+// maintenance zeroes it as the argmin set drains), so the copied mask
+// is correct for it too and only minTS needs the empty-input branch.
+// The cache itself is cross-checked against a direct scan of the VOQ
+// heads by TestCachedHOLStateCoherent.
+func (f *FIFOMS) seedRequests(s *Switch, n int) {
+	copy(f.reqMask, s.minMask[:n*f.words])
+	for in := 0; in < n; in++ {
+		if mh := s.minHOL[in]; mh != emptyHOL {
+			f.minTS[in] = mh
+		} else {
+			f.minTS[in] = -1
+		}
+	}
+}
+
 // computeRequest fills input in's request state for the splitting
 // discipline: the smallest HOL stamp over its non-empty VOQs whose
 // outputs are still free, and the mask of outputs holding that stamp
@@ -222,6 +268,28 @@ func (f *FIFOMS) Match(s *Switch, slot int64, r *xrand.Rand, m *Matching) {
 // word from the occupancy-AND-free intersection.
 func (f *FIFOMS) computeRequest(s *Switch, in int) {
 	w := f.words
+	if w == 1 {
+		base := in * s.n
+		best := emptyHOL
+		var mask uint64
+		for cand := s.occIn[in] & f.outFree[0]; cand != 0; cand &= cand - 1 {
+			out := bits.TrailingZeros64(cand)
+			switch ts := s.holTS[base+out]; {
+			case ts < best:
+				best = ts
+				mask = 1 << uint(out)
+			case ts == best:
+				mask |= 1 << uint(out)
+			}
+		}
+		f.reqMask[in] = mask
+		if best == emptyHOL {
+			f.minTS[in] = -1
+			return
+		}
+		f.minTS[in] = best
+		return
+	}
 	occ := s.occIn[in*w : in*w+w]
 	mask := f.reqMask[in*w : in*w+w]
 	base := in * s.n
@@ -254,50 +322,35 @@ func (f *FIFOMS) computeRequest(s *Switch, in int) {
 	f.minTS[in] = best
 }
 
-// computeRequestAll is computeRequest without the free-output filter:
-// the no-splitting variant identifies its oldest packet over *all*
-// VOQs (under all-or-nothing delivery that packet's cells are
-// necessarily at the HOL of every VOQ it occupies).
-func (f *FIFOMS) computeRequestAll(s *Switch, in int) {
-	w := f.words
-	occ := s.occIn[in*w : in*w+w]
-	mask := f.reqMask[in*w : in*w+w]
-	base := in * s.n
-	best := emptyHOL
-	for i := range mask {
-		mask[i] = 0
-	}
-	for wi := 0; wi < w; wi++ {
-		cand := occ[wi]
-		bitsBase := wi << 6
-		for cand != 0 {
-			out := bitsBase + bits.TrailingZeros64(cand)
-			cand &= cand - 1
-			switch ts := s.holTS[base+out]; {
-			case ts < best:
-				best = ts
-				for i := 0; i <= wi; i++ {
-					mask[i] = 0
-				}
-				mask[wi] = 1 << uint(out&63)
-			case ts == best:
-				mask[wi] |= 1 << uint(out&63)
-			}
-		}
-	}
-	if best == emptyHOL {
-		f.minTS[in] = -1
-		return
-	}
-	f.minTS[in] = best
-}
-
 // buildTranspose rebuilds reqT — for every output, the set of free
-// inputs requesting it — from the per-input masks, and reports whether
-// any request exists at all.
+// inputs requesting it — and reqOut, the set of outputs with at least
+// one requester, from the per-input masks, and reports whether any
+// request exists at all.
 func (f *FIFOMS) buildTranspose() bool {
 	w := f.words
 	clear(f.reqT)
+	clear(f.reqOut)
+	if w == 1 {
+		// Single-word layout: row masks are scalars and the requester
+		// bit scatter indexes reqT directly.
+		reqT := f.reqT
+		minTS := f.minTS
+		var reqOut uint64
+		for fw := f.inFree[0]; fw != 0; fw &= fw - 1 {
+			in := bits.TrailingZeros64(fw)
+			if minTS[in] < 0 {
+				continue
+			}
+			row := f.reqMask[in]
+			reqOut |= row
+			ibit := uint64(1) << uint(in)
+			for mv := row; mv != 0; mv &= mv - 1 {
+				reqT[bits.TrailingZeros64(mv)] |= ibit
+			}
+		}
+		f.reqOut[0] = reqOut
+		return reqOut != 0
+	}
 	any := false
 	for wi := 0; wi < w; wi++ {
 		fw := f.inFree[wi]
@@ -315,13 +368,14 @@ func (f *FIFOMS) buildTranspose() bool {
 }
 
 // scatterRow sets input in's bit in reqT for every output of its
-// request mask.
+// request mask, and the outputs themselves in reqOut.
 func (f *FIFOMS) scatterRow(in int) {
 	w := f.words
 	row := f.reqMask[in*w : in*w+w]
 	iword, ibit := in>>6, uint64(1)<<uint(in&63)
 	for mw := 0; mw < w; mw++ {
 		mv := row[mw]
+		f.reqOut[mw] |= mv
 		base := mw << 6
 		for mv != 0 {
 			out := base + bits.TrailingZeros64(mv)
@@ -331,17 +385,25 @@ func (f *FIFOMS) scatterRow(in int) {
 	}
 }
 
-// grantStep runs one grant round: every free output picks the
-// smallest-stamp requester from its reqT set, ties broken uniformly at
-// random (reservoir sampling keeps it single-pass; the scan order is
-// ascending input index, matching the reference kernel's RNG draw
-// sequence exactly). It records grants in granted/grants and reports
-// whether any output granted.
+// grantStep runs one grant round: every free output with at least one
+// requester picks the smallest-stamp requester from its reqT set, ties
+// broken uniformly at random (reservoir sampling keeps it single-pass;
+// the scan order is ascending input index, matching the reference
+// kernel's RNG draw sequence exactly). Outputs outside reqOut draw no
+// randomness and grant nothing, so skipping them is draw-for-draw
+// identical to visiting them; their stale granted[out] entries are
+// never read (grants lists only visited outputs, and the no-splitting
+// withdrawal only inspects outputs its inputs requested). It records
+// grants in granted/grants and reports whether any output granted.
 func (f *FIFOMS) grantStep(r *xrand.Rand) bool {
 	w := f.words
 	f.grants = f.grants[:0]
+	if w == 1 {
+		f.grantStepW1(r)
+		return len(f.grants) > 0
+	}
 	for wi := 0; wi < w; wi++ {
-		ow := f.outFree[wi]
+		ow := f.outFree[wi] & f.reqOut[wi]
 		for ow != 0 {
 			out := wi<<6 + bits.TrailingZeros64(ow)
 			ow &= ow - 1
@@ -379,6 +441,41 @@ func (f *FIFOMS) grantStep(r *xrand.Rand) bool {
 		}
 	}
 	return len(f.grants) > 0
+}
+
+// grantStepW1 is grantStep's single-word (n <= 64) specialization:
+// requester columns are scalars, so the whole round runs on registers
+// plus one minTS load per requester. The visit order — free requested
+// outputs ascending, requesters ascending within each — and therefore
+// the RNG draw sequence is identical to the generic path.
+func (f *FIFOMS) grantStepW1(r *xrand.Rand) {
+	reqT := f.reqT
+	minTS := f.minTS
+	detTies := f.DeterministicTies
+	for ow := f.outFree[0] & f.reqOut[0]; ow != 0; ow &= ow - 1 {
+		out := bits.TrailingZeros64(ow)
+		bestTS := int64(math.MaxInt64)
+		g := None
+		ties := 0
+		for cv := reqT[out]; cv != 0; cv &= cv - 1 {
+			in := bits.TrailingZeros64(cv)
+			switch ts := minTS[in]; {
+			case ts < bestTS:
+				bestTS, g, ties = ts, in, 1
+			case ts == bestTS:
+				if !detTies {
+					ties++
+					if r.Intn(ties) == 0 {
+						g = in
+					}
+				}
+			}
+		}
+		// A requested output always finds a requester: reqOut[0] has
+		// out's bit only because some row scattered into reqT[out].
+		f.granted[out] = g
+		f.grants = append(f.grants, out)
+	}
 }
 
 // observeRequests emits one EvRequest per requested (input, output)
@@ -439,15 +536,14 @@ func (f *FIFOMS) observeGrants(o *obs.Observer, slot int64, round int) {
 // each round only re-filters against the shrinking free-output set.
 func (f *FIFOMS) matchNoSplit(s *Switch, n, maxRounds int, r *xrand.Rand, m *Matching, slot int64, o *obs.Observer) {
 	w := f.words
-	for in := 0; in < n; in++ {
-		f.computeRequestAll(s, in)
-	}
+	f.seedRequests(s, n)
 
 	for round := 0; round < maxRounds; round++ {
 		// Filter + transpose: an input participates only while it is
 		// free and every destination of its oldest packet is still
 		// free (some destination reserved ⇒ the packet waits whole).
 		clear(f.reqT)
+		clear(f.reqOut)
 		any := false
 		for wi := 0; wi < w; wi++ {
 			fw := f.inFree[wi]

@@ -196,20 +196,48 @@ func TestCachedHOLStateCoherent(t *testing.T) {
 		for in := 0; in < n; in++ {
 			occ := s.OccInWords(in)
 			for out := 0; out < n; out++ {
-				hol := s.HOL(in, out)
+				q := &s.arena.rings[in*s.n+out]
 				ts := s.HOLTime(in, out)
 				inBit := s.occOut[out*s.words+in>>6]&(1<<uint(in&63)) != 0
 				outBit := occ[out>>6]&(1<<uint(out&63)) != 0
-				if hol == nil {
+				if q.size == 0 {
 					if ts != emptyHOL || inBit || outBit {
 						t.Fatalf("slot %d (%d,%d): empty VOQ cached as ts=%d occIn=%v occOut=%v",
 							slot, in, out, ts, outBit, inBit)
 					}
 				} else {
-					if ts != hol.TimeStamp || !inBit || !outBit {
+					if ts != q.front().ts || !inBit || !outBit {
 						t.Fatalf("slot %d (%d,%d): HOL ts %d cached as ts=%d occIn=%v occOut=%v",
-							slot, in, out, hol.TimeStamp, ts, outBit, inBit)
+							slot, in, out, q.front().ts, ts, outBit, inBit)
 					}
+				}
+			}
+			// The per-input oldest-stamp cache must agree with a direct
+			// scan over the VOQ heads: same minimum, same argmin set.
+			wantMin := int64(emptyHOL)
+			wantMask := make([]uint64, s.words)
+			for out := 0; out < n; out++ {
+				q := &s.arena.rings[in*s.n+out]
+				if q.size == 0 {
+					continue
+				}
+				switch ts := q.front().ts; {
+				case ts < wantMin:
+					wantMin = ts
+					clear(wantMask)
+					wantMask[out>>6] = 1 << uint(out&63)
+				case ts == wantMin:
+					wantMask[out>>6] |= 1 << uint(out&63)
+				}
+			}
+			if s.minHOL[in] != wantMin {
+				t.Fatalf("slot %d input %d: minHOL cached as %d, scan says %d",
+					slot, in, s.minHOL[in], wantMin)
+			}
+			for wi := 0; wi < s.words; wi++ {
+				if got := s.minMask[in*s.words+wi]; got != wantMask[wi] {
+					t.Fatalf("slot %d input %d: minMask word %d cached as %#x, scan says %#x",
+						slot, in, wi, got, wantMask[wi])
 				}
 			}
 		}

@@ -20,7 +20,10 @@ import (
 //   - BenchmarkFIFOMSMatchLegacy quantifies the speedup against it.
 //
 // Do not modify its scheduling logic; it must stay behaviourally
-// frozen for the comparison to mean anything.
+// frozen for the comparison to mean anything. (The HOL reads were
+// ported from the removed pointer-returning HOL accessor to HOLTime
+// when the cell arena landed — a mechanical substitution: HOLTime's
+// emptyHOL sentinel compares exactly like the old nil checks did.)
 type legacyFIFOMS struct {
 	MaxRounds         int
 	NoFanoutSplitting bool
@@ -86,8 +89,8 @@ func (f *legacyFIFOMS) Match(s *Switch, _ int64, r *xrand.Rand, m *Matching) {
 				if !f.NoFanoutSplitting && !f.outputFree[out] {
 					continue
 				}
-				if hol := s.HOL(in, out); hol != nil && hol.TimeStamp < best {
-					best = hol.TimeStamp
+				if ts := s.HOLTime(in, out); ts < best {
+					best = ts
 					found = true
 				}
 			}
@@ -114,16 +117,16 @@ func (f *legacyFIFOMS) Match(s *Switch, _ int64, r *xrand.Rand, m *Matching) {
 				if f.minTS[in] < 0 {
 					continue
 				}
-				hol := s.HOL(in, out)
-				if hol == nil || hol.TimeStamp != f.minTS[in] {
+				ts := s.HOLTime(in, out)
+				if ts != f.minTS[in] {
 					continue // this input did not request this output
 				}
 				switch {
-				case hol.TimeStamp < bestTS:
-					bestTS = hol.TimeStamp
+				case ts < bestTS:
+					bestTS = ts
 					f.granted[out] = in
 					f.tieCount[out] = 1
-				case hol.TimeStamp == bestTS:
+				case ts == bestTS:
 					if !f.DeterministicTies {
 						f.tieCount[out]++
 						if r.Intn(f.tieCount[out]) == 0 {
@@ -176,7 +179,7 @@ func (f *legacyFIFOMS) filterNonSplittable(s *Switch, n int) {
 			continue
 		}
 		for out := 0; out < n; out++ {
-			if hol := s.HOL(in, out); hol != nil && hol.TimeStamp == f.minTS[in] && !f.outputFree[out] {
+			if s.HOLTime(in, out) == f.minTS[in] && !f.outputFree[out] {
 				f.minTS[in] = -1
 				break
 			}
@@ -194,8 +197,7 @@ func (f *legacyFIFOMS) withdrawPartialGrants(s *Switch, n int) {
 		f.reqOuts = f.reqOuts[:0]
 		complete := true
 		for out := 0; out < n; out++ {
-			hol := s.HOL(in, out)
-			if hol == nil || hol.TimeStamp != f.minTS[in] || !f.outputFree[out] {
+			if s.HOLTime(in, out) != f.minTS[in] || !f.outputFree[out] {
 				continue
 			}
 			f.reqOuts = append(f.reqOuts, out)

@@ -39,16 +39,18 @@ func TestPreprocessShared(t *testing.T) {
 		if s.VOQLen(1, out) != 1 {
 			t.Fatalf("VOQ(1,%d) length %d", out, s.VOQLen(1, out))
 		}
-		hol := s.HOL(1, out)
-		if hol == nil || hol.TimeStamp != 0 || hol.Output != out {
-			t.Fatalf("HOL(1,%d) = %+v", out, hol)
+		if ts := s.HOLTime(1, out); ts != 0 {
+			t.Fatalf("HOLTime(1,%d) = %d, want 0", out, ts)
+		}
+		if ref := s.HOLDataRef(1, out); ref < 0 {
+			t.Fatalf("HOLDataRef(1,%d) = %d, want a live slab entry", out, ref)
 		}
 	}
-	if s.VOQLen(1, 1) != 0 || s.HOL(1, 1) != nil {
+	if s.VOQLen(1, 1) != 0 || s.HOLTime(1, 1) != EmptyHOL || s.HOLDataRef(1, 1) != -1 {
 		t.Fatal("non-destination VOQ populated")
 	}
 	// All three address cells must share one data cell.
-	if s.HOL(1, 0).Data != s.HOL(1, 2).Data || s.HOL(1, 2).Data != s.HOL(1, 3).Data {
+	if s.HOLDataRef(1, 0) != s.HOLDataRef(1, 2) || s.HOLDataRef(1, 2) != s.HOLDataRef(1, 3) {
 		t.Fatal("address cells do not share the data cell")
 	}
 }
@@ -67,10 +69,10 @@ func TestPreprocessCopied(t *testing.T) {
 	if got := s.BufferedCells(); got != 3 {
 		t.Fatalf("data cells = %d, want 3 (copied)", got)
 	}
-	if s.HOL(0, 1).Data == s.HOL(0, 2).Data {
+	if s.HOLDataRef(0, 1) == s.HOLDataRef(0, 2) {
 		t.Fatal("copied mode shared a data cell")
 	}
-	if s.HOL(0, 1).Data.FanoutCounter != 1 {
+	if s.DataFanout(s.HOLDataRef(0, 1)) != 1 {
 		t.Fatal("copied data cell fanout != 1")
 	}
 }

@@ -45,8 +45,8 @@ func referenceMatch(s *Switch) (outIn []int, rounds int) {
 			smallest := int64(math.MaxInt64)
 			for out := 0; out < n; out++ {
 				if outputFree[out] {
-					if hol := s.HOL(in, out); hol != nil && hol.TimeStamp < smallest {
-						smallest = hol.TimeStamp
+					if ts := s.HOLTime(in, out); ts < smallest {
+						smallest = ts
 					}
 				}
 			}
@@ -55,7 +55,7 @@ func referenceMatch(s *Switch) (outIn []int, rounds int) {
 			}
 			for out := 0; out < n; out++ {
 				if outputFree[out] {
-					if hol := s.HOL(in, out); hol != nil && hol.TimeStamp == smallest {
+					if s.HOLTime(in, out) == smallest {
 						requests[out] = append(requests[out], request{in: in, ts: smallest})
 					}
 				}

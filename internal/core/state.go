@@ -11,11 +11,15 @@ import (
 // sequence of table indices its address cells reference. Encoding
 // references instead of cells preserves the one-data-cell-per-packet
 // sharing of ModeShared exactly, so a restored fanout-k packet still
-// occupies one data cell.
+// occupies one data cell. The format predates the cell arena and is
+// independent of it — snapshots written by the pointer-based switch
+// load into the arena-backed one unchanged (the golden-blob compat
+// test pins this).
 //
 // Deliberately not serialized:
 //
-//   - the freelists — a performance cache, refilled on demand;
+//   - the arena's slab freelist and ring capacities — performance
+//     caches, regrown on demand;
 //   - the cached holTS/occIn/occOut mirrors — LoadState rebuilds them
 //     coherently by re-pushing every cell through pushCell;
 //   - the Matching, crossbar Config and scratch slices — per-slot
@@ -39,11 +43,12 @@ type StatefulArbiter interface {
 // shadow-model priming) use it to read the buffer content without
 // reaching into the queues.
 func (s *Switch) ForEachBuffered(fn func(in, out int, p *cell.Packet)) {
-	for in := range s.ports {
+	a := s.arena
+	for in := 0; in < s.n; in++ {
 		for out := 0; out < s.n; out++ {
-			q := &s.ports[in].voqs[out]
-			for i := 0; i < q.Len(); i++ {
-				fn(in, out, q.At(i).Data.Packet)
+			q := &a.rings[in*s.n+out]
+			for i := 0; i < int(q.size); i++ {
+				fn(in, out, a.dPkt[q.at(i).data])
 			}
 		}
 	}
@@ -60,7 +65,7 @@ func (s *Switch) SaveState(w *snap.Writer) {
 	w.I64(s.totalRounds)
 	w.I64(s.activeSlots)
 	s.fabric.SaveState(w)
-	for in := range s.ports {
+	for in := 0; in < s.n; in++ {
 		s.savePort(w, in)
 	}
 	if sa, ok := s.arbiter.(StatefulArbiter); ok {
@@ -75,26 +80,27 @@ func (s *Switch) SaveState(w *snap.Writer) {
 // savePort appends one input port: its arrival guard, the table of
 // live packets, and each VOQ as indices into that table.
 func (s *Switch) savePort(w *snap.Writer, in int) {
+	a := s.arena
 	port := &s.ports[in]
 	w.I64(port.lastArrival)
 
 	// The table deduplicates by *cell.Packet: in ModeShared the
-	// packet's single data cell carries the live fanout counter; in
-	// ModeCopied every queued copy has a private fanout-1 data cell,
-	// but the copies still share one Packet, which is what makes the
-	// table well defined in both modes.
+	// packet's single slab entry carries the live fanout counter; in
+	// ModeCopied every queued copy has a private fanout-1 entry, but
+	// the copies still share one Packet, which is what makes the table
+	// well defined in both modes.
 	index := make(map[*cell.Packet]int)
 	var packets []*cell.Packet
 	var counters []int
 	for out := 0; out < s.n; out++ {
-		q := &port.voqs[out]
-		for i := 0; i < q.Len(); i++ {
-			ac := q.At(i)
-			p := ac.Data.Packet
+		q := &a.rings[in*s.n+out]
+		for i := 0; i < int(q.size); i++ {
+			c := q.at(i)
+			p := a.dPkt[c.data]
 			if _, ok := index[p]; !ok {
 				index[p] = len(packets)
 				packets = append(packets, p)
-				counters = append(counters, ac.Data.FanoutCounter)
+				counters = append(counters, int(a.dFan[c.data]))
 			}
 		}
 	}
@@ -106,10 +112,10 @@ func (s *Switch) savePort(w *snap.Writer, in int) {
 		snap.WriteDests(w, p.Dests)
 	}
 	for out := 0; out < s.n; out++ {
-		q := &port.voqs[out]
-		w.Count(q.Len())
-		for i := 0; i < q.Len(); i++ {
-			w.Int(index[q.At(i).Data.Packet])
+		q := &a.rings[in*s.n+out]
+		w.Count(int(q.size))
+		for i := 0; i < int(q.size); i++ {
+			w.Int(index[a.dPkt[q.at(i).data]])
 		}
 	}
 }
@@ -159,6 +165,7 @@ func (s *Switch) LoadState(r *snap.Reader) error {
 
 // loadPort restores one input port written by savePort.
 func (s *Switch) loadPort(r *snap.Reader, in int) error {
+	a := s.arena
 	port := &s.ports[in]
 	port.lastArrival = r.I64()
 	if r.Err() == nil && (port.lastArrival < -1 || port.lastArrival >= r.NextSlot()) {
@@ -173,7 +180,7 @@ func (s *Switch) loadPort(r *snap.Reader, in int) error {
 	// dests presence(1)+count(4) = 29 bytes.
 	nPkts := r.Count(29)
 	packets := make([]*cell.Packet, nPkts)
-	datas := make([]*cell.DataCell, nPkts)
+	dataIdx := make([]int32, nPkts)
 	refs := make([]int, nPkts)
 	for i := 0; i < nPkts; i++ {
 		id := cell.PacketID(r.I64())
@@ -197,8 +204,9 @@ func (s *Switch) loadPort(r *snap.Reader, in int) error {
 		}
 		packets[i] = &cell.Packet{ID: id, Input: in, Arrival: arrival, Dests: dests}
 		if s.mode == ModeShared {
-			datas[i] = &cell.DataCell{Packet: packets[i], FanoutCounter: counter}
+			dataIdx[i] = a.allocData(packets[i], int32(counter))
 			port.dataCells++
+			s.totalData++
 		}
 	}
 	for out := 0; out < s.n; out++ {
@@ -218,20 +226,21 @@ func (s *Switch) loadPort(r *snap.Reader, in int) error {
 				return r.Err()
 			}
 			refs[idx]++
-			data := datas[idx]
+			data := dataIdx[idx]
 			if s.mode == ModeCopied {
-				data = &cell.DataCell{Packet: p, FanoutCounter: 1}
+				data = a.allocData(p, 1)
 				port.dataCells++
+				s.totalData++
 			}
-			s.pushCell(in, out, &cell.AddressCell{TimeStamp: p.Arrival, Data: data, Output: out})
+			s.pushCell(in, out, p.Arrival, data)
 		}
 	}
 	if s.mode == ModeShared {
 		// The fanout counter must equal the address cells still queued,
-		// or Served() would mis-time the data cell's release.
-		for i, d := range datas {
-			if refs[i] != d.FanoutCounter {
-				r.Failf("packet %d has %d queued cells but fanout counter %d", packets[i].ID, refs[i], d.FanoutCounter)
+		// or the transfer loop would mis-time the slab entry's release.
+		for i := range packets {
+			if refs[i] != int(a.dFan[dataIdx[i]]) {
+				r.Failf("packet %d has %d queued cells but fanout counter %d", packets[i].ID, refs[i], a.dFan[dataIdx[i]])
 				return r.Err()
 			}
 		}

@@ -3,21 +3,18 @@ package core
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"voqsim/internal/cell"
 	"voqsim/internal/crossbar"
-	"voqsim/internal/destset"
-	"voqsim/internal/fifoq"
 	"voqsim/internal/obs"
 	"voqsim/internal/xrand"
 )
 
-// inputPort is the buffer state of one input port under the paper's
-// queue structure (Fig. 2): N virtual output queues of address cells
-// plus the shared data-cell buffer, of which only the live-cell count
-// and byte total need materialising.
+// inputPort is the per-port accounting of the paper's queue structure
+// (Fig. 2). The cells themselves live in the switch's Arena; the port
+// keeps the counters the queue-size metric and the arrival guard need.
 type inputPort struct {
-	voqs      []fifoq.Queue[*cell.AddressCell]
 	dataCells int // live data cells (the paper's queue-size metric)
 	addrCells int // live address cells across all VOQs
 
@@ -25,21 +22,16 @@ type inputPort struct {
 	// shared mode: at most one packet arrives per input per slot, so a
 	// time stamp identifies a packet within one input (Section II).
 	lastArrival int64
-
-	// Freelists of cells served in earlier slots. A long sweep pushes
-	// and pops millions of cells; recycling them keeps the steady-state
-	// arrival path allocation-free instead of churning the garbage
-	// collector. Cells are recycled only after their last reference
-	// leaves Step, and both lists are bounded by the port's historical
-	// backlog peak.
-	freeAddr []*cell.AddressCell
-	freeData []*cell.DataCell
 }
 
 // emptyHOL is the cached-timestamp sentinel for an empty VOQ. It
 // compares greater than every real arrival slot, so minimum scans need
 // no empty-queue branch.
 const emptyHOL = int64(math.MaxInt64)
+
+// EmptyHOL is the exported sentinel HOLTime returns for an empty VOQ:
+// math.MaxInt64, greater than any real arrival slot.
+const EmptyHOL = emptyHOL
 
 // Switch is a multicast VOQ packet switch: the queue structure of
 // Section II joined to a pluggable arbiter (FIFOMS by default) and a
@@ -50,15 +42,16 @@ type Switch struct {
 	arbiter Arbiter
 	mode    PreprocessMode
 	ports   []inputPort
+	arena   *Arena
 	fabric  *crossbar.Fabric
 	cfg     *crossbar.Config
 	match   *Matching
 	rnd     *xrand.Rand
 
 	// Cached head-of-line state, the flat mirror of the VOQ heads that
-	// the match kernels read instead of chasing *AddressCell pointers
-	// through the ring buffers (DESIGN.md § Match kernel). Updated
-	// incrementally on every push and pop:
+	// the match kernels read instead of walking the rings (DESIGN.md
+	// § Match kernel). The slices alias the Arena's arrays and are
+	// updated incrementally on every push and pop:
 	//
 	//   holTS[in*n+out]  HOL time stamp of VOQ(in,out), emptyHOL if empty
 	//   occIn[in*w ...]  bitmap over outputs: VOQ(in,out) non-empty
@@ -70,9 +63,25 @@ type Switch struct {
 	occOut []uint64
 	words  int
 
+	// Per-input oldest-stamp cache (see Arena): minHOL[in] is the
+	// smallest stamp over input in's VOQ heads, minMask the argmin
+	// output bitmap. Maintained by pushCell/popCell; read by FIFOMS to
+	// seed its request masks without scanning the HOL row.
+	minHOL  []int64
+	minMask []uint64
+
+	// Running totals across ports, so BufferedCells and
+	// BufferedAddressCells — called every slot by the engine — are O(1).
+	totalData int64
+	totalAddr int64
+
 	lastRounds  int
 	totalRounds int64
 	activeSlots int64 // slots in which any cell was queued at arbitration time
+
+	// release, when set, receives each packet the switch is done with
+	// (SetReleaseHook); nil means completed packets are left to the GC.
+	release func(*cell.Packet)
 
 	// Observability (DESIGN.md §8). obs is nil in ordinary runs — the
 	// single nil check per instrumentation site is the whole disabled
@@ -91,6 +100,7 @@ type Switch struct {
 
 	// scratch reused every slot
 	grantsByIn [][]int
+	usedIns    []int // inputs with a non-empty grantsByIn entry to reset
 	sizes      []int
 }
 
@@ -136,22 +146,54 @@ func NewSwitch(n int, arb Arbiter, root *xrand.Rand) *Switch {
 		rnd:     root.Split("arbiter", 0),
 	}
 	for i := range s.ports {
-		s.ports[i].voqs = make([]fifoq.Queue[*cell.AddressCell], n)
 		s.ports[i].lastArrival = -1
 	}
-	s.words = destset.WordsPerRow(n)
-	s.holTS = make([]int64, n*n)
-	for i := range s.holTS {
-		s.holTS[i] = emptyHOL
-	}
-	s.occIn = make([]uint64, n*s.words)
-	s.occOut = make([]uint64, n*s.words)
+	s.installArena(NewArena(n))
 	s.grantsByIn = make([][]int, n)
 	for i := range s.grantsByIn {
 		s.grantsByIn[i] = make([]int, 0, n)
 	}
+	s.usedIns = make([]int, 0, n)
 	s.sizes = make([]int, n)
 	return s
+}
+
+// installArena wires an arena in and refreshes the aliased mirrors.
+func (s *Switch) installArena(a *Arena) {
+	s.arena = a
+	s.holTS = a.holTS
+	s.occIn = a.occIn
+	s.occOut = a.occOut
+	s.minHOL = a.minHOL
+	s.minMask = a.minMask
+	s.words = a.words
+}
+
+// AdoptArena swaps in a pooled arena in place of the one NewSwitch
+// allocated, so a sweep's grown ring buffers and slab capacity carry
+// over from point to point. Adoption is legal only on a pristine
+// switch (nothing ever arrived, no slot ever stepped) with an empty
+// arena of the right size; it reports whether the swap happened.
+func (s *Switch) AdoptArena(a *Arena) bool {
+	if a == nil || a.n != s.n {
+		return false
+	}
+	if s.totalAddr != 0 || s.totalData != 0 || s.activeSlots != 0 {
+		return false
+	}
+	s.installArena(a)
+	return true
+}
+
+// ReleaseArena detaches and returns the switch's arena for pooling.
+// The switch must not be used afterwards; call it only when the run is
+// over and the switch is about to be discarded.
+func (s *Switch) ReleaseArena() *Arena {
+	a := s.arena
+	s.arena = nil
+	s.holTS, s.occIn, s.occOut = nil, nil, nil
+	s.minHOL, s.minMask = nil, nil
+	return a
 }
 
 // Ports returns the switch size N.
@@ -189,58 +231,118 @@ func (s *Switch) SetObserver(o *obs.Observer) {
 // disabled. Arbiters fetch it once per Match call.
 func (s *Switch) Observer() *obs.Observer { return s.obs }
 
-// newAddressCell takes an address cell from the port's freelist or
-// allocates one.
-func (port *inputPort) newAddressCell(ts int64, data *cell.DataCell, out int) *cell.AddressCell {
-	if k := len(port.freeAddr); k > 0 {
-		ac := port.freeAddr[k-1]
-		port.freeAddr = port.freeAddr[:k-1]
-		ac.TimeStamp, ac.Data, ac.Output = ts, data, out
-		return ac
-	}
-	return &cell.AddressCell{TimeStamp: ts, Data: data, Output: out}
-}
-
-// newDataCell takes a data cell from the port's freelist or allocates
-// one.
-func (port *inputPort) newDataCell(p *cell.Packet, fanout int) *cell.DataCell {
-	if k := len(port.freeData); k > 0 {
-		d := port.freeData[k-1]
-		port.freeData = port.freeData[:k-1]
-		d.Packet, d.FanoutCounter = p, fanout
-		return d
-	}
-	return &cell.DataCell{Packet: p, FanoutCounter: fanout}
-}
-
 // pushCell appends an address cell to VOQ(in,out) and keeps the cached
 // HOL state coherent: a push onto an empty queue creates a new head.
-func (s *Switch) pushCell(in, out int, ac *cell.AddressCell) {
-	q := &s.ports[in].voqs[out]
-	if q.Empty() {
-		s.holTS[in*s.n+out] = ac.TimeStamp
+func (s *Switch) pushCell(in, out int, ts int64, data int32) {
+	qi := in*s.n + out
+	q := &s.arena.rings[qi]
+	if q.size == 0 {
+		s.holTS[qi] = ts
 		s.occIn[in*s.words+out>>6] |= 1 << uint(out&63)
 		s.occOut[out*s.words+in>>6] |= 1 << uint(in&63)
+		// A fresh head is the only push that can lower the input's
+		// oldest stamp (a push onto a non-empty queue sits behind an
+		// older head).
+		switch mh := s.minHOL[in]; {
+		case ts < mh:
+			s.minHOL[in] = ts
+			row := s.minMask[in*s.words : in*s.words+s.words]
+			for i := range row {
+				row[i] = 0
+			}
+			row[out>>6] = 1 << uint(out&63)
+		case ts == mh:
+			s.minMask[in*s.words+out>>6] |= 1 << uint(out&63)
+		}
 	}
-	q.Push(ac)
+	q.push(acell{ts: ts, data: data})
 	s.ports[in].addrCells++
+	s.totalAddr++
 }
 
 // popCell removes the head of VOQ(in,out) and keeps the cached HOL
 // state coherent: the next cell (or the empty sentinel) becomes the
 // head.
-func (s *Switch) popCell(in, out int) *cell.AddressCell {
-	q := &s.ports[in].voqs[out]
-	ac := q.Pop()
+func (s *Switch) popCell(in, out int) acell {
+	qi := in*s.n + out
+	q := &s.arena.rings[qi]
+	c := q.pop()
 	s.ports[in].addrCells--
-	if q.Empty() {
-		s.holTS[in*s.n+out] = emptyHOL
+	s.totalAddr--
+	if q.size == 0 {
+		s.holTS[qi] = emptyHOL
 		s.occIn[in*s.words+out>>6] &^= 1 << uint(out&63)
 		s.occOut[out*s.words+in>>6] &^= 1 << uint(in&63)
 	} else {
-		s.holTS[in*s.n+out] = q.Front().TimeStamp
+		s.holTS[qi] = q.front().ts
 	}
-	return ac
+	if c.ts == s.minHOL[in] {
+		// The popped cell held the input's oldest stamp; stamps within
+		// a VOQ strictly increase, so this queue leaves the argmin set.
+		// When the set drains the next-oldest stamp takes over.
+		s.minMask[in*s.words+out>>6] &^= 1 << uint(out&63)
+		row := s.minMask[in*s.words : in*s.words+s.words]
+		empty := true
+		for _, wv := range row {
+			if wv != 0 {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			s.rescanMinHOL(in)
+		}
+	}
+	return c
+}
+
+// rescanMinHOL recomputes input in's oldest-stamp cache from the HOL
+// row. Called only when the argmin set drains — at most once per
+// departing packet — with the minMask row already zeroed.
+func (s *Switch) rescanMinHOL(in int) {
+	w := s.words
+	if w == 1 {
+		// Single-word layout (n <= 64): the argmin mask is a scalar.
+		base := in * s.n
+		best := emptyHOL
+		var row uint64
+		for cand := s.occIn[in]; cand != 0; cand &= cand - 1 {
+			out := bits.TrailingZeros64(cand)
+			switch ts := s.holTS[base+out]; {
+			case ts < best:
+				best = ts
+				row = 1 << uint(out)
+			case ts == best:
+				row |= 1 << uint(out)
+			}
+		}
+		s.minMask[in] = row
+		s.minHOL[in] = best
+		return
+	}
+	occ := s.occIn[in*w : in*w+w]
+	row := s.minMask[in*w : in*w+w]
+	base := in * s.n
+	best := emptyHOL
+	for wi := 0; wi < w; wi++ {
+		cand := occ[wi]
+		bitsBase := wi << 6
+		for cand != 0 {
+			out := bitsBase + bits.TrailingZeros64(cand)
+			cand &= cand - 1
+			switch ts := s.holTS[base+out]; {
+			case ts < best:
+				best = ts
+				for i := 0; i <= wi; i++ {
+					row[i] = 0
+				}
+				row[wi] = 1 << uint(out&63)
+			case ts == best:
+				row[wi] |= 1 << uint(out&63)
+			}
+		}
+	}
+	s.minHOL[in] = best
 }
 
 // Arrive preprocesses a packet into the input buffers following
@@ -260,6 +362,7 @@ func (s *Switch) Arrive(p *cell.Packet) {
 		panic("core: arrival with empty destination set")
 	}
 	port := &s.ports[p.Input]
+	words := p.Dests.Words()
 	switch s.mode {
 	case ModeShared:
 		// A slotted switch receives at most one fixed-size packet per
@@ -272,17 +375,29 @@ func (s *Switch) Arrive(p *cell.Packet) {
 				p.Input, p.Arrival, port.lastArrival))
 		}
 		port.lastArrival = p.Arrival
-		data := port.newDataCell(p, fanout)
+		data := s.arena.allocData(p, int32(fanout))
 		port.dataCells++
-		p.Dests.ForEach(func(out int) {
-			s.pushCell(p.Input, out, port.newAddressCell(p.Arrival, data, out))
-		})
+		s.totalData++
+		for wi, wv := range words {
+			base := wi << 6
+			for wv != 0 {
+				out := base + bits.TrailingZeros64(wv)
+				wv &= wv - 1
+				s.pushCell(p.Input, out, p.Arrival, data)
+			}
+		}
 	case ModeCopied:
-		p.Dests.ForEach(func(out int) {
-			data := port.newDataCell(p, 1)
-			port.dataCells++
-			s.pushCell(p.Input, out, port.newAddressCell(p.Arrival, data, out))
-		})
+		for wi, wv := range words {
+			base := wi << 6
+			for wv != 0 {
+				out := base + bits.TrailingZeros64(wv)
+				wv &= wv - 1
+				data := s.arena.allocData(p, 1)
+				port.dataCells++
+				s.totalData++
+				s.pushCell(p.Input, out, p.Arrival, data)
+			}
+		}
 	default:
 		panic("core: unknown preprocess mode")
 	}
@@ -313,25 +428,30 @@ func (s *Switch) observeArrival(p *cell.Packet, fanout int) {
 	}
 }
 
-// HOL returns the head-of-line address cell of input in's VOQ for
-// output out, or nil when that queue is empty. Arbiters read the
-// switch exclusively through this accessor.
-func (s *Switch) HOL(in, out int) *cell.AddressCell {
-	q := &s.ports[in].voqs[out]
-	if q.Empty() {
-		return nil
-	}
-	return q.Front()
-}
-
 // VOQLen returns the length of input in's VOQ for output out.
-func (s *Switch) VOQLen(in, out int) int { return s.ports[in].voqs[out].Len() }
+func (s *Switch) VOQLen(in, out int) int { return int(s.arena.rings[in*s.n+out].size) }
 
 // HOLTime returns the cached HOL time stamp of VOQ(in,out), or
-// emptyHOL (math.MaxInt64, greater than any real arrival slot) when the
-// queue is empty. It is the branch-free flat-array counterpart of HOL
-// for kernels that only need the stamp, not the cell.
+// EmptyHOL (math.MaxInt64, greater than any real arrival slot) when
+// the queue is empty. Arbiters and inspectors read the queue heads
+// exclusively through this accessor and HOLDataRef.
 func (s *Switch) HOLTime(in, out int) int64 { return s.holTS[in*s.n+out] }
+
+// HOLDataRef returns the data-slab index referenced by the HOL address
+// cell of VOQ(in,out), or -1 when the queue is empty. Two HOL cells
+// reference the same stored payload exactly when their refs are equal
+// — the observable form of ModeShared's data-cell sharing.
+func (s *Switch) HOLDataRef(in, out int) int32 {
+	q := &s.arena.rings[in*s.n+out]
+	if q.size == 0 {
+		return -1
+	}
+	return q.front().data
+}
+
+// DataFanout returns the live fanout counter of the data-slab entry
+// ref (as returned by HOLDataRef): the number of copies still owed.
+func (s *Switch) DataFanout(ref int32) int { return int(s.arena.dFan[ref]) }
 
 // OccInWords returns input in's VOQ-occupancy bitmap over outputs: bit
 // out&63 of word out>>6 is set exactly when VOQ(in,out) is non-empty.
@@ -354,13 +474,7 @@ func (s *Switch) OccOutWords(out int) []uint64 {
 // post-transmission processing. Every transferred copy is reported
 // through deliver.
 func (s *Switch) Step(slot int64, deliver func(cell.Delivery)) {
-	anyQueued := false
-	for i := range s.ports {
-		if s.ports[i].addrCells > 0 {
-			anyQueued = true
-			break
-		}
-	}
+	anyQueued := s.totalAddr > 0
 
 	s.match.Clear()
 	if anyQueued {
@@ -374,11 +488,16 @@ func (s *Switch) Step(slot int64, deliver func(cell.Delivery)) {
 	}
 	s.lastRounds = s.match.Rounds
 
-	// Set the crosspoints (validates one-driver-per-output).
+	// Set the crosspoints (validates one-driver-per-output). Only the
+	// inputs granted last slot have non-empty grantsByIn entries, so
+	// resetting just those beats an O(N) sweep; the transmission loop
+	// below still iterates inputs in ascending order, which fixes the
+	// delivery order the golden streams pin.
 	s.cfg.Reset()
-	for in := range s.grantsByIn {
+	for _, in := range s.usedIns {
 		s.grantsByIn[in] = s.grantsByIn[in][:0]
 	}
+	s.usedIns = s.usedIns[:0]
 	for out, in := range s.match.OutIn {
 		if in == None {
 			continue
@@ -387,72 +506,81 @@ func (s *Switch) Step(slot int64, deliver func(cell.Delivery)) {
 			panic(fmt.Sprintf("core: arbiter granted invalid input %d", in))
 		}
 		s.cfg.Connect(in, out)
+		if len(s.grantsByIn[in]) == 0 {
+			s.usedIns = append(s.usedIns, in)
+		}
 		s.grantsByIn[in] = append(s.grantsByIn[in], out)
 	}
 	s.fabric.Apply(s.cfg)
 
 	// Data transmission and post-transmission processing (Table 2).
+	a := s.arena
 	for in, outs := range s.grantsByIn {
 		if len(outs) == 0 {
 			continue
 		}
 		port := &s.ports[in]
-		var data *cell.DataCell
+		dataRef := int32(-1)
 		for _, out := range outs {
-			if port.voqs[out].Empty() {
+			if a.rings[in*s.n+out].size == 0 {
 				panic(fmt.Sprintf("core: grant for empty VOQ (%d,%d)", in, out))
 			}
-			ac := s.popCell(in, out)
+			c := s.popCell(in, out)
 			switch s.mode {
 			case ModeShared:
 				// Invariant (Section III.B): every address cell an input
 				// sends in one slot must point at the same data cell,
 				// because the crossbar can replicate only one cell.
-				if data == nil {
-					data = ac.Data
-				} else if data != ac.Data {
+				if dataRef < 0 {
+					dataRef = c.data
+				} else if dataRef != c.data {
 					panic(fmt.Sprintf("core: arbiter %s granted two data cells to input %d in one slot",
 						s.arbiter.Name(), in))
 				}
 			case ModeCopied:
 				// Independent unicast copies: at most one grant per input.
-				if data != nil {
+				if dataRef >= 0 {
 					panic(fmt.Sprintf("core: copied-mode arbiter %s granted input %d twice", s.arbiter.Name(), in))
 				}
-				data = ac.Data
+				dataRef = c.data
 			}
 			// In ModeShared the data cell is exhausted exactly when the
 			// packet's last copy leaves; in ModeCopied each copy has a
 			// private fanout-1 data cell, so Last is per-cell and packet
 			// completion is tracked by the statistics layer.
-			last := ac.Data.Served()
+			a.dFan[c.data]--
+			last := a.dFan[c.data] == 0
+			pkt := a.dPkt[c.data]
 			if last {
 				port.dataCells--
+				s.totalData--
 			}
-			deliver(cell.Delivery{ID: ac.Data.Packet.ID, In: in, Out: out, Slot: slot, Last: last})
+			deliver(cell.Delivery{ID: pkt.ID, In: in, Out: out, Slot: slot, Last: last})
 			if s.obs != nil {
-				s.observeDeparture(slot, in, out, ac, last)
+				s.observeDeparture(slot, in, out, c.ts, pkt.ID, last)
 			}
-			// The delivery is out the door; recycle the cells. The data
-			// cell is recycled only on its last copy (in ModeShared its
-			// siblings in this very loop still point at it until then).
+			// The delivery is out the door; the data slab entry is
+			// recycled on its last copy (in ModeShared its siblings in
+			// this very loop still reference it until then), and in
+			// shared mode the packet itself is handed back for reuse —
+			// the slab entry was its last internal reference.
 			if last {
-				d := ac.Data
-				d.Packet, d.FanoutCounter = nil, 0
-				port.freeData = append(port.freeData, d)
+				a.freeData(c.data)
+				if s.release != nil && s.mode == ModeShared {
+					s.release(pkt)
+				}
 			}
-			ac.Data = nil
-			port.freeAddr = append(port.freeAddr, ac)
 		}
 		// Fanout splitting (Section III): the packet's data cell still
 		// has unserved destinations after this slot's copies left, so
 		// its residue stays queued and competes again — an event only
 		// contention can cause, hence worth tracing.
-		if s.obs != nil && s.mode == ModeShared && data != nil && data.FanoutCounter > 0 {
+		if s.obs != nil && s.mode == ModeShared && dataRef >= 0 && a.dFan[dataRef] > 0 {
 			if s.obs.TraceOn() {
+				pkt := a.dPkt[dataRef]
 				s.obs.Trace.Emit(obs.Event{
 					Slot: slot, Type: obs.EvFanoutSplit, In: int32(in), Out: -1, Round: -1,
-					Aux: int32(data.FanoutCounter), TS: data.Packet.Arrival, Packet: int64(data.Packet.ID),
+					Aux: int32(a.dFan[dataRef]), TS: pkt.Arrival, Packet: int64(pkt.ID),
 				})
 			}
 			s.cSplits.Inc()
@@ -461,9 +589,9 @@ func (s *Switch) Step(slot int64, deliver func(cell.Delivery)) {
 }
 
 // observeDeparture records one delivered copy; only called with an
-// observer attached. ac is the just-popped address cell (its Data
-// pointer is still live).
-func (s *Switch) observeDeparture(slot int64, in, out int, ac *cell.AddressCell, last bool) {
+// observer attached. ts and id identify the just-popped address cell's
+// stamp and packet.
+func (s *Switch) observeDeparture(slot int64, in, out int, ts int64, id cell.PacketID, last bool) {
 	if s.obs.TraceOn() {
 		aux := int32(0)
 		if last {
@@ -471,7 +599,7 @@ func (s *Switch) observeDeparture(slot int64, in, out int, ac *cell.AddressCell,
 		}
 		s.obs.Trace.Emit(obs.Event{
 			Slot: slot, Type: obs.EvDeparture, In: int32(in), Out: int32(out),
-			Round: -1, Aux: aux, TS: ac.TimeStamp, Packet: int64(ac.Data.Packet.ID),
+			Round: -1, Aux: aux, TS: ts, Packet: int64(id),
 		})
 	}
 	s.cDepartures.Inc()
@@ -506,24 +634,25 @@ func (s *Switch) QueueSizes(dst []int) []int {
 
 // BufferedCells returns the total number of data cells buffered across
 // all input ports; the engine uses it for instability detection.
-func (s *Switch) BufferedCells() int64 {
-	var total int64
-	for i := range s.ports {
-		total += int64(s.ports[i].dataCells)
-	}
-	return total
-}
+func (s *Switch) BufferedCells() int64 { return s.totalData }
 
 // BufferedAddressCells returns the total address cells across all
 // VOQs, the additional (small) space cost the queue structure pays for
 // multicast support (Section IV.B).
-func (s *Switch) BufferedAddressCells() int64 {
-	var total int64
-	for i := range s.ports {
-		total += int64(s.ports[i].addrCells)
-	}
-	return total
-}
+func (s *Switch) BufferedAddressCells() int64 { return s.totalAddr }
+
+// SetReleaseHook registers fn to receive each packet as soon as the
+// switch drops its last reference to it: in ModeShared that is the
+// moment the data-slab entry is freed after the delivery of the final
+// copy. The switch never touches the packet (or its destination set)
+// again, so the receiver may recycle it — the engine pools packets
+// this way to keep the steady-state slot loop allocation-free. In
+// ModeCopied the per-destination slab entries share one packet and the
+// hook never fires. Wrappers that retain packets beyond delivery (the
+// invariant checker keeps them for conservation accounting)
+// deliberately do not forward this method, which disables recycling
+// under them.
+func (s *Switch) SetReleaseHook(fn func(*cell.Packet)) { s.release = fn }
 
 // BufferedBytes returns the total buffer memory in use across the
 // input ports under Section IV.B's accounting: one PayloadSize-byte

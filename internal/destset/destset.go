@@ -149,6 +149,15 @@ func (s *Set) SubtractWith(o *Set) {
 	}
 }
 
+// CopyFrom replaces s's members with o's. The universes must match.
+// Unlike Clone it writes into existing storage, so steady-state copies
+// (the burst source replaying its per-burst set every on-slot) stay
+// allocation-free.
+func (s *Set) CopyFrom(o *Set) {
+	s.sameUniverse(o)
+	copy(s.words, o.words)
+}
+
 func (s *Set) sameUniverse(o *Set) {
 	if s.n != o.n {
 		panic(fmt.Sprintf("destset: universe mismatch %d vs %d", s.n, o.n))

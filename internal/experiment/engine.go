@@ -1,0 +1,162 @@
+package experiment
+
+import (
+	"context"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"voqsim/internal/core"
+	"voqsim/internal/switchsim"
+)
+
+// The sharded run engine behind Sweep.Run and Replicate. Both fan a
+// set of independent simulations — grid points, replications — out
+// over a worker pool; the engine owns the scheduling so that:
+//
+//   - Work is balanced by stealing. Shards are dealt round-robin into
+//     one queue per worker, and a worker that drains its own queue
+//     claims from its neighbours'. Points differ wildly in cost (a
+//     saturated load simulates far more buffered cells per slot than a
+//     light one), so static partitioning would leave the pool idling
+//     behind one straggler.
+//   - Per-worker state is reused, not reallocated. Each worker carries
+//     a core.ArenaPool; a shard whose switch supports arena adoption
+//     runs on a recycled arena, so ring buffers and slab capacity grown
+//     by one point carry over to the next instead of being rebuilt from
+//     cold for every (algorithm, load) cell.
+//   - Completion streams. Every finished shard produces one Progress
+//     event (serialized under a lock, so sinks may write to a
+//     terminal) carrying completed/total counts, elapsed time and a
+//     naive proportional ETA.
+//
+// Scheduling never influences results: every shard derives its seeds
+// from its own coordinates, and each writes to its own result slot.
+
+// Progress describes the state of a sharded run after one more shard
+// completed. Events arrive from worker goroutines but are serialized:
+// a sink never runs concurrently with itself.
+type Progress struct {
+	Done    int           // shards completed so far, including this one
+	Total   int           // shards overall
+	Label   string        // the completed shard, e.g. "fifoms@0.9"
+	Elapsed time.Duration // since the run started
+	// ETA estimates the remaining wall time by extrapolating the mean
+	// cost of the completed shards. Early events over-trust the first
+	// few shards; it converges as the run progresses.
+	ETA time.Duration
+}
+
+// shardQueue is one worker's deal of the shard indices. next claims
+// entries with an atomic cursor, so the owner and stealing workers can
+// race on the same queue without locks; a queue whose cursor passed
+// its length is permanently empty.
+type shardQueue struct {
+	head   atomic.Int64
+	shards []int
+}
+
+func (q *shardQueue) next() (int, bool) {
+	for {
+		h := q.head.Load()
+		if int(h) >= len(q.shards) {
+			return 0, false
+		}
+		if q.head.CompareAndSwap(h, h+1) {
+			return q.shards[h], true
+		}
+	}
+}
+
+// runShards executes shards 0..total-1 on a pool of workers and blocks
+// until all complete. run is called once per shard — concurrently, so
+// it must write only shard-local state — and returns the shard's label
+// for progress reporting. The worker's arena pool is private to the
+// calling goroutine for the duration of the call.
+func runShards(workers, total int, progress func(Progress), run func(shard int, pool *core.ArenaPool) string) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+	if total <= 0 {
+		return
+	}
+
+	queues := make([]shardQueue, workers)
+	for i := 0; i < total; i++ {
+		q := &queues[i%workers]
+		q.shards = append(q.shards, i)
+	}
+
+	start := time.Now()
+	var done atomic.Int64
+	var progressMu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			pool := &core.ArenaPool{}
+			for {
+				shard, ok := queues[self].next()
+				for off := 1; !ok && off < workers; off++ {
+					shard, ok = queues[(self+off)%workers].next()
+				}
+				if !ok {
+					return
+				}
+				label := run(shard, pool)
+				if progress == nil {
+					continue
+				}
+				d := done.Add(1)
+				elapsed := time.Since(start)
+				var eta time.Duration
+				if rem := int64(total) - d; rem > 0 {
+					eta = elapsed / time.Duration(d) * time.Duration(rem)
+				}
+				progressMu.Lock()
+				progress(Progress{
+					Done:    int(d),
+					Total:   total,
+					Label:   label,
+					Elapsed: elapsed,
+					ETA:     eta,
+				})
+				progressMu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// withPointLabels runs fn under pprof labels identifying the shard, so
+// a CPU profile of a sweep attributes samples to (sweep, algorithm,
+// load) — `go tool pprof -tagfocus` then isolates one point.
+func withPointLabels(sweep, algo, load string, fn func()) {
+	pprof.Do(context.Background(), pprof.Labels(
+		"sweep", sweep, "algorithm", algo, "load", load,
+	), func(context.Context) { fn() })
+}
+
+// adoptPooledArena swaps a recycled arena into sw when the underlying
+// switch supports adoption (it is pristine and the sizes match). The
+// returned release function hands the arena back to the pool once the
+// run is over; it must be called exactly once, after the switch's last
+// use.
+func adoptPooledArena(sw switchsim.Switch, n int, pool *core.ArenaPool) (release func()) {
+	cs, ok := sw.(*core.Switch)
+	if !ok || pool == nil {
+		return func() {}
+	}
+	a := pool.Get(n)
+	if !cs.AdoptArena(a) {
+		pool.Put(a)
+		return func() {}
+	}
+	return func() { pool.Put(cs.ReleaseArena()) }
+}

@@ -3,9 +3,8 @@ package experiment
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
+	"voqsim/internal/core"
 	"voqsim/internal/stats"
 	"voqsim/internal/switchsim"
 	"voqsim/internal/xrand"
@@ -100,27 +99,20 @@ func Replicate(cfg ReplicateConfig) (*ReplicateSummary, error) {
 		return nil, err
 	}
 
+	// Replications are shards of the same engine that runs sweeps: each
+	// derives its seed from its own index, so results are independent
+	// of worker count and scheduling order.
 	runs := make([]switchsim.Results, cfg.Replications)
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for rep := 0; rep < cfg.Replications; rep++ {
-		wg.Add(1)
-		go func(rep int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			seed := cfg.Seed ^ (uint64(rep)+1)*0xbf58476d1ce4e5b9
-			sw := cfg.Algorithm.New(cfg.N, xrand.New(seed).Split("switch", 0))
-			runs[rep] = switchsim.New(sw, pat,
-				switchsim.Config{Slots: cfg.Slots, Seed: seed},
-				xrand.New(seed).Split("traffic", 0)).Run(cfg.Algorithm.Name)
-		}(rep)
-	}
-	wg.Wait()
+	runShards(cfg.Workers, cfg.Replications, nil, func(rep int, pool *core.ArenaPool) string {
+		seed := cfg.Seed ^ (uint64(rep)+1)*0xbf58476d1ce4e5b9
+		sw := cfg.Algorithm.New(cfg.N, xrand.New(seed).Split("switch", 0))
+		release := adoptPooledArena(sw, cfg.N, pool)
+		runs[rep] = switchsim.New(sw, pat,
+			switchsim.Config{Slots: cfg.Slots, Seed: seed},
+			xrand.New(seed).Split("traffic", 0)).Run(cfg.Algorithm.Name)
+		release()
+		return fmt.Sprintf("%s rep %d", cfg.Algorithm.Name, rep)
+	})
 
 	sum := &ReplicateSummary{Algorithm: cfg.Algorithm.Name, Load: cfg.Load, Runs: runs}
 	var in, out, q stats.Welford

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"voqsim/internal/core"
 	"voqsim/internal/switchsim"
 	"voqsim/internal/traffic"
 )
@@ -43,7 +44,7 @@ func (s *Sweep) pointPaths(ai, li int) (doneFile, snapFile string) {
 
 // runPointResumable is runPoint with the checkpoint protocol around
 // the simulation.
-func (s *Sweep) runPointResumable(ai, li int, pt Point, pat traffic.Pattern) Point {
+func (s *Sweep) runPointResumable(ai, li int, pt Point, pat traffic.Pattern, pool *core.ArenaPool) Point {
 	algo := s.Algorithms[ai]
 	doneFile, snapFile := s.pointPaths(ai, li)
 
@@ -55,14 +56,17 @@ func (s *Sweep) runPointResumable(ai, li int, pt Point, pat traffic.Pattern) Poi
 		// Unreadable finished point: fall through and re-run it.
 	}
 
-	r, ck := s.pointRunner(ai, li, pat)
+	r, ck, release := s.pointRunner(ai, li, pat, pool)
 	if blob, err := os.ReadFile(snapFile); err == nil {
 		if err := r.Restore(algo.Name, blob); err != nil {
 			// A failed restore may leave the runner partially loaded;
-			// rebuild it and run the point from slot 0.
-			r, ck = s.pointRunner(ai, li, pat)
+			// rebuild it — recycling the arena, which Get resets — and
+			// run the point from slot 0.
+			release()
+			r, ck, release = s.pointRunner(ai, li, pat, pool)
 		}
 	}
+	defer release()
 
 	// Architectures without snapshot support still participate in a
 	// resumable sweep: their points run whole and are saved as finished

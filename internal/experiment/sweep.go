@@ -3,10 +3,10 @@ package experiment
 import (
 	"fmt"
 	"os"
-	"runtime"
-	"sync"
+	"strconv"
 
 	invcheck "voqsim/internal/check"
+	"voqsim/internal/core"
 	"voqsim/internal/switchsim"
 	"voqsim/internal/traffic"
 	"voqsim/internal/xrand"
@@ -47,6 +47,11 @@ type Sweep struct {
 	// a tenth of the point's slot budget). Only used with
 	// CheckpointDir.
 	CheckpointEvery int64
+	// Progress, when non-nil, receives one event per completed grid
+	// point (see the Progress type). Events are serialized and carry
+	// running ETA, so a sink may render them straight to a terminal.
+	// Reporting never affects results or their determinism.
+	Progress func(Progress)
 }
 
 // Point is one measured (algorithm, load) grid cell.
@@ -68,19 +73,17 @@ type Table struct {
 	Points [][]Point `json:"points"`
 }
 
-// Run executes every (algorithm, load) point of the sweep on a worker
-// pool and returns the assembled table. Results are deterministic for
-// a fixed Sweep regardless of worker count.
+// Run executes every (algorithm, load) point of the sweep on the
+// sharded engine (see engine.go) and returns the assembled table.
+// Results are deterministic for a fixed Sweep regardless of worker
+// count: every point derives its seeds from its grid coordinates and
+// writes only its own table cell.
 func (s *Sweep) Run() (*Table, error) {
 	if s.N <= 0 {
 		return nil, fmt.Errorf("experiment: sweep %q has no switch size", s.Name)
 	}
 	if len(s.Loads) == 0 || len(s.Algorithms) == 0 {
 		return nil, fmt.Errorf("experiment: sweep %q has an empty grid", s.Name)
-	}
-	workers := s.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
 	}
 	if s.CheckpointDir != "" {
 		if err := os.MkdirAll(s.CheckpointDir, 0o755); err != nil {
@@ -95,25 +98,15 @@ func (s *Sweep) Run() (*Table, error) {
 		tbl.Points[i] = make([]Point, len(s.Loads))
 	}
 
-	type job struct{ ai, li int }
-	jobs := make(chan job)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				tbl.Points[j.ai][j.li] = s.runPoint(j.ai, j.li)
-			}
-		}()
-	}
-	for ai := range s.Algorithms {
-		for li := range s.Loads {
-			jobs <- job{ai, li}
-		}
-	}
-	close(jobs)
-	wg.Wait()
+	total := len(s.Algorithms) * len(s.Loads)
+	runShards(s.Workers, total, s.Progress, func(shard int, pool *core.ArenaPool) string {
+		ai, li := shard/len(s.Loads), shard%len(s.Loads)
+		load := strconv.FormatFloat(s.Loads[li], 'g', -1, 64)
+		withPointLabels(s.Name, s.Algorithms[ai].Name, load, func() {
+			tbl.Points[ai][li] = s.runPoint(ai, li, pool)
+		})
+		return s.Algorithms[ai].Name + "@" + load
+	})
 	return tbl, nil
 }
 
@@ -121,7 +114,7 @@ func (s *Sweep) Run() (*Table, error) {
 // seed with the grid coordinates so that (a) every point is
 // independent and (b) re-running the sweep — with any worker count —
 // reproduces it exactly.
-func (s *Sweep) runPoint(ai, li int) Point {
+func (s *Sweep) runPoint(ai, li int, pool *core.ArenaPool) Point {
 	algo := s.Algorithms[ai]
 	load := s.Loads[li]
 	pt := Point{Algorithm: algo.Name, Load: load}
@@ -133,10 +126,11 @@ func (s *Sweep) runPoint(ai, li int) Point {
 	}
 
 	if s.CheckpointDir != "" {
-		return s.runPointResumable(ai, li, pt, pat)
+		return s.runPointResumable(ai, li, pt, pat, pool)
 	}
-	r, ck := s.pointRunner(ai, li, pat)
+	r, ck, release := s.pointRunner(ai, li, pat, pool)
 	pt.Results = r.Run(algo.Name)
+	release()
 	if ck != nil {
 		if err := ck.Err(); err != nil {
 			pt.CheckError = err.Error()
@@ -146,22 +140,26 @@ func (s *Sweep) runPoint(ai, li int) Point {
 }
 
 // pointRunner builds the runner of one grid cell, wrapped in the
-// invariant checker when the sweep asks for checking. The point seed
-// mixes the sweep seed with the grid coordinates; the derivation is
-// pinned — checkpoint blobs embed the derived seed, so changing it
-// would orphan every saved checkpoint.
-func (s *Sweep) pointRunner(ai, li int, pat traffic.Pattern) (*switchsim.Runner, *invcheck.Checker) {
+// invariant checker when the sweep asks for checking, running on a
+// recycled arena when the worker's pool has one. The release function
+// must be called once the run is over. The point seed mixes the sweep
+// seed with the grid coordinates; the derivation is pinned —
+// checkpoint blobs embed the derived seed, so changing it would orphan
+// every saved checkpoint.
+func (s *Sweep) pointRunner(ai, li int, pat traffic.Pattern, pool *core.ArenaPool) (*switchsim.Runner, *invcheck.Checker, func()) {
 	algo := s.Algorithms[ai]
 	seed := s.Seed ^ (uint64(ai)+1)*0x9e3779b97f4a7c15 ^ (uint64(li)+1)*0xd6e8feb86659fd93
 	trafficRoot := xrand.New(seed).Split("run-traffic", 0)
 	switchRoot := xrand.New(seed).Split("run-switch", 0)
 
 	sw := algo.New(s.N, switchRoot)
+	release := adoptPooledArena(sw, s.N, pool)
 	cfg := switchsim.Config{Slots: s.Slots, Seed: seed, UnstableCellLimit: s.UnstableCap}
 	if s.Check {
-		return switchsim.NewChecked(sw, pat, cfg, trafficRoot, invcheck.Options{})
+		r, ck := switchsim.NewChecked(sw, pat, cfg, trafficRoot, invcheck.Options{})
+		return r, ck, release
 	}
-	return switchsim.New(sw, pat, cfg, trafficRoot), nil
+	return switchsim.New(sw, pat, cfg, trafficRoot), nil, release
 }
 
 // CheckFailures lists every point of a checked sweep that drew an

@@ -1,0 +1,56 @@
+package experiment
+
+// Whole-sweep benchmark for the sharded sweep engine: many short
+// points over a worker pool, reporting aggregate simulated slots per
+// second. Together with BenchmarkSlot in internal/switchsim it backs
+// the end-to-end numbers in BENCH_e2e.json.
+
+import (
+	"fmt"
+	"testing"
+
+	"voqsim/internal/traffic"
+)
+
+// benchSweep builds the standard sweep workload of the end-to-end
+// suite: FIFOMS and iSLIP over six loads on a 16-port switch, short
+// points so one sweep is tens of milliseconds.
+func benchSweep(workers int) *Sweep {
+	return &Sweep{
+		Name:  "bench",
+		N:     16,
+		Loads: []float64{0.3, 0.5, 0.6, 0.7, 0.8, 0.9},
+		Pattern: func(load float64, n int) (traffic.Pattern, error) {
+			return traffic.UniformAtLoad(load, 4, n)
+		},
+		Algorithms: []Algorithm{FIFOMS, ISLIP},
+		Slots:      2_000,
+		Seed:       2004,
+		Workers:    workers,
+	}
+}
+
+// BenchmarkSweep measures aggregate sweep throughput at 1, 4 and 8
+// workers. On a k-core host throughput saturates at k workers; the
+// recorded numbers state the host's core count.
+func BenchmarkSweep(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			s := benchSweep(workers)
+			slots := int64(0)
+			for i := 0; i < b.N; i++ {
+				tbl, err := s.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, row := range tbl.Points {
+					for _, pt := range row {
+						slots += pt.Results.Slots
+					}
+				}
+			}
+			b.ReportAllocs()
+			b.ReportMetric(float64(slots)/b.Elapsed().Seconds(), "slots/s")
+		})
+	}
+}

@@ -79,9 +79,9 @@ func (c *ControlUnit) Match(s *core.Switch, _ int64, _ *xrand.Rand, m *core.Matc
 				if !c.outputFree[out] {
 					continue
 				}
-				if hol := s.HOL(in, out); hol != nil {
+				if ts := s.HOLTime(in, out); ts != core.EmptyHOL {
 					valid[out] = true
-					values[out] = hol.TimeStamp
+					values[out] = ts
 				}
 			}
 			r := TreeMin(values, valid)
@@ -104,9 +104,9 @@ func (c *ControlUnit) Match(s *core.Switch, _ int64, _ *xrand.Rand, m *core.Matc
 				if c.minTS[in] < 0 {
 					continue
 				}
-				if hol := s.HOL(in, out); hol != nil && hol.TimeStamp == c.minTS[in] {
+				if ts := s.HOLTime(in, out); ts == c.minTS[in] {
 					c.reqValid[in] = true
-					c.reqTS[in] = hol.TimeStamp
+					c.reqTS[in] = ts
 				}
 			}
 			r := TreeMin(c.reqTS, c.reqValid)

@@ -92,7 +92,7 @@ func (a *Arbiter) Match(s *core.Switch, _ int64, r *xrand.Rand, m *core.Matching
 				}
 				if l := s.VOQLen(in, out); l > bestLen {
 					bestLen = l
-					a.chosenTS[in] = s.HOL(in, out).TimeStamp
+					a.chosenTS[in] = s.HOLTime(in, out)
 				}
 			}
 		}
@@ -110,8 +110,7 @@ func (a *Arbiter) Match(s *core.Switch, _ int64, r *xrand.Rand, m *core.Matching
 				if a.chosenTS[in] < 0 {
 					continue
 				}
-				hol := s.HOL(in, out)
-				if hol == nil || hol.TimeStamp != a.chosenTS[in] {
+				if s.HOLTime(in, out) != a.chosenTS[in] {
 					continue // this input's packet has no cell here
 				}
 				l := s.VOQLen(in, out)

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"fmt"
+	"sort"
 
 	"voqsim/internal/cell"
 )
@@ -37,10 +38,10 @@ type DelayTracker struct {
 	// output's series separates from the cold ones.
 	perOutput []Welford
 
-	// outstanding maps packets with undelivered copies to their state.
-	// Completed packets are deleted, so the map size is bounded by the
-	// number of packets in flight, not the run length.
-	outstanding map[cell.PacketID]*packetState
+	// outstanding holds packets with undelivered copies. Completed
+	// packets are removed, so its size is bounded by the number of
+	// packets in flight, not the run length.
+	outstanding pktWindow
 
 	delivered int64 // copies counted (post-warmup packets only)
 	completed int64 // packets fully delivered
@@ -53,13 +54,106 @@ type packetState struct {
 	maxDelay int64
 }
 
+// pktWindow is the in-flight packet table: open addressing over a
+// power-of-two entry array indexed by ID bits, no probing. Packet IDs
+// are issued sequentially and packets retire in roughly arrival order,
+// so the span of live IDs stays close to the in-flight count; while
+// the span is below the table length no two live IDs can share a slot,
+// and every operation is one indexed load. When the span does outgrow
+// the table (a collision on insert), the table doubles — the same
+// amortized growth a map would pay, without its hashing or bucket
+// chasing on the per-copy Deliver path.
+type pktWindow struct {
+	entries []pktEntry
+	n       int // live entries
+}
+
+type pktEntry struct {
+	id   cell.PacketID
+	st   packetState
+	live bool
+}
+
+// lookup returns the live entry for id, or nil.
+func (w *pktWindow) lookup(id cell.PacketID) *pktEntry {
+	if len(w.entries) == 0 {
+		return nil
+	}
+	e := &w.entries[uint64(id)&uint64(len(w.entries)-1)]
+	if !e.live || e.id != id {
+		return nil
+	}
+	return e
+}
+
+// ensure returns the entry for id — inserting a live one if absent,
+// growing the table as needed — and whether id was already live. The
+// returned pointer is invalidated by the next ensure call.
+func (w *pktWindow) ensure(id cell.PacketID) (*pktEntry, bool) {
+	for {
+		if len(w.entries) == 0 {
+			w.entries = make([]pktEntry, 256)
+		}
+		e := &w.entries[uint64(id)&uint64(len(w.entries)-1)]
+		if e.live {
+			if e.id == id {
+				return e, true
+			}
+			w.grow()
+			continue
+		}
+		e.id, e.st, e.live = id, packetState{}, true
+		w.n++
+		return e, false
+	}
+}
+
+// release frees an entry obtained from lookup or ensure.
+func (w *pktWindow) release(e *pktEntry) {
+	e.live = false
+	w.n--
+}
+
+// grow rehashes into a table at least twice as large, doubling further
+// until every live ID lands in its own slot.
+func (w *pktWindow) grow() {
+	newLen := 2 * len(w.entries)
+rehash:
+	for {
+		next := make([]pktEntry, newLen)
+		mask := uint64(newLen - 1)
+		for i := range w.entries {
+			e := w.entries[i]
+			if !e.live {
+				continue
+			}
+			d := &next[uint64(e.id)&mask]
+			if d.live {
+				newLen *= 2
+				continue rehash
+			}
+			*d = e
+		}
+		w.entries = next
+		return
+	}
+}
+
+// liveIDs appends every live packet ID in ascending order.
+func (w *pktWindow) liveIDs(dst []cell.PacketID) []cell.PacketID {
+	for i := range w.entries {
+		if w.entries[i].live {
+			dst = append(dst, w.entries[i].id)
+		}
+	}
+	sort.Slice(dst, func(i, j int) bool { return dst[i] < dst[j] })
+	return dst
+}
+
 // NewDelayTracker returns a tracker counting packets that arrive at or
 // after slot measureFrom.
 func NewDelayTracker(measureFrom int64) *DelayTracker {
-	return &DelayTracker{
-		measureFrom: measureFrom,
-		outstanding: make(map[cell.PacketID]*packetState),
-	}
+	return &DelayTracker{measureFrom: measureFrom}
 }
 
 // Arrive registers a packet arrival. Packets arriving before the
@@ -68,11 +162,12 @@ func (t *DelayTracker) Arrive(p *cell.Packet) {
 	if p.Arrival < t.measureFrom {
 		return
 	}
-	if _, dup := t.outstanding[p.ID]; dup {
+	e, dup := t.outstanding.ensure(p.ID)
+	if dup {
 		panic(fmt.Sprintf("stats: duplicate arrival of packet %d", p.ID))
 	}
 	fanout := p.Fanout()
-	t.outstanding[p.ID] = &packetState{arrival: p.Arrival, fanout: fanout, remain: fanout}
+	e.st = packetState{arrival: p.Arrival, fanout: fanout, remain: fanout}
 }
 
 // Deliver registers the delivery of one copy. Deliveries of unknown
@@ -80,10 +175,11 @@ func (t *DelayTracker) Arrive(p *cell.Packet) {
 // packet's fanout panics, because it means a scheduler duplicated or
 // fabricated a copy.
 func (t *DelayTracker) Deliver(d cell.Delivery) {
-	st, ok := t.outstanding[d.ID]
-	if !ok {
+	e := t.outstanding.lookup(d.ID)
+	if e == nil {
 		return
 	}
+	st := &e.st
 	delay := d.CopyDelay(st.arrival)
 	if delay < 1 {
 		panic(fmt.Sprintf("stats: packet %d delivered before arrival (delay %d)", d.ID, delay))
@@ -111,7 +207,7 @@ func (t *DelayTracker) Deliver(d cell.Delivery) {
 			t.multiIn.Add(float64(st.maxDelay))
 		}
 		t.completed++
-		delete(t.outstanding, d.ID)
+		t.outstanding.release(e)
 	}
 }
 
@@ -157,7 +253,7 @@ func (t *DelayTracker) DeliveredCopies() int64 { return t.delivered }
 
 // InFlight returns the number of tracked packets not yet fully
 // delivered.
-func (t *DelayTracker) InFlight() int { return len(t.outstanding) }
+func (t *DelayTracker) InFlight() int { return t.outstanding.n }
 
 // Occupancy samples per-port queue sizes once per measured slot and
 // tracks their running mean (over slots x ports, the paper's "average

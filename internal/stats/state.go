@@ -1,8 +1,6 @@
 package stats
 
 import (
-	"sort"
-
 	"voqsim/internal/cell"
 	"voqsim/internal/snap"
 )
@@ -96,14 +94,10 @@ func (t *DelayTracker) SaveState(sw *snap.Writer) {
 	for i := range t.perOutput {
 		t.perOutput[i].SaveState(sw)
 	}
-	ids := make([]cell.PacketID, 0, len(t.outstanding))
-	for id := range t.outstanding {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	ids := t.outstanding.liveIDs(make([]cell.PacketID, 0, t.outstanding.n))
 	sw.Count(len(ids))
 	for _, id := range ids {
-		st := t.outstanding[id]
+		st := t.outstanding.lookup(id).st
 		sw.I64(int64(id))
 		sw.I64(st.arrival)
 		sw.Int(st.fanout)
@@ -143,10 +137,10 @@ func (t *DelayTracker) LoadState(r *snap.Reader) error {
 		}
 	}
 	nPkts := r.Count(8 * 5)
-	t.outstanding = make(map[cell.PacketID]*packetState, nPkts)
+	t.outstanding = pktWindow{}
 	for i := 0; i < nPkts; i++ {
 		id := cell.PacketID(r.I64())
-		st := &packetState{
+		st := packetState{
 			arrival:  r.I64(),
 			fanout:   r.Int(),
 			remain:   r.Int(),
@@ -156,7 +150,7 @@ func (t *DelayTracker) LoadState(r *snap.Reader) error {
 			return r.Err()
 		}
 		if st.remain < 1 || st.fanout < st.remain || st.arrival < 0 || st.maxDelay < 0 {
-			r.Failf("outstanding packet %d has impossible state %+v", id, *st)
+			r.Failf("outstanding packet %d has impossible state %+v", id, st)
 			return r.Err()
 		}
 		if st.arrival >= r.NextSlot() {
@@ -165,11 +159,12 @@ func (t *DelayTracker) LoadState(r *snap.Reader) error {
 			r.Failf("outstanding packet %d arrival %d at or past resume slot %d", id, st.arrival, r.NextSlot())
 			return r.Err()
 		}
-		if _, dup := t.outstanding[id]; dup {
+		e, dup := t.outstanding.ensure(id)
+		if dup {
 			r.Failf("outstanding packet %d appears twice", id)
 			return r.Err()
 		}
-		t.outstanding[id] = st
+		e.st = st
 	}
 	t.delivered = r.I64()
 	t.completed = r.I64()

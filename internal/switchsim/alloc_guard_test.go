@@ -1,0 +1,34 @@
+package switchsim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestSlotZeroAllocs guards the whole steady-state slot loop — traffic
+// generation, preprocessing, arbitration, transfer, delivery recording
+// and statistics, with obs/check off — at the sizes BENCH_e2e.json
+// quotes. The arena, the pooled packets and the tracker's in-flight
+// window make a warm slot allocation-free; any regression here puts GC
+// pressure back into every sweep.
+func TestSlotZeroAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed guard")
+	}
+	for _, n := range []int{64, 128} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			res := testing.Benchmark(func(b *testing.B) { benchSlot(b, n) })
+			if a := res.AllocsPerOp(); a != 0 {
+				t.Fatalf("steady-state slot at n=%d: %d allocs/op (%d B/op), want 0",
+					n, a, res.AllocedBytesPerOp())
+			}
+			// A handful of bytes/op can legitimately appear from amortized
+			// ring growth while the backlog still drifts; whole allocations
+			// per op may not. Keep a small ceiling on the bytes too so a
+			// genuine per-slot allocation cannot hide below 1 alloc/op.
+			if bytes := res.AllocedBytesPerOp(); bytes > 16 {
+				t.Fatalf("steady-state slot at n=%d: %d B/op, want <= 16", n, bytes)
+			}
+		})
+	}
+}

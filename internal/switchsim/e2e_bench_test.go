@@ -1,0 +1,56 @@
+package switchsim
+
+// End-to-end slot-pipeline benchmarks (DESIGN.md §11): unlike the
+// match-kernel matrix in internal/core, these measure a whole steady
+// -state slot — traffic generation, preprocessing, arbitration,
+// transfer, delivery recording and statistics — which is what a sweep
+// actually pays per slot. Headline numbers are recorded in
+// BENCH_e2e.json at the repo root.
+
+import (
+	"fmt"
+	"testing"
+
+	"voqsim/internal/core"
+	"voqsim/internal/traffic"
+	"voqsim/internal/xrand"
+)
+
+// slotBenchRunner builds a FIFOMS runner at the standard operating
+// point of the end-to-end suite: uniform traffic, maxFanout 4,
+// effective load 0.9 — stable under FIFOMS but busy nearly every slot.
+func slotBenchRunner(n int, slots int64) *Runner {
+	pat := traffic.Uniform{P: 2 * 0.9 / (1 + 4), MaxFanout: 4} // load 0.9
+	sw := core.NewSwitch(n, &core.FIFOMS{}, xrand.New(7).Split("switch", 0))
+	cfg := Config{Slots: slots, WarmupFrac: -1, Seed: 7}
+	return New(sw, pat, cfg, xrand.New(7).Split("traffic", 0))
+}
+
+// benchSlot measures the steady-state per-slot cost: the switch is
+// warmed into its stationary backlog outside the timer, then each
+// iteration simulates exactly one slot including statistics updates.
+func benchSlot(b *testing.B, n int) {
+	b.Helper()
+	r := slotBenchRunner(n, int64(b.N)+warmSlots+1)
+	for slot := int64(0); slot < warmSlots; slot++ {
+		r.tick(slot, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.tick(warmSlots+int64(i), 0)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "slots/s")
+}
+
+// warmSlots is enough for the 0.9-load backlog to reach steady state.
+const warmSlots = 2000
+
+// BenchmarkSlot is the end-to-end steady-state slot cost at N ∈
+// {16, 64, 128} under uniform maxFanout-4 traffic at load 0.9.
+func BenchmarkSlot(b *testing.B) {
+	for _, n := range []int{16, 64, 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchSlot(b, n) })
+	}
+}

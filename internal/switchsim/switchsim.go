@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"voqsim/internal/cell"
+	"voqsim/internal/destset"
 	"voqsim/internal/obs"
 	"voqsim/internal/stats"
 	"voqsim/internal/traffic"
@@ -64,6 +65,18 @@ type BytesReporter interface {
 // eslip.Switch and wba.Switch.
 type Observable interface {
 	SetObserver(o *obs.Observer)
+}
+
+// PacketReleaser is implemented by switches that can hand back each
+// packet once they hold no reference to it — or to its destination
+// set — any more (core.Switch, after the last copy's data-slab entry
+// is freed). The engine registers its packet pool as the hook, making
+// the steady-state slot loop allocation-free. Wrappers that retain
+// packets beyond delivery (such as the invariant checker, which keeps
+// them for conservation accounting) must not forward the method; the
+// engine then simply never reuses a packet.
+type PacketReleaser interface {
+	SetReleaseHook(fn func(*cell.Packet))
 }
 
 // Config controls one simulation run.
@@ -196,6 +209,27 @@ type Runner struct {
 	peak    stats.MaxInt64
 	sizes   []int
 
+	// intoSources caches each source's optional zero-alloc interface;
+	// nil entries fall back to the allocating Next path.
+	intoSources []traffic.IntoSource
+
+	// rr and br cache the switch's optional reporter capabilities so
+	// the per-slot loop does no interface assertions.
+	rr RoundsReporter
+	br BytesReporter
+
+	// freePkts is the packet pool, fed by the switch's release hook
+	// (PacketReleaser) and drained by the arrival loop. Empty — and
+	// never refilled — for switches without the hook.
+	freePkts []*cell.Packet
+
+	// deliverFn is the persistent Step callback (a per-slot closure
+	// would heap-allocate); warmup and slotDelivered carry its per-call
+	// state.
+	deliverFn     func(cell.Delivery)
+	warmup        int64
+	slotDelivered int64
+
 	offeredPackets int64
 	offeredCopies  int64
 	delivered      int64
@@ -220,7 +254,7 @@ func New(sw Switch, pat traffic.Pattern, cfg Config, root *xrand.Rand) *Runner {
 	n := sw.Ports()
 	cfg = cfg.withDefaults(n)
 	warmup := int64(float64(cfg.Slots) * cfg.WarmupFrac)
-	return &Runner{
+	r := &Runner{
 		sw:      sw,
 		sources: traffic.BuildSources(pat, n, root),
 		pattern: pat,
@@ -228,7 +262,32 @@ func New(sw Switch, pat traffic.Pattern, cfg Config, root *xrand.Rand) *Runner {
 		tracker: stats.NewDelayTracker(warmup),
 		sizes:   make([]int, n),
 	}
+	r.intoSources = make([]traffic.IntoSource, n)
+	for i, src := range r.sources {
+		r.intoSources[i], _ = src.(traffic.IntoSource)
+	}
+	r.rr, _ = sw.(RoundsReporter)
+	r.br, _ = sw.(BytesReporter)
+	if pr, ok := sw.(PacketReleaser); ok {
+		pr.SetReleaseHook(r.putPacket)
+	}
+	r.deliverFn = r.handleDelivery
+	return r
 }
+
+// getPacket returns a packet whose Dests set exists but holds
+// arbitrary stale content; every NextInto implementation overwrites it
+// completely.
+func (r *Runner) getPacket() *cell.Packet {
+	if k := len(r.freePkts) - 1; k >= 0 {
+		p := r.freePkts[k]
+		r.freePkts = r.freePkts[:k]
+		return p
+	}
+	return &cell.Packet{Dests: destset.New(r.sw.Ports())}
+}
+
+func (r *Runner) putPacket(p *cell.Packet) { r.freePkts = append(r.freePkts, p) }
 
 // Switch returns the switch the runner drives, as it was given to New
 // (including any checker or test wrapper).
@@ -373,38 +432,42 @@ func (r *Runner) RunWithCheckpoints(name string, every int64, sink CheckpointFun
 // tick simulates one slot: arrivals, switch step, sampling.
 func (r *Runner) tick(slot, warmup int64) {
 	for in, src := range r.sources {
-		dests := src.Next(slot)
-		if dests == nil {
-			continue
+		var p *cell.Packet
+		if into := r.intoSources[in]; into != nil {
+			p = r.getPacket()
+			if !into.NextInto(slot, p.Dests) {
+				r.putPacket(p)
+				continue
+			}
+		} else {
+			dests := src.Next(slot)
+			if dests == nil {
+				continue
+			}
+			p = r.getPacket()
+			p.Dests = dests
 		}
 		r.nextID++
-		p := &cell.Packet{ID: r.nextID, Input: in, Arrival: slot, Dests: dests}
+		p.ID, p.Input, p.Arrival = r.nextID, in, slot
+		fanout := p.Fanout()
 		if slot >= warmup {
 			r.offeredPackets++
-			r.offeredCopies += int64(p.Fanout())
+			r.offeredCopies += int64(fanout)
 		}
 		r.tracker.Arrive(p) // tracker self-filters pre-warmup arrivals
 		r.sw.Arrive(p)
 	}
 
 	busy := r.sw.BufferedCells() > 0
-	var slotDelivered int64
-	r.sw.Step(slot, func(d cell.Delivery) {
-		if r.onDelivery != nil {
-			r.onDelivery(d)
-		}
-		slotDelivered++
-		if d.Slot >= warmup {
-			r.delivered++
-		}
-		r.tracker.Deliver(d)
-	})
+	r.warmup = warmup
+	r.slotDelivered = 0
+	r.sw.Step(slot, r.deliverFn)
 	if r.series != nil {
 		rounds := 0
-		if rr, ok := r.sw.(RoundsReporter); ok {
-			rounds = rr.LastRounds()
+		if r.rr != nil {
+			rounds = r.rr.LastRounds()
 		}
-		r.series.observe(slot, r.sw, slotDelivered, rounds)
+		r.series.observe(slot, r.sw, r.slotDelivered, rounds)
 	}
 	if r.metricsFn != nil && r.obs.MetricsOn() && (slot+1)%r.metricsEvery == 0 {
 		r.metricsFn(slot, r.obs.Metrics.Snapshot())
@@ -412,15 +475,29 @@ func (r *Runner) tick(slot, warmup int64) {
 
 	if slot >= warmup {
 		r.occ.Sample(r.sw.QueueSizes(r.sizes))
-		if rr, ok := r.sw.(RoundsReporter); ok && busy {
-			r.rounds.Add(float64(rr.LastRounds()))
+		if r.rr != nil && busy {
+			r.rounds.Add(float64(r.rr.LastRounds()))
 		}
-		if br, ok := r.sw.(BytesReporter); ok {
-			total := br.BufferedBytes()
+		if r.br != nil {
+			total := r.br.BufferedBytes()
 			r.bytes.Add(float64(total) / float64(r.sw.Ports()))
 			r.peak.Observe(total)
 		}
 	}
+}
+
+// handleDelivery is the engine's accounting for one delivered copy.
+// It is installed once as deliverFn and reads its slot context from
+// the runner, so stepping a slot allocates no closure.
+func (r *Runner) handleDelivery(d cell.Delivery) {
+	if r.onDelivery != nil {
+		r.onDelivery(d)
+	}
+	r.slotDelivered++
+	if d.Slot >= r.warmup {
+		r.delivered++
+	}
+	r.tracker.Deliver(d)
 }
 
 // Describe renders the headline numbers of a Results for logs.

@@ -60,11 +60,11 @@ type hotspotSource struct {
 	r              *xrand.Rand
 }
 
-func (s *hotspotSource) Next(int64) *destset.Set {
+func (s *hotspotSource) NextInto(_ int64, d *destset.Set) bool {
 	if !s.r.Bool(s.p) {
-		return nil
+		return false
 	}
-	d := destset.New(s.n)
+	d.Clear()
 	for out := 0; out < s.n; out++ {
 		b := s.bCold
 		if out == s.hot {
@@ -74,7 +74,12 @@ func (s *hotspotSource) Next(int64) *destset.Set {
 			d.Add(out)
 		}
 	}
-	if d.Empty() {
+	return !d.Empty()
+}
+
+func (s *hotspotSource) Next(slot int64) *destset.Set {
+	d := destset.New(s.n)
+	if !s.NextInto(slot, d) {
 		return nil
 	}
 	return d
@@ -136,13 +141,23 @@ type diagonalSource struct {
 	r     *xrand.Rand
 }
 
-func (s *diagonalSource) Next(int64) *destset.Set {
+func (s *diagonalSource) NextInto(_ int64, d *destset.Set) bool {
 	if !s.r.Bool(s.p) {
-		return nil
+		return false
 	}
 	out := s.input
 	if s.r.Bool(1.0 / 3.0) {
 		out = (s.input + 1) % s.n
 	}
-	return destset.FromMembers(s.n, out)
+	d.Clear()
+	d.Add(out)
+	return true
+}
+
+func (s *diagonalSource) Next(slot int64) *destset.Set {
+	d := destset.New(s.n)
+	if !s.NextInto(slot, d) {
+		return nil
+	}
+	return d
 }

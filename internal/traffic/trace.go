@@ -105,13 +105,25 @@ type traceSource struct {
 	next     int
 }
 
-func (s *traceSource) Next(slot int64) *destset.Set {
+func (s *traceSource) NextInto(slot int64, d *destset.Set) bool {
 	if s.next >= len(s.arrivals) || s.arrivals[s.next].Slot != slot {
-		return nil
+		return false
 	}
 	a := s.arrivals[s.next]
 	s.next++
-	return destset.FromMembers(s.n, a.Dests...)
+	d.Clear()
+	for _, out := range a.Dests {
+		d.Add(out)
+	}
+	return true
+}
+
+func (s *traceSource) Next(slot int64) *destset.Set {
+	d := destset.New(s.n)
+	if !s.NextInto(slot, d) {
+		return nil
+	}
+	return d
 }
 
 // traceHeader is the first line of the on-disk format.

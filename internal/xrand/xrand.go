@@ -210,14 +210,32 @@ func (r *Rand) Sample(dst []int, n, k int) []int {
 		panic("xrand: Sample with k > n")
 	}
 	dst = dst[:0]
-	remaining, needed := n, k
+	// Hot loop: the generator state lives in locals (one store-back at
+	// the end) and the acceptance test folds Float64's exact /2^53 to
+	// the right-hand side. Both transforms are draw-for-draw and
+	// bit-for-bit identical to the plain
+	//	r.Float64()*float64(remaining) < float64(needed)
+	// form: the state update is Uint64 verbatim, and u>>11 < 2^53 makes
+	// the division exact, so scaling both sides by 2^53 flips no
+	// comparison. TestSampleMatchesReference pins the equivalence.
+	s0, s1, s2, s3 := r.s[0], r.s[1], r.s[2], r.s[3]
+	remaining, needed := float64(n), float64(k)*(1<<53)
 	for i := 0; needed > 0; i++ {
-		if r.Float64()*float64(remaining) < float64(needed) {
+		u := rotl(s1*5, 7) * 9
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = rotl(s3, 45)
+		if float64(u>>11)*remaining < needed {
 			dst = append(dst, i)
-			needed--
+			needed -= 1 << 53
 		}
 		remaining--
 	}
+	r.s[0], r.s[1], r.s[2], r.s[3] = s0, s1, s2, s3
 	return dst
 }
 

@@ -273,3 +273,44 @@ func BenchmarkIntn16(b *testing.B) {
 	}
 	_ = sink
 }
+
+// sampleReference is the textbook selection-sampling loop Sample's
+// optimized body must stay draw-for-draw and bit-for-bit identical to.
+func sampleReference(r *Rand, dst []int, n, k int) []int {
+	dst = dst[:0]
+	remaining, needed := n, k
+	for i := 0; needed > 0; i++ {
+		if r.Float64()*float64(remaining) < float64(needed) {
+			dst = append(dst, i)
+			needed--
+		}
+		remaining--
+	}
+	return dst
+}
+
+func TestSampleMatchesReference(t *testing.T) {
+	for seed := uint64(1); seed <= 40; seed++ {
+		a, b := New(seed), New(seed)
+		var got, want []int
+		for trial := 0; trial < 200; trial++ {
+			n := 1 + int(a.Uint64()%1024)
+			b.Uint64() // keep the two streams aligned
+			k := int(a.Uint64() % uint64(n+1))
+			b.Uint64()
+			got = a.Sample(got, n, k)
+			want = sampleReference(b, want, n, k)
+			if len(got) != len(want) {
+				t.Fatalf("seed %d trial %d (n=%d k=%d): got %d picks, want %d", seed, trial, n, k, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d trial %d (n=%d k=%d): pick %d is %d, want %d", seed, trial, n, k, i, got[i], want[i])
+				}
+			}
+			if a.s != b.s {
+				t.Fatalf("seed %d trial %d: generator states diverged", seed, trial)
+			}
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Command benchcmp compares two `go test -bench` output files and
+// fails loudly on performance regressions. It is a dependency-free
+// stand-in for benchstat, sized for the CI benchmark-smoke job: parse
+// both files, aggregate repeated runs of each benchmark, and exit
+// non-zero if any benchmark got slower (ns/op) by more than the
+// threshold or started allocating where it previously did not.
+//
+// Usage:
+//
+//	benchcmp [-threshold 10] old.txt new.txt
+//
+// Aggregation takes the minimum ns/op across -count repetitions: on a
+// noisy shared runner the minimum is the least-contaminated estimate
+// of the code's true cost, and comparing minima keeps scheduler noise
+// from failing (or masking) a comparison. allocs/op takes the maximum,
+// since a single allocating run is already a correctness signal.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	ns     float64 // min ns/op seen
+	allocs int64   // max allocs/op seen
+	bytes  int64   // max B/op seen
+	runs   int
+}
+
+// parseFile reads one `go test -bench` output stream, returning the
+// aggregated result per benchmark name (with the -GOMAXPROCS suffix
+// kept, so n=64-8 and n=64-1 never silently compare against each
+// other).
+func parseFile(path string) (map[string]*result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	out := make(map[string]*result)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		r := out[name]
+		if r == nil {
+			r = &result{ns: -1}
+			out[name] = r
+		}
+		// Walk "<value> <unit>" pairs after the iteration count.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad value %q on line %q", path, fields[i], sc.Text())
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				if r.ns < 0 || v < r.ns {
+					r.ns = v
+				}
+			case "allocs/op":
+				if a := int64(v); a > r.allocs {
+					r.allocs = a
+				}
+			case "B/op":
+				if b := int64(v); b > r.bytes {
+					r.bytes = b
+				}
+			}
+		}
+		r.runs++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// compare writes a delta table to w and returns the names of
+// benchmarks that regressed beyond thresholdPct (time) or regressed
+// from zero to non-zero allocations.
+func compare(w *os.File, old, new map[string]*result, thresholdPct float64) []string {
+	names := make([]string, 0, len(old))
+	for name := range old {
+		if _, ok := new[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	var regressed []string
+	fmt.Fprintf(w, "%-60s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, name := range names {
+		o, n := old[name], new[name]
+		delta := 0.0
+		if o.ns > 0 {
+			delta = (n.ns - o.ns) / o.ns * 100
+		}
+		mark := ""
+		if delta > thresholdPct {
+			mark = "  << REGRESSION"
+			regressed = append(regressed, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%, threshold %+.1f%%)",
+				name, o.ns, n.ns, delta, thresholdPct))
+		}
+		if o.allocs == 0 && n.allocs > 0 {
+			mark = "  << ALLOC REGRESSION"
+			regressed = append(regressed, fmt.Sprintf("%s: 0 -> %d allocs/op", name, n.allocs))
+		}
+		fmt.Fprintf(w, "%-60s %14.0f %14.0f %+7.1f%%%s\n", name, o.ns, n.ns, delta, mark)
+	}
+
+	// Benchmarks present on only one side are reported but never fatal:
+	// renames and additions are routine.
+	for name := range old {
+		if _, ok := new[name]; !ok {
+			fmt.Fprintf(w, "%-60s only in old file\n", name)
+		}
+	}
+	for name := range new {
+		if _, ok := old[name]; !ok {
+			fmt.Fprintf(w, "%-60s only in new file\n", name)
+		}
+	}
+	return regressed
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 10, "fail when ns/op grows by more than this percentage")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-threshold pct] old.txt new.txt")
+		os.Exit(2)
+	}
+	old, err := parseFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	new, err := parseFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	if len(old) == 0 || len(new) == 0 {
+		fmt.Fprintln(os.Stderr, "benchcmp: no benchmark results parsed; was -bench run with -run '^$'?")
+		os.Exit(2)
+	}
+	regressed := compare(os.Stdout, old, new, *threshold)
+	if len(regressed) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbenchcmp: %d regression(s):\n", len(regressed))
+		for _, r := range regressed {
+			fmt.Fprintln(os.Stderr, "  "+r)
+		}
+		os.Exit(1)
+	}
+}

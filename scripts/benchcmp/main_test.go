@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const oldBench = `goos: linux
+goarch: amd64
+BenchmarkSlot/n=64-8         	     100	     20000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSlot/n=64-8         	     100	     19000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSlot/n=128-8        	     100	     50000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFIFOMSMatch/n=16/uniform-8  	 100	  5000 ns/op	 0 B/op	 0 allocs/op
+PASS
+`
+
+func TestParseAggregatesMinNs(t *testing.T) {
+	res, err := parseFile(writeTemp(t, "old.txt", oldBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res["BenchmarkSlot/n=64-8"]
+	if r == nil {
+		t.Fatal("BenchmarkSlot/n=64-8 not parsed")
+	}
+	if r.ns != 19000 || r.runs != 2 || r.allocs != 0 {
+		t.Fatalf("got min %v ns/op over %d runs (%d allocs), want 19000 over 2 (0)", r.ns, r.runs, r.allocs)
+	}
+	if len(res) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(res))
+	}
+}
+
+func TestCompareFlagsOnlyRealRegressions(t *testing.T) {
+	old, err := parseFile(writeTemp(t, "old.txt", oldBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n=64 regresses 21% (fails at 10%), n=128 improves, the match
+	// kernel drifts +4% (within threshold), and a new benchmark appears.
+	new, err := parseFile(writeTemp(t, "new.txt", `
+BenchmarkSlot/n=64-8         	     100	     23000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSlot/n=128-8        	     100	     40000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFIFOMSMatch/n=16/uniform-8  	 100	  5200 ns/op	 0 B/op	 0 allocs/op
+BenchmarkSweep/workers=8-8   	     100	     90000 ns/op	     128 B/op	       4 allocs/op
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	regressed := compare(os.Stdout, old, new, 10)
+	if len(regressed) != 1 {
+		t.Fatalf("flagged %d regressions, want 1: %v", len(regressed), regressed)
+	}
+}
+
+func TestCompareFlagsAllocRegression(t *testing.T) {
+	old, err := parseFile(writeTemp(t, "old.txt",
+		"BenchmarkSlot/n=64-8 100 20000 ns/op 0 B/op 0 allocs/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Faster, but now allocating: still a failure — the zero-alloc
+	// steady state is an acceptance criterion, not a nicety.
+	new, err := parseFile(writeTemp(t, "new.txt",
+		"BenchmarkSlot/n=64-8 100 15000 ns/op 64 B/op 2 allocs/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	regressed := compare(os.Stdout, old, new, 10)
+	if len(regressed) != 1 {
+		t.Fatalf("flagged %d regressions, want 1 (alloc): %v", len(regressed), regressed)
+	}
+}
