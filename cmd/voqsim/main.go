@@ -16,6 +16,11 @@
 //	-mcfrac 0.5         multicast fraction (mixed)
 //	-slots 200000       simulated slots
 //	-seed 1             run seed
+//	-fast               relaxed-identity fast mode: O(1) alias/Floyd/
+//	                    geometric traffic sampling and batched statistics
+//	                    (DESIGN.md §12); statistically equivalent to the
+//	                    default, but not bit-comparable. Incompatible with
+//	                    -check, -checkpoint and -resume.
 //	-checkpoint FILE    atomically save a resume snapshot to FILE during the run
 //	-checkpoint-every K snapshot cadence in slots (default slots/10 with -checkpoint)
 //	-resume FILE        resume a run from a snapshot written by -checkpoint
@@ -75,6 +80,7 @@ func main() {
 		mcFrac    = flag.Float64("mcfrac", 0.5, "multicast fraction of arrivals (mixed)")
 		slots     = flag.Int64("slots", 200_000, "simulated slots")
 		seed      = flag.Uint64("seed", 1, "run seed")
+		fast      = flag.Bool("fast", false, "relaxed-identity fast mode (no -check/-checkpoint/-resume)")
 		ckptPath  = flag.String("checkpoint", "", "atomically save a resume snapshot to this file during the run")
 		ckptEvery = flag.Int64("checkpoint-every", 0, "snapshot cadence in slots (default slots/10 with -checkpoint)")
 		resumePth = flag.String("resume", "", "resume the run from this snapshot file (same flags as the original run)")
@@ -87,6 +93,17 @@ func main() {
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *fast {
+		switch {
+		case *checkRun:
+			fmt.Fprintln(os.Stderr, "voqsim: -fast is incompatible with -check: the invariant checker certifies the bit-exact path; validate fast mode statistically instead (TestFastModeEquivalence)")
+			os.Exit(2)
+		case *ckptPath != "" || *resumePth != "":
+			fmt.Fprintln(os.Stderr, "voqsim: -fast is incompatible with -checkpoint/-resume: fast runs relax draw-order identity and cannot be snapshotted")
+			os.Exit(2)
+		}
+	}
 
 	stopProfiles, err := startProfiles(*cpuProf, *memProf)
 	if err != nil {
@@ -119,6 +136,7 @@ func main() {
 		Traffic:   tr,
 		Slots:     *slots,
 		Seed:      *seed,
+		Fast:      *fast,
 	}
 	var report voqsim.Report
 	if *ckptPath != "" || *resumePth != "" {
@@ -132,14 +150,14 @@ func main() {
 	}
 
 	if *seriesOut != "" {
-		if err := writeSeries(*seriesOut, *algo, *n, *slots, *seed, report.Load, *trafficK, *b, *maxFanout, *eOn, *mcFrac); err != nil {
+		if err := writeSeries(*seriesOut, *algo, *n, *slots, *seed, *fast, report.Load, *trafficK, *b, *maxFanout, *eOn, *mcFrac); err != nil {
 			fmt.Fprintf(os.Stderr, "voqsim: %v\n", err)
 			os.Exit(1)
 		}
 	}
 
 	if *traceOut != "" || *metricsK > 0 {
-		if err := runObserved(*traceOut, *metricsK, *algo, *n, *slots, *seed, report.Load, *trafficK, *b, *maxFanout, *eOn, *mcFrac); err != nil {
+		if err := runObserved(*traceOut, *metricsK, *algo, *n, *slots, *seed, *fast, report.Load, *trafficK, *b, *maxFanout, *eOn, *mcFrac); err != nil {
 			fmt.Fprintf(os.Stderr, "voqsim: %v\n", err)
 			os.Exit(1)
 		}
@@ -262,10 +280,11 @@ func startProfiles(cpuPath, memPath string) (stop func(), err error) {
 }
 
 // buildSim reconstructs the exact simulation the facade ran — same
-// pattern, same seed derivation — so a second pass can attach
-// recorders, the observability layer or the invariant checker. The
-// rerun is exact: the engine is deterministic in the seed.
-func buildSim(algo string, n int, slots int64, seed uint64, load float64, family string, b float64, maxFanout int, eOn, mcFrac float64) (switchsim.Switch, traffic.Pattern, switchsim.Config, *xrand.Rand, error) {
+// pattern, same seed derivation, same fast-mode setting — so a second
+// pass can attach recorders, the observability layer or the invariant
+// checker. The rerun is exact: the engine (fast or not) is
+// deterministic in the seed.
+func buildSim(algo string, n int, slots int64, seed uint64, fast bool, load float64, family string, b float64, maxFanout int, eOn, mcFrac float64) (switchsim.Switch, traffic.Pattern, switchsim.Config, *xrand.Rand, error) {
 	var pat traffic.Pattern
 	var err error
 	switch family {
@@ -289,12 +308,12 @@ func buildSim(algo string, n int, slots int64, seed uint64, load float64, family
 	}
 	seedRoot := xrand.New(seed)
 	sw := a.New(n, seedRoot.Split("switch", 0))
-	return sw, pat, switchsim.Config{Slots: slots, Seed: seed}, seedRoot.Split("traffic", 0), nil
+	return sw, pat, switchsim.Config{Slots: slots, Seed: seed, Fast: fast}, seedRoot.Split("traffic", 0), nil
 }
 
 // buildRunner is buildSim packaged as an engine Runner.
-func buildRunner(algo string, n int, slots int64, seed uint64, load float64, family string, b float64, maxFanout int, eOn, mcFrac float64) (*switchsim.Runner, error) {
-	sw, pat, cfg, trafficRoot, err := buildSim(algo, n, slots, seed, load, family, b, maxFanout, eOn, mcFrac)
+func buildRunner(algo string, n int, slots int64, seed uint64, fast bool, load float64, family string, b float64, maxFanout int, eOn, mcFrac float64) (*switchsim.Runner, error) {
+	sw, pat, cfg, trafficRoot, err := buildSim(algo, n, slots, seed, fast, load, family, b, maxFanout, eOn, mcFrac)
 	if err != nil {
 		return nil, err
 	}
@@ -307,7 +326,7 @@ func buildRunner(algo string, n int, slots int64, seed uint64, load float64, fam
 // bit-identically to the measured run — so a clean verdict certifies
 // the run that was just reported.
 func runChecked(verdictTo io.Writer, algo string, n int, slots int64, seed uint64, load float64, family string, b float64, maxFanout int, eOn, mcFrac float64) error {
-	sw, pat, cfg, trafficRoot, err := buildSim(algo, n, slots, seed, load, family, b, maxFanout, eOn, mcFrac)
+	sw, pat, cfg, trafficRoot, err := buildSim(algo, n, slots, seed, false, load, family, b, maxFanout, eOn, mcFrac)
 	if err != nil {
 		return err
 	}
@@ -325,8 +344,8 @@ func runChecked(verdictTo io.Writer, algo string, n int, slots int64, seed uint6
 
 // writeSeries re-runs the identical simulation with a series recorder
 // attached and writes the per-slot backlog CSV.
-func writeSeries(path, algo string, n int, slots int64, seed uint64, load float64, family string, b float64, maxFanout int, eOn, mcFrac float64) error {
-	runner, err := buildRunner(algo, n, slots, seed, load, family, b, maxFanout, eOn, mcFrac)
+func writeSeries(path, algo string, n int, slots int64, seed uint64, fast bool, load float64, family string, b float64, maxFanout int, eOn, mcFrac float64) error {
+	runner, err := buildRunner(algo, n, slots, seed, fast, load, family, b, maxFanout, eOn, mcFrac)
 	if err != nil {
 		return err
 	}
@@ -355,8 +374,8 @@ func writeSeries(path, algo string, n int, slots int64, seed uint64, load float6
 // as JSONL, and every metricsEvery slots a registry snapshot goes to
 // stderr as one JSON line (plus a final snapshot at the end of the
 // run).
-func runObserved(tracePath string, metricsEvery int64, algo string, n int, slots int64, seed uint64, load float64, family string, b float64, maxFanout int, eOn, mcFrac float64) error {
-	runner, err := buildRunner(algo, n, slots, seed, load, family, b, maxFanout, eOn, mcFrac)
+func runObserved(tracePath string, metricsEvery int64, algo string, n int, slots int64, seed uint64, fast bool, load float64, family string, b float64, maxFanout int, eOn, mcFrac float64) error {
+	runner, err := buildRunner(algo, n, slots, seed, fast, load, family, b, maxFanout, eOn, mcFrac)
 	if err != nil {
 		return err
 	}

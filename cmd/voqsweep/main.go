@@ -12,6 +12,11 @@
 //	-b, -maxfanout, -eon, -mcfrac      family shape parameters
 //	-n, -slots, -seed, -workers        run setup
 //	-metrics in_delay,avg_queue        metrics to print
+//	-fast                              relaxed-identity fast mode: O(1) traffic
+//	                                   sampling and batched statistics (DESIGN.md
+//	                                   §12); statistically equivalent, not
+//	                                   bit-comparable. Incompatible with -check
+//	                                   and -resume-dir.
 //	-check                             invariant-check every point (exit 1 on violation)
 //	-progress                          stream per-point completion and ETA to stderr
 //	-resume-dir DIR                    make the sweep resumable: finished points and
@@ -70,6 +75,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		csvPath     = fs.String("csv", "", "write long-form CSV to this file")
 		jsonPath    = fs.String("json", "", "write the full table as JSON to this file")
 		configPath  = fs.String("config", "", "run a scenario file instead of flag-built traffic (see internal/scenario)")
+		fastRun     = fs.Bool("fast", false, "relaxed-identity fast mode (no -check/-resume-dir)")
 		checkRun    = fs.Bool("check", false, "run every point under the runtime invariant checker; exit 1 on any violation")
 		progressOn  = fs.Bool("progress", false, "stream per-point completion and ETA to stderr")
 		resumeDir   = fs.String("resume-dir", "", "checkpoint directory; a re-run of the identical sweep resumes from it")
@@ -79,6 +85,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *fastRun {
+		switch {
+		case *checkRun:
+			return fail(stderr, fmt.Errorf("-fast is incompatible with -check: the invariant checker certifies the bit-exact path"))
+		case *resumeDir != "":
+			return fail(stderr, fmt.Errorf("-fast is incompatible with -resume-dir: fast runs cannot be checkpointed or resumed"))
+		}
 	}
 
 	stopProfiles, err := startProfiles(*cpuProf, *memProf, stderr)
@@ -94,7 +109,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *configPath != "" {
 		return runScenario(*configPath, *metricsFlag, *csvPath, *jsonPath,
-			*checkRun, *resumeDir, *ckptEvery, progress, stdout, stderr)
+			*checkRun, *fastRun, *resumeDir, *ckptEvery, progress, stdout, stderr)
 	}
 
 	loads, err := parseLoads(*loadsFlag)
@@ -128,6 +143,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		CheckpointDir:   *resumeDir,
 		CheckpointEvery: *ckptEvery,
 		Progress:        progress,
+		Fast:            *fastRun,
 	}
 	tbl, err := sweep.Run()
 	if err != nil {
@@ -223,7 +239,7 @@ func startProfiles(cpuPath, memPath string, stderr io.Writer) (stop func(), err 
 }
 
 // runScenario executes a version-controlled scenario file.
-func runScenario(path, metricsFlag, csvPath, jsonPath string, checked bool, resumeDir string, ckptEvery int64, progress func(experiment.Progress), stdout, stderr io.Writer) int {
+func runScenario(path, metricsFlag, csvPath, jsonPath string, checked, fast bool, resumeDir string, ckptEvery int64, progress func(experiment.Progress), stdout, stderr io.Writer) int {
 	f, err := os.Open(path)
 	if err != nil {
 		return fail(stderr, err)
@@ -241,6 +257,7 @@ func runScenario(path, metricsFlag, csvPath, jsonPath string, checked bool, resu
 	sweep.CheckpointDir = resumeDir
 	sweep.CheckpointEvery = ckptEvery
 	sweep.Progress = progress
+	sweep.Fast = fast
 	metrics, err := parseMetrics(metricsFlag)
 	if err != nil {
 		return fail(stderr, err)

@@ -94,13 +94,19 @@ type AddressCell struct {
 
 // Delivery reports that one copy of a packet crossed the fabric: the
 // cell of packet ID was delivered from input In to output Out in slot
-// Slot. Last marks the delivery that exhausted the packet's fanout.
+// Slot. Last marks the delivery that exhausted the data cell's fanout
+// (in shared-cell mode, the packet's). Arrival carries the packet's
+// arrival slot so per-copy consumers need no side table; the core
+// switch always populates it, simpler reference models may leave it
+// zero (stats.DelayTracker relies on it only in sampled fast mode,
+// which only the core engine drives).
 type Delivery struct {
-	ID   PacketID
-	In   int
-	Out  int
-	Slot int64
-	Last bool
+	ID      PacketID
+	In      int
+	Out     int
+	Slot    int64
+	Arrival int64
+	Last    bool
 }
 
 // CopyDelay returns the per-copy delay of the delivery given the

@@ -30,8 +30,9 @@ import (
 // queuedCopy is a cell resident in an output queue, retaining its
 // origin for the final Delivery record.
 type queuedCopy struct {
-	id cell.PacketID
-	in int
+	id      cell.PacketID
+	in      int
+	arrival int64
 }
 
 // Switch is the CIOQ switch. It satisfies the simulation engine's
@@ -78,7 +79,7 @@ func (s *Switch) Arrive(p *cell.Packet) { s.inner.Arrive(p) }
 func (s *Switch) Step(slot int64, deliver func(cell.Delivery)) {
 	for phase := 0; phase < s.speedup; phase++ {
 		s.inner.Step(slot, func(d cell.Delivery) {
-			s.outq[d.Out].Push(queuedCopy{id: d.ID, in: d.In})
+			s.outq[d.Out].Push(queuedCopy{id: d.ID, in: d.In, arrival: d.Arrival})
 		})
 	}
 	for out := range s.outq {
@@ -86,7 +87,7 @@ func (s *Switch) Step(slot int64, deliver func(cell.Delivery)) {
 			continue
 		}
 		c := s.outq[out].Pop()
-		deliver(cell.Delivery{ID: c.id, In: c.in, Out: out, Slot: slot})
+		deliver(cell.Delivery{ID: c.id, In: c.in, Out: out, Slot: slot, Arrival: c.arrival})
 	}
 }
 

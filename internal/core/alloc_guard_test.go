@@ -10,15 +10,19 @@ import (
 // TestMatchZeroAllocsTracingDisabled guards the observability layer's
 // disabled fast path: with no observer attached — the state every
 // tier-1 benchmark runs in — the word-parallel match kernel must stay
-// allocation-free, as recorded in BENCH_fifoms.json.
+// allocation-free, as recorded in BENCH_fifoms.json. The set covers
+// the wide sizes (256, 1024) whose multi-word chunked scans and
+// sparse transpose clears never run at N = 64.
 func TestMatchZeroAllocsTracingDisabled(t *testing.T) {
 	if testing.Short() {
 		t.Skip("benchmark-backed guard")
 	}
-	res := testing.Benchmark(func(b *testing.B) { benchMatch(b, 64, "uniform", &FIFOMS{}) })
-	if a := res.AllocsPerOp(); a != 0 {
-		t.Fatalf("FIFOMS match with tracing disabled: %d allocs/op (%d B/op), want 0",
-			a, res.AllocedBytesPerOp())
+	for _, n := range []int{64, 256, 1024} {
+		res := testing.Benchmark(func(b *testing.B) { benchMatch(b, n, "uniform", &FIFOMS{}) })
+		if a := res.AllocsPerOp(); a != 0 {
+			t.Fatalf("FIFOMS match n=%d with tracing disabled: %d allocs/op (%d B/op), want 0",
+				n, a, res.AllocedBytesPerOp())
+		}
 	}
 }
 

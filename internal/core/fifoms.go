@@ -75,6 +75,21 @@ type FIFOMS struct {
 	reserved []uint64 // [words] outputs reserved in the previous round
 	granted  []int    // per-output provisional grant within a round
 	grants   []int    // outputs granted in the current round
+
+	// Slot-batched seeding state. Round 0 of every Match seeds
+	// reqMask/minTS from the switch's oldest-stamp cache; across
+	// consecutive slots most inputs' cache rows are untouched (no
+	// arrival made a new oldest head, no departure popped one), so the
+	// previous slot's seed is still correct for them. seedSw remembers
+	// which switch the seed mirrors, seedVer[in] the Switch.holVer
+	// value it mirrors, and seedStale the inputs whose reqMask/minTS
+	// this arbiter itself clobbered during later rounds. A row is
+	// re-copied only when its version moved or its stale bit is set —
+	// the values re-copied are identical to a full reseed, so the match
+	// (and its RNG draw sequence) is bit-for-bit unchanged.
+	seedSw    *Switch
+	seedVer   []uint64 // [n] Switch.holVer at last seed of each input
+	seedStale []uint64 // [words] inputs clobbered since their last seed
 }
 
 // Name implements Arbiter.
@@ -107,6 +122,9 @@ func (f *FIFOMS) ensure(n int) {
 	f.reserved = make([]uint64, f.words)
 	f.granted = make([]int, n)
 	f.grants = make([]int, 0, n)
+	f.seedSw = nil
+	f.seedVer = make([]uint64, n)
+	f.seedStale = make([]uint64, f.words)
 }
 
 // fillOnes sets the first n bits of the word slice.
@@ -168,6 +186,7 @@ func (f *FIFOMS) Match(s *Switch, slot int64, r *xrand.Rand, m *Matching) {
 				}
 				row &^= res
 				f.reqMask[in] = row
+				f.seedStale[0] |= 1 << uint(in)
 				if row == 0 {
 					// Every requested output was taken; the input
 					// falls back to its next-smallest stamp.
@@ -194,6 +213,7 @@ func (f *FIFOMS) Match(s *Switch, slot int64, r *xrand.Rand, m *Matching) {
 					if !hit {
 						continue // mask untouched by last round's grants
 					}
+					f.seedStale[in>>6] |= 1 << uint(in&63)
 					nonzero := false
 					for i := range row {
 						row[i] &^= f.reserved[i]
@@ -244,20 +264,58 @@ func (f *FIFOMS) Match(s *Switch, slot int64, r *xrand.Rand, m *Matching) {
 // free — round 0 of the splitting discipline, every round's base set
 // under no-splitting — the smallest stamp over free outputs is exactly
 // the cached minimum over all VOQ heads, and queue state cannot change
-// inside Match. One bulk copy instead of per-input HOL-row scans; an
-// input with no buffered cells has an all-zero minMask row (the cache
-// maintenance zeroes it as the argmin set drains), so the copied mask
-// is correct for it too and only minTS needs the empty-input branch.
-// The cache itself is cross-checked against a direct scan of the VOQ
-// heads by TestCachedHOLStateCoherent.
+// inside Match. An input with no buffered cells has an all-zero
+// minMask row (the cache maintenance zeroes it as the argmin set
+// drains), so the copied mask is correct for it too and only minTS
+// needs the empty-input branch. The cache itself is cross-checked
+// against a direct scan of the VOQ heads by TestCachedHOLStateCoherent.
+//
+// The seed is batched across slots: rows already mirrored from this
+// switch are re-copied only when the switch-side version counter moved
+// (an arrival or departure touched that input's oldest-stamp row) or
+// when a later round of a previous Match overwrote the arbiter-side
+// copy (the seedStale bit). Either way the copied values are exactly
+// what a full reseed would produce, so this is invisible to the
+// matching itself. The cache keys on the switch pointer, so an arbiter
+// shared across switches — or a switch shared across arbiters, as in
+// the differential tests — degrades to correct full/partial reseeds,
+// never to stale state.
 func (f *FIFOMS) seedRequests(s *Switch, n int) {
-	copy(f.reqMask, s.minMask[:n*f.words])
-	for in := 0; in < n; in++ {
-		if mh := s.minHOL[in]; mh != emptyHOL {
-			f.minTS[in] = mh
-		} else {
-			f.minTS[in] = -1
+	w := f.words
+	if f.seedSw != s {
+		f.seedSw = s
+		copy(f.reqMask, s.minMask[:n*w])
+		copy(f.seedVer, s.holVer[:n])
+		for in := 0; in < n; in++ {
+			if mh := s.minHOL[in]; mh != emptyHOL {
+				f.minTS[in] = mh
+			} else {
+				f.minTS[in] = -1
+			}
 		}
+		clear(f.seedStale)
+		return
+	}
+	for wi := 0; wi < w; wi++ {
+		stale := f.seedStale[wi]
+		base := wi << 6
+		top := base + 64
+		if top > n {
+			top = n
+		}
+		for in := base; in < top; in++ {
+			if stale&(1<<uint(in&63)) == 0 && f.seedVer[in] == s.holVer[in] {
+				continue
+			}
+			f.seedVer[in] = s.holVer[in]
+			copy(f.reqMask[in*w:in*w+w], s.minMask[in*w:in*w+w])
+			if mh := s.minHOL[in]; mh != emptyHOL {
+				f.minTS[in] = mh
+			} else {
+				f.minTS[in] = -1
+			}
+		}
+		f.seedStale[wi] = 0
 	}
 }
 
@@ -291,6 +349,7 @@ func (f *FIFOMS) computeRequest(s *Switch, in int) {
 		return
 	}
 	occ := s.occIn[in*w : in*w+w]
+	of := f.outFree
 	mask := f.reqMask[in*w : in*w+w]
 	base := in * s.n
 	best := emptyHOL
@@ -298,7 +357,14 @@ func (f *FIFOMS) computeRequest(s *Switch, in int) {
 		mask[i] = 0
 	}
 	for wi := 0; wi < w; wi++ {
-		cand := occ[wi] & f.outFree[wi]
+		// Unrolled four-word early exit over the occupancy ∩ free
+		// intersection: most of a wide row is empty, and the candidate
+		// visit order (ascending output) is unchanged.
+		if wi+4 <= w && occ[wi]&of[wi]|occ[wi+1]&of[wi+1]|occ[wi+2]&of[wi+2]|occ[wi+3]&of[wi+3] == 0 {
+			wi += 3
+			continue
+		}
+		cand := occ[wi] & of[wi]
 		bitsBase := wi << 6
 		for cand != 0 {
 			out := bitsBase + bits.TrailingZeros64(cand)
@@ -322,14 +388,45 @@ func (f *FIFOMS) computeRequest(s *Switch, in int) {
 	f.minTS[in] = best
 }
 
+// clearTranspose zeroes the requester-transpose state for the next
+// round. The only reqT columns that can be non-zero are the outputs
+// set in reqOut by the previous build (scatter always records the
+// column it writes), so when the previous request set was sparse —
+// the common case at large N, where a round touches a handful of
+// outputs out of n — clearing just those columns beats the n×words
+// bulk memclr. The threshold charges each sparse column roughly four
+// words of loop overhead against the bulk clear's straight-line run.
+func (f *FIFOMS) clearTranspose() {
+	w := f.words
+	cnt := 0
+	for _, v := range f.reqOut {
+		cnt += bits.OnesCount64(v)
+	}
+	if cnt*w*4 >= len(f.reqT) {
+		clear(f.reqT)
+	} else {
+		for wi, v := range f.reqOut {
+			base := wi << 6
+			for v != 0 {
+				out := base + bits.TrailingZeros64(v)
+				v &= v - 1
+				col := f.reqT[out*w : out*w+w]
+				for i := range col {
+					col[i] = 0
+				}
+			}
+		}
+	}
+	clear(f.reqOut)
+}
+
 // buildTranspose rebuilds reqT — for every output, the set of free
 // inputs requesting it — and reqOut, the set of outputs with at least
 // one requester, from the per-input masks, and reports whether any
 // request exists at all.
 func (f *FIFOMS) buildTranspose() bool {
 	w := f.words
-	clear(f.reqT)
-	clear(f.reqOut)
+	f.clearTranspose()
 	if w == 1 {
 		// Single-word layout: row masks are scalars and the requester
 		// bit scatter indexes reqT directly.
@@ -412,6 +509,15 @@ func (f *FIFOMS) grantStep(r *xrand.Rand) bool {
 			g := None
 			ties := 0
 			for ci := 0; ci < w; ci++ {
+				// Requester columns are sparse (one output rarely has
+				// requesters across many input words), so an unrolled
+				// OR over four words skips whole empty chunks with one
+				// branch. The set bits are still visited in ascending
+				// input order, so the RNG draw sequence is unchanged.
+				if ci+4 <= w && col[ci]|col[ci+1]|col[ci+2]|col[ci+3] == 0 {
+					ci += 3
+					continue
+				}
 				cv := col[ci]
 				base := ci << 6
 				for cv != 0 {
@@ -454,10 +560,21 @@ func (f *FIFOMS) grantStepW1(r *xrand.Rand) {
 	detTies := f.DeterministicTies
 	for ow := f.outFree[0] & f.reqOut[0]; ow != 0; ow &= ow - 1 {
 		out := bits.TrailingZeros64(ow)
+		cv := reqT[out]
+		if cv&(cv-1) == 0 {
+			// Lone requester — the argmin masks are sparse, so this is
+			// the common case. It wins unconditionally and draws no
+			// randomness in the general loop either (the first
+			// requester never reaches the tie branch), so skipping the
+			// stamp comparison entirely is draw-for-draw identical.
+			f.granted[out] = bits.TrailingZeros64(cv)
+			f.grants = append(f.grants, out)
+			continue
+		}
 		bestTS := int64(math.MaxInt64)
 		g := None
 		ties := 0
-		for cv := reqT[out]; cv != 0; cv &= cv - 1 {
+		for ; cv != 0; cv &= cv - 1 {
 			in := bits.TrailingZeros64(cv)
 			switch ts := minTS[in]; {
 			case ts < bestTS:
@@ -542,8 +659,7 @@ func (f *FIFOMS) matchNoSplit(s *Switch, n, maxRounds int, r *xrand.Rand, m *Mat
 		// Filter + transpose: an input participates only while it is
 		// free and every destination of its oldest packet is still
 		// free (some destination reserved ⇒ the packet waits whole).
-		clear(f.reqT)
-		clear(f.reqOut)
+		f.clearTranspose()
 		any := false
 		for wi := 0; wi < w; wi++ {
 			fw := f.inFree[wi]

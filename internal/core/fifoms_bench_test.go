@@ -1,8 +1,11 @@
 package core
 
 // Microbenchmark matrix for the FIFOMS match kernel: N ∈ {8, 16, 32,
-// 64, 128} × {uniform, bursty, hotspot} HOL patterns, plus the frozen
-// legacy kernel on the identical states for the speedup comparison.
+// 64, 128, 256, 1024} × {uniform, bursty, hotspot} HOL patterns, plus
+// the frozen legacy kernel on the identical states for the speedup
+// comparison. The two wide sizes exercise the multi-word row scans
+// (4, 16 words per row) whose chunked early-exit paths never run at
+// N <= 128.
 // Match does not mutate queue state, so each iteration reruns the
 // kernel on a constant backlogged switch — this isolates the
 // arbitration cost that dominates every sweep behind Figures 4–7.
@@ -17,7 +20,7 @@ import (
 	"voqsim/internal/xrand"
 )
 
-var benchSizes = []int{8, 16, 32, 64, 128}
+var benchSizes = []int{8, 16, 32, 64, 128, 256, 1024}
 
 var benchPatterns = []string{"uniform", "bursty", "hotspot"}
 

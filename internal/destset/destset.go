@@ -276,3 +276,24 @@ func (s *Set) RandomKSubset(r *xrand.Rand, k int, scratch []int) {
 		s.Add(p)
 	}
 }
+
+// RandomKSubsetFloyd fills s with a uniform random k-subset of the
+// universe using Floyd's algorithm: O(k) RNG draws against the O(n)
+// full pass of RandomKSubset. The subset *distribution* is identical,
+// but the draw count and sequence differ, so this belongs only on
+// relaxed-identity paths (fast-mode traffic); bit-exact runs must keep
+// using RandomKSubset. It panics if k is outside [0, n].
+func (s *Set) RandomKSubsetFloyd(r *xrand.Rand, k int) {
+	if k < 0 || k > s.n {
+		panic(fmt.Sprintf("destset: k-subset size %d outside [0,%d]", k, s.n))
+	}
+	s.Clear()
+	for j := s.n - k; j < s.n; j++ {
+		p := r.Intn(j + 1)
+		if s.Contains(p) {
+			s.Add(j)
+		} else {
+			s.Add(p)
+		}
+	}
+}

@@ -307,7 +307,7 @@ func (s *Switch) Step(slot int64, deliver func(cell.Delivery)) {
 				e.remaining.Remove(out)
 				last := e.remaining.Empty()
 				s.outputFree[out] = false
-				deliver(cell.Delivery{ID: e.p.ID, In: in, Out: out, Slot: slot, Last: last})
+				deliver(cell.Delivery{ID: e.p.ID, In: in, Out: out, Slot: slot, Arrival: e.p.Arrival, Last: last})
 				s.served[in]++
 				tookMulticast = true
 				matched = true
@@ -334,7 +334,7 @@ func (s *Switch) Step(slot int64, deliver func(cell.Delivery)) {
 				s.outputFree[out] = false
 				s.inputFree[in] = false
 				s.freeIn.Remove(in)
-				deliver(cell.Delivery{ID: c.p.ID, In: in, Out: out, Slot: slot, Last: true})
+				deliver(cell.Delivery{ID: c.p.ID, In: in, Out: out, Slot: slot, Arrival: c.p.Arrival, Last: true})
 				matched = true
 				if s.obs != nil {
 					s.observeDelivery(slot, iter, in, out, c.p, true)

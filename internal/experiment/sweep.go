@@ -52,6 +52,12 @@ type Sweep struct {
 	// running ETA, so a sink may render them straight to a terminal.
 	// Reporting never affects results or their determinism.
 	Progress func(Progress)
+	// Fast runs every point in the engine's relaxed-identity fast
+	// mode (DESIGN.md §12): same stochastic model, O(1) samplers,
+	// batched statistics. Incompatible with Check (the checker's
+	// oracle replays exact draw order) and with CheckpointDir (fast
+	// runs cannot be snapshotted); Run rejects the combination.
+	Fast bool
 }
 
 // Point is one measured (algorithm, load) grid cell.
@@ -84,6 +90,12 @@ func (s *Sweep) Run() (*Table, error) {
 	}
 	if len(s.Loads) == 0 || len(s.Algorithms) == 0 {
 		return nil, fmt.Errorf("experiment: sweep %q has an empty grid", s.Name)
+	}
+	if s.Fast && s.Check {
+		return nil, fmt.Errorf("experiment: sweep %q: Fast and Check are mutually exclusive", s.Name)
+	}
+	if s.Fast && s.CheckpointDir != "" {
+		return nil, fmt.Errorf("experiment: sweep %q: Fast sweeps cannot be checkpointed or resumed", s.Name)
 	}
 	if s.CheckpointDir != "" {
 		if err := os.MkdirAll(s.CheckpointDir, 0o755); err != nil {
@@ -154,7 +166,7 @@ func (s *Sweep) pointRunner(ai, li int, pat traffic.Pattern, pool *core.ArenaPoo
 
 	sw := algo.New(s.N, switchRoot)
 	release := adoptPooledArena(sw, s.N, pool)
-	cfg := switchsim.Config{Slots: s.Slots, Seed: seed, UnstableCellLimit: s.UnstableCap}
+	cfg := switchsim.Config{Slots: s.Slots, Seed: seed, UnstableCellLimit: s.UnstableCap, Fast: s.Fast}
 	if s.Check {
 		r, ck := switchsim.NewChecked(sw, pat, cfg, trafficRoot, invcheck.Options{})
 		return r, ck, release

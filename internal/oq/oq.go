@@ -20,8 +20,9 @@ import (
 
 // queuedCopy is one packet copy waiting in an output queue.
 type queuedCopy struct {
-	id cell.PacketID
-	in int
+	id      cell.PacketID
+	in      int
+	arrival int64
 }
 
 // Switch is the output-queued FIFO switch. It satisfies the
@@ -55,7 +56,7 @@ func (s *Switch) Arrive(p *cell.Packet) {
 		panic("oq: arrival with empty destination set")
 	}
 	p.Dests.ForEach(func(out int) {
-		s.queues[out].Push(queuedCopy{id: p.ID, in: p.Input})
+		s.queues[out].Push(queuedCopy{id: p.ID, in: p.Input, arrival: p.Arrival})
 	})
 }
 
@@ -66,7 +67,7 @@ func (s *Switch) Step(slot int64, deliver func(cell.Delivery)) {
 			continue
 		}
 		c := s.queues[out].Pop()
-		deliver(cell.Delivery{ID: c.id, In: c.in, Out: out, Slot: slot})
+		deliver(cell.Delivery{ID: c.id, In: c.in, Out: out, Slot: slot, Arrival: c.arrival})
 	}
 }
 

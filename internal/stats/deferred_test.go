@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"voqsim/internal/xrand"
+)
+
+// TestDeferredMatchesDirect feeds the same stream through a direct
+// Welford and a Deferred batcher: count, min and max must be
+// identical, mean and variance equal up to float rounding.
+func TestDeferredMatchesDirect(t *testing.T) {
+	for _, every := range []int64{1, 7, 16, 1024} {
+		var direct, target Welford
+		d := NewDeferred(&target, every)
+		r := xrand.New(uint64(every))
+		for i := 0; i < 10_000; i++ {
+			x := r.Float64()*100 - 20
+			direct.Add(x)
+			d.Add(x)
+		}
+		d.Flush()
+		if direct.Count() != target.Count() {
+			t.Fatalf("every=%d: count %d != %d", every, target.Count(), direct.Count())
+		}
+		if direct.Min() != target.Min() || direct.Max() != target.Max() {
+			t.Fatalf("every=%d: min/max (%v,%v) != (%v,%v)", every,
+				target.Min(), target.Max(), direct.Min(), direct.Max())
+		}
+		if diff := math.Abs(direct.Mean() - target.Mean()); diff > 1e-9 {
+			t.Errorf("every=%d: mean off by %v", every, diff)
+		}
+		if rel := math.Abs(direct.Variance()-target.Variance()) / direct.Variance(); rel > 1e-9 {
+			t.Errorf("every=%d: variance off by %v relative", every, rel)
+		}
+	}
+}
+
+// TestDeferredFlushEmpty checks that flushing with nothing pending is
+// a no-op and that partial batches fold correctly.
+func TestDeferredFlushEmpty(t *testing.T) {
+	var target Welford
+	d := NewDeferred(&target, 8)
+	d.Flush()
+	if target.Count() != 0 {
+		t.Fatalf("empty flush added %d samples", target.Count())
+	}
+	d.Add(3)
+	d.Add(5)
+	if d.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", d.Pending())
+	}
+	d.Flush()
+	if target.Count() != 2 || target.Mean() != 4 {
+		t.Fatalf("partial flush: count %d mean %v", target.Count(), target.Mean())
+	}
+	if d.Pending() != 0 {
+		t.Fatalf("pending after flush = %d", d.Pending())
+	}
+}
+
+// TestMeansCompatible pins the CI-overlap predicate's corners.
+func TestMeansCompatible(t *testing.T) {
+	if !MeansCompatible(10, 0.1, 10.2, 0.1, 3, 0) {
+		t.Error("overlapping CIs judged incompatible")
+	}
+	if MeansCompatible(10, 0.1, 12, 0.1, 3, 0) {
+		t.Error("separated means judged compatible")
+	}
+	if !MeansCompatible(1, 0, 1.4, 0, 3, 0.5) {
+		t.Error("absolute floor not applied")
+	}
+	if !MeansCompatible(math.NaN(), math.NaN(), math.NaN(), math.NaN(), 3, 0) {
+		t.Error("two empty streams judged incompatible")
+	}
+	if !MeansCompatible(2, math.NaN(), 2.1, 0.2, 3, 0) {
+		t.Error("NaN standard error not treated as zero")
+	}
+}
+
+// TestChiSquareQuantile sanity-checks the Wilson–Hilferty quantiles
+// against known values (to the few-percent accuracy the tests need).
+func TestChiSquareQuantile(t *testing.T) {
+	cases := []struct {
+		df   int
+		p    float64
+		want float64
+	}{
+		{10, 0.95, 18.307},
+		{10, 0.999, 29.588},
+		{55, 0.999, 93.168},
+		{3, 0.99, 11.345},
+	}
+	for _, c := range cases {
+		got := ChiSquareQuantile(c.df, c.p)
+		if rel := math.Abs(got-c.want) / c.want; rel > 0.03 {
+			t.Errorf("ChiSquareQuantile(%d, %v) = %.3f, want ~%.3f", c.df, c.p, got, c.want)
+		}
+	}
+}

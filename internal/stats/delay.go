@@ -45,6 +45,22 @@ type DelayTracker struct {
 
 	delivered int64 // copies counted (post-warmup packets only)
 	completed int64 // packets fully delivered
+
+	// Fast-mode deferred accumulators (nil in the bit-exact default).
+	// When set, per-sample Welford updates are replaced by plain batch
+	// sums flushed into the same accumulators every K samples — count,
+	// min and max stay identical, mean/variance agree up to rounding.
+	// Histograms stay exact either way: integer bucket counts are
+	// order-insensitive. FlushDeferred must run before reading results.
+	dOut       *Deferred
+	dIn        *Deferred
+	dUni       *Deferred
+	dMulti     *Deferred
+	dPerOutput []Deferred
+
+	// sampleEvery > 1 restricts delay statistics to every K-th packet
+	// ID (EnableSampling); 0 or 1 means every packet, the default.
+	sampleEvery uint64
 }
 
 type packetState struct {
@@ -156,11 +172,75 @@ func NewDelayTracker(measureFrom int64) *DelayTracker {
 	return &DelayTracker{measureFrom: measureFrom}
 }
 
+// EnableDeferred switches the tracker to fast-mode batched
+// accumulation: delay samples collect in plain sums and fold into the
+// Welford state roughly every `every` samples. outputs is the switch
+// port count — the per-output table is pre-sized so its accumulators
+// never move while deferred batchers point at them. Must be called
+// before the first Deliver; FlushDeferred must be called before the
+// accumulators are read.
+func (t *DelayTracker) EnableDeferred(outputs int, every int64) {
+	if t.delivered != 0 {
+		panic("stats: EnableDeferred after deliveries")
+	}
+	for len(t.perOutput) < outputs {
+		t.perOutput = append(t.perOutput, Welford{})
+	}
+	t.dOut = NewDeferred(&t.outOriented, every)
+	t.dIn = NewDeferred(&t.inOriented, every)
+	t.dUni = NewDeferred(&t.uniIn, every)
+	t.dMulti = NewDeferred(&t.multiIn, every)
+	t.dPerOutput = make([]Deferred, outputs)
+	for i := range t.dPerOutput {
+		t.dPerOutput[i] = *NewDeferred(&t.perOutput[i], every)
+	}
+}
+
+// EnableSampling restricts delay *statistics* to every K-th packet
+// (by ID — IDs are issued sequentially, so this is a 1-in-K systematic
+// sample of the arrival process, independent of queue state). Copy
+// counting stays exact: deliveries of unsampled packets are still
+// counted through Delivery.Arrival, so DeliveredCopies is unaffected;
+// Completed counts sampled packets only (the facade scales it back).
+// Requires EnableDeferred first and deliveries carrying their Arrival
+// slot, which only the core engine guarantees — this is a fast-mode
+// facility (DESIGN.md §12), never used on the bit-exact path.
+func (t *DelayTracker) EnableSampling(every int64) {
+	if t.dOut == nil {
+		panic("stats: EnableSampling without EnableDeferred")
+	}
+	if t.delivered != 0 {
+		panic("stats: EnableSampling after deliveries")
+	}
+	if every < 1 {
+		every = 1
+	}
+	t.sampleEvery = uint64(every)
+}
+
+// FlushDeferred folds any pending deferred batches into the Welford
+// accumulators. A no-op in exact mode.
+func (t *DelayTracker) FlushDeferred() {
+	if t.dOut == nil {
+		return
+	}
+	t.dOut.Flush()
+	t.dIn.Flush()
+	t.dUni.Flush()
+	t.dMulti.Flush()
+	for i := range t.dPerOutput {
+		t.dPerOutput[i].Flush()
+	}
+}
+
 // Arrive registers a packet arrival. Packets arriving before the
 // measurement window are ignored (their deliveries will be too).
 func (t *DelayTracker) Arrive(p *cell.Packet) {
 	if p.Arrival < t.measureFrom {
 		return
+	}
+	if t.sampleEvery > 1 && uint64(p.ID)%t.sampleEvery != 0 {
+		return // unsampled in fast mode: no window entry at all
 	}
 	e, dup := t.outstanding.ensure(p.ID)
 	if dup {
@@ -175,6 +255,10 @@ func (t *DelayTracker) Arrive(p *cell.Packet) {
 // packet's fanout panics, because it means a scheduler duplicated or
 // fabricated a copy.
 func (t *DelayTracker) Deliver(d cell.Delivery) {
+	if t.sampleEvery > 1 {
+		t.deliverSampled(d)
+		return
+	}
 	e := t.outstanding.lookup(d.ID)
 	if e == nil {
 		return
@@ -184,12 +268,17 @@ func (t *DelayTracker) Deliver(d cell.Delivery) {
 	if delay < 1 {
 		panic(fmt.Sprintf("stats: packet %d delivered before arrival (delay %d)", d.ID, delay))
 	}
-	t.outOriented.Add(float64(delay))
-	t.outHist.Observe(delay)
-	for len(t.perOutput) <= d.Out {
-		t.perOutput = append(t.perOutput, Welford{})
+	if t.dOut != nil {
+		t.dOut.Add(float64(delay))
+		t.dPerOutput[d.Out].Add(float64(delay))
+	} else {
+		t.outOriented.Add(float64(delay))
+		for len(t.perOutput) <= d.Out {
+			t.perOutput = append(t.perOutput, Welford{})
+		}
+		t.perOutput[d.Out].Add(float64(delay))
 	}
-	t.perOutput[d.Out].Add(float64(delay))
+	t.outHist.Observe(delay)
 	t.delivered++
 	if delay > st.maxDelay {
 		st.maxDelay = delay
@@ -199,13 +288,69 @@ func (t *DelayTracker) Deliver(d cell.Delivery) {
 		panic(fmt.Sprintf("stats: packet %d over-delivered", d.ID))
 	}
 	if st.remain == 0 {
-		t.inOriented.Add(float64(st.maxDelay))
-		t.inHist.Observe(st.maxDelay)
-		if st.fanout == 1 {
-			t.uniIn.Add(float64(st.maxDelay))
+		if t.dIn != nil {
+			t.dIn.Add(float64(st.maxDelay))
+			if st.fanout == 1 {
+				t.dUni.Add(float64(st.maxDelay))
+			} else {
+				t.dMulti.Add(float64(st.maxDelay))
+			}
 		} else {
-			t.multiIn.Add(float64(st.maxDelay))
+			t.inOriented.Add(float64(st.maxDelay))
+			if st.fanout == 1 {
+				t.uniIn.Add(float64(st.maxDelay))
+			} else {
+				t.multiIn.Add(float64(st.maxDelay))
+			}
 		}
+		t.inHist.Observe(st.maxDelay)
+		t.completed++
+		t.outstanding.release(e)
+	}
+}
+
+// deliverSampled is the fast-mode Deliver (EnableSampling active):
+// the measurement-window filter and the copy count come straight from
+// the delivery's Arrival slot — exact, no table — and only every K-th
+// packet pays the statistics work plus a window entry. A sampled
+// packet's bookkeeping matches the exact path (remain counting, max
+// delay, completion split), just always through the deferred
+// accumulators.
+func (t *DelayTracker) deliverSampled(d cell.Delivery) {
+	if d.Arrival < t.measureFrom {
+		return
+	}
+	t.delivered++
+	if uint64(d.ID)%t.sampleEvery != 0 {
+		return
+	}
+	e := t.outstanding.lookup(d.ID)
+	if e == nil {
+		return
+	}
+	st := &e.st
+	delay := d.CopyDelay(st.arrival)
+	if delay < 1 {
+		panic(fmt.Sprintf("stats: packet %d delivered before arrival (delay %d)", d.ID, delay))
+	}
+	t.dOut.Add(float64(delay))
+	t.dPerOutput[d.Out].Add(float64(delay))
+	t.outHist.Observe(delay)
+	if delay > st.maxDelay {
+		st.maxDelay = delay
+	}
+	st.remain--
+	if st.remain < 0 {
+		panic(fmt.Sprintf("stats: packet %d over-delivered", d.ID))
+	}
+	if st.remain == 0 {
+		t.dIn.Add(float64(st.maxDelay))
+		if st.fanout == 1 {
+			t.dUni.Add(float64(st.maxDelay))
+		} else {
+			t.dMulti.Add(float64(st.maxDelay))
+		}
+		t.inHist.Observe(st.maxDelay)
 		t.completed++
 		t.outstanding.release(e)
 	}

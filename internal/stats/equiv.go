@@ -1,0 +1,130 @@
+package stats
+
+// Statistical-equivalence helpers for validating relaxed-identity
+// (fast-mode) runs against the bit-exact path. A fast run draws the
+// same distributions in a different order, so its delay/throughput
+// estimates must agree with the exact run's up to sampling error — a
+// confidence-interval-overlap check — rather than bit-for-bit. The
+// chi-squared helpers back the alias-sampler goodness-of-fit tests.
+
+import "math"
+
+// MeansCompatible reports whether two mean estimates are statistically
+// indistinguishable: |m1 - m2| <= absTol + z * sqrt(se1² + se2²). The
+// standard errors come from Welford.StdErr (or batch means); z should
+// be inflated well past the i.i.d. value because slot-level samples are
+// autocorrelated. NaN standard errors are treated as zero so degenerate
+// (constant or near-empty) streams fall back to the absolute floor.
+func MeansCompatible(m1, se1, m2, se2, z, absTol float64) bool {
+	if math.IsNaN(m1) && math.IsNaN(m2) {
+		return true
+	}
+	if math.IsNaN(se1) {
+		se1 = 0
+	}
+	if math.IsNaN(se2) {
+		se2 = 0
+	}
+	return math.Abs(m1-m2) <= absTol+z*math.Hypot(se1, se2)
+}
+
+// ChiSquareGoF computes Pearson's goodness-of-fit statistic for
+// observed outcome counts against expected probabilities, pooling
+// consecutive cells until each pooled cell's expectation reaches
+// minExpected (the usual >=5 validity rule). It returns the statistic
+// and the degrees of freedom (pooled cells - 1). Outcomes beyond
+// len(probs) with zero probability would make the statistic infinite;
+// callers must pass matching supports.
+func ChiSquareGoF(obs []int64, probs []float64, minExpected float64) (stat float64, df int) {
+	if len(obs) != len(probs) {
+		panic("stats: chi-square length mismatch")
+	}
+	var total int64
+	for _, o := range obs {
+		total += o
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	type pooledCell struct{ o, e float64 }
+	var pooled []pooledCell
+	var oAcc, eAcc float64
+	for i := range obs {
+		oAcc += float64(obs[i])
+		eAcc += probs[i] * float64(total)
+		if eAcc >= minExpected {
+			pooled = append(pooled, pooledCell{oAcc, eAcc})
+			oAcc, eAcc = 0, 0
+		}
+	}
+	// An undersized tail merges into the last closed cell.
+	if oAcc > 0 || eAcc > 0 {
+		if len(pooled) > 0 {
+			pooled[len(pooled)-1].o += oAcc
+			pooled[len(pooled)-1].e += eAcc
+		} else {
+			pooled = append(pooled, pooledCell{oAcc, eAcc})
+		}
+	}
+	for _, c := range pooled {
+		if c.e > 0 {
+			d := c.o - c.e
+			stat += d * d / c.e
+		}
+	}
+	if len(pooled) < 2 {
+		return stat, 0
+	}
+	return stat, len(pooled) - 1
+}
+
+// ChiSquareQuantile returns an approximation of the p-quantile of the
+// chi-squared distribution with df degrees of freedom, via the
+// Wilson–Hilferty cube transformation. Accurate to a few percent for
+// df >= 3 and upper-tail p, which is all the equivalence tests need.
+func ChiSquareQuantile(df int, p float64) float64 {
+	if df <= 0 {
+		return 0
+	}
+	d := float64(df)
+	z := NormalQuantile(p)
+	a := 2 / (9 * d)
+	v := 1 - a + z*math.Sqrt(a)
+	return d * v * v * v
+}
+
+// NormalQuantile returns the p-quantile of the standard normal
+// distribution using Acklam's rational approximation (relative error
+// below 1.2e-9 over (0, 1)). It panics outside (0, 1).
+func NormalQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic("stats: normal quantile needs 0 < p < 1")
+	}
+	a := [...]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := [...]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := [...]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := [...]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+	const pLow = 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p > 1-pLow:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+}

@@ -15,20 +15,59 @@ func TestSlotZeroAllocs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("benchmark-backed guard")
 	}
-	for _, n := range []int{64, 128} {
-		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
-			res := testing.Benchmark(func(b *testing.B) { benchSlot(b, n) })
+	for _, tc := range []struct {
+		n    int
+		fast bool
+	}{
+		{64, false}, {128, false}, {256, false},
+		{64, true}, {256, true},
+	} {
+		name := fmt.Sprintf("n=%d", tc.n)
+		if tc.fast {
+			name = "fast/" + name
+		}
+		tc := tc
+		t.Run(name, func(t *testing.T) {
+			res := testing.Benchmark(func(b *testing.B) { benchSlot(b, tc.n, tc.fast) })
 			if a := res.AllocsPerOp(); a != 0 {
-				t.Fatalf("steady-state slot at n=%d: %d allocs/op (%d B/op), want 0",
-					n, a, res.AllocedBytesPerOp())
+				t.Fatalf("steady-state slot at %s: %d allocs/op (%d B/op), want 0",
+					name, a, res.AllocedBytesPerOp())
 			}
 			// A handful of bytes/op can legitimately appear from amortized
 			// ring growth while the backlog still drifts; whole allocations
 			// per op may not. Keep a small ceiling on the bytes too so a
 			// genuine per-slot allocation cannot hide below 1 alloc/op.
 			if bytes := res.AllocedBytesPerOp(); bytes > 16 {
-				t.Fatalf("steady-state slot at n=%d: %d B/op, want <= 16", n, bytes)
+				t.Fatalf("steady-state slot at %s: %d B/op, want <= 16", name, bytes)
 			}
 		})
+	}
+}
+
+// TestSlotZeroAllocs1024 extends the guard to the widest quoted size
+// with runtime.AllocsPerRun over warmed runners — cheaper than a full
+// adaptive benchmark at N=1024, where a single warm-up is already
+// millions of cell operations.
+func TestSlotZeroAllocs1024(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed guard")
+	}
+	for _, fast := range []bool{false, true} {
+		// N=1024 needs a longer warm-up than the benchmark default: the
+		// backlog (and with it the packet pool and tracker tables) keeps
+		// growing past 2000 slots, and every slot of drift allocates.
+		const n, measured, warm = 1024, 200, 12_000
+		r := slotBenchRunner(n, warm+measured+1, fast)
+		for slot := int64(0); slot < warm; slot++ {
+			r.tick(slot, 0)
+		}
+		slot := int64(warm)
+		avg := testing.AllocsPerRun(measured, func() {
+			r.tick(slot, 0)
+			slot++
+		})
+		if avg != 0 {
+			t.Fatalf("steady-state slot at n=1024 (fast=%v): %.2f allocs/op, want 0", fast, avg)
+		}
 	}
 }

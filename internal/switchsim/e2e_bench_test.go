@@ -19,38 +19,63 @@ import (
 // slotBenchRunner builds a FIFOMS runner at the standard operating
 // point of the end-to-end suite: uniform traffic, maxFanout 4,
 // effective load 0.9 — stable under FIFOMS but busy nearly every slot.
-func slotBenchRunner(n int, slots int64) *Runner {
+// fast selects the relaxed-identity engine mode (DESIGN.md §12).
+func slotBenchRunner(n int, slots int64, fast bool) *Runner {
 	pat := traffic.Uniform{P: 2 * 0.9 / (1 + 4), MaxFanout: 4} // load 0.9
 	sw := core.NewSwitch(n, &core.FIFOMS{}, xrand.New(7).Split("switch", 0))
-	cfg := Config{Slots: slots, WarmupFrac: -1, Seed: 7}
+	cfg := Config{Slots: slots, WarmupFrac: -1, Seed: 7, Fast: fast}
 	return New(sw, pat, cfg, xrand.New(7).Split("traffic", 0))
 }
 
 // benchSlot measures the steady-state per-slot cost: the switch is
 // warmed into its stationary backlog outside the timer, then each
 // iteration simulates exactly one slot including statistics updates.
-func benchSlot(b *testing.B, n int) {
+func benchSlot(b *testing.B, n int, fast bool) {
 	b.Helper()
-	r := slotBenchRunner(n, int64(b.N)+warmSlots+1)
-	for slot := int64(0); slot < warmSlots; slot++ {
+	warm := warmSlotsFor(n)
+	r := slotBenchRunner(n, int64(b.N)+warm+1, fast)
+	for slot := int64(0); slot < warm; slot++ {
 		r.tick(slot, 0)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r.tick(warmSlots+int64(i), 0)
+		r.tick(warm+int64(i), 0)
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "slots/s")
 }
 
-// warmSlots is enough for the 0.9-load backlog to reach steady state.
+// warmSlotsFor is the warm-up needed for the 0.9-load backlog to reach
+// steady state: 2000 slots through N=128, but the wide sizes keep
+// growing their backlog (and with it the packet pool, ring and tracker
+// tables) well past that, which would bill amortized table growth to
+// the steady state.
+func warmSlotsFor(n int) int64 {
+	switch {
+	case n >= 1024:
+		return 12_000
+	case n >= 256:
+		return 6_000
+	}
+	return warmSlots
+}
+
 const warmSlots = 2000
 
+// slotBenchSizes are the sizes both BenchmarkSlot and BENCH_e2e.json
+// quote; 256 and 1024 exercise the multi-word chunked kernels.
+var slotBenchSizes = []int{16, 64, 128, 256, 1024}
+
 // BenchmarkSlot is the end-to-end steady-state slot cost at N ∈
-// {16, 64, 128} under uniform maxFanout-4 traffic at load 0.9.
+// {16, 64, 128, 256, 1024} under uniform maxFanout-4 traffic at load
+// 0.9, in the bit-exact default and under fast/ in the
+// relaxed-identity fast mode.
 func BenchmarkSlot(b *testing.B) {
-	for _, n := range []int{16, 64, 128} {
-		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchSlot(b, n) })
+	for _, n := range slotBenchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchSlot(b, n, false) })
+	}
+	for _, n := range slotBenchSizes {
+		b.Run(fmt.Sprintf("fast/n=%d", n), func(b *testing.B) { benchSlot(b, n, true) })
 	}
 }

@@ -57,6 +57,12 @@ func (r *Runner) Snapshottable() error { return r.snapshottable() }
 
 // snapshottable reports why this run cannot be checkpointed, or nil.
 func (r *Runner) snapshottable() error {
+	if r.cfg.Fast {
+		// Fast mode relaxes draw-order identity, which the whole
+		// checkpoint contract (resume == straight run, bit for bit)
+		// is built on; its sources are not Snapshottable either.
+		return fmt.Errorf("switchsim: fast mode cannot be checkpointed or resumed")
+	}
 	if _, ok := r.sw.(SnapshottableSwitch); !ok {
 		return fmt.Errorf("switchsim: architecture %T does not support snapshots", r.sw)
 	}

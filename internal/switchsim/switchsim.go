@@ -95,6 +95,19 @@ type Config struct {
 	// randomness indirectly through the caller; it is recorded in the
 	// results for reproducibility.
 	Seed uint64
+	// Fast enables the relaxed-identity fast mode (DESIGN.md §12):
+	// traffic patterns are swapped for their alias/Floyd/geometric
+	// variants (traffic.Fast), idle ports are skipped between
+	// arrivals, delay statistics accumulate in deferred batches, and
+	// the per-slot occupancy/memory sampling is subsampled to every
+	// FastStatsEvery-th measured slot. A fast run draws the same
+	// distributions in a different order, so it is not bit-comparable
+	// to a default run and cannot be checkpointed, resumed or golden-
+	// replayed; it is validated statistically instead.
+	Fast bool
+	// FastStatsEvery is the fast-mode batching/subsampling interval;
+	// zero means 16. Ignored unless Fast is set.
+	FastStatsEvery int64
 }
 
 func (c Config) withDefaults(n int) Config {
@@ -109,6 +122,9 @@ func (c Config) withDefaults(n int) Config {
 	}
 	if c.UnstableCellLimit <= 0 {
 		c.UnstableCellLimit = int64(1000 * n)
+	}
+	if c.Fast && c.FastStatsEvery <= 0 {
+		c.FastStatsEvery = 16
 	}
 	return c
 }
@@ -213,6 +229,13 @@ type Runner struct {
 	// nil entries fall back to the allocating Next path.
 	intoSources []traffic.IntoSource
 
+	// skips caches each source's optional SkipSource interface; nil
+	// (always, outside fast mode) means the source must be polled
+	// every slot. fastEvery is the fast-mode stats subsampling
+	// interval, 0 in the bit-exact default.
+	skips     []traffic.SkipSource
+	fastEvery int64
+
 	// rr and br cache the switch's optional reporter capabilities so
 	// the per-slot loop does no interface assertions.
 	rr RoundsReporter
@@ -253,6 +276,11 @@ type Runner struct {
 func New(sw Switch, pat traffic.Pattern, cfg Config, root *xrand.Rand) *Runner {
 	n := sw.Ports()
 	cfg = cfg.withDefaults(n)
+	if cfg.Fast {
+		// The fast pattern reports the same String/EffectiveLoad/
+		// MeanFanout, so results and sweep keys stay comparable.
+		pat = traffic.Fast(pat)
+	}
 	warmup := int64(float64(cfg.Slots) * cfg.WarmupFrac)
 	r := &Runner{
 		sw:      sw,
@@ -265,6 +293,15 @@ func New(sw Switch, pat traffic.Pattern, cfg Config, root *xrand.Rand) *Runner {
 	r.intoSources = make([]traffic.IntoSource, n)
 	for i, src := range r.sources {
 		r.intoSources[i], _ = src.(traffic.IntoSource)
+	}
+	if cfg.Fast {
+		r.fastEvery = cfg.FastStatsEvery
+		r.tracker.EnableDeferred(n, cfg.FastStatsEvery)
+		r.tracker.EnableSampling(cfg.FastStatsEvery)
+		r.skips = make([]traffic.SkipSource, n)
+		for i, src := range r.sources {
+			r.skips[i], _ = src.(traffic.SkipSource)
+		}
 	}
 	r.rr, _ = sw.(RoundsReporter)
 	r.br, _ = sw.(BytesReporter)
@@ -409,9 +446,15 @@ func (r *Runner) RunWithCheckpoints(name string, every int64, sink CheckpointFun
 		}
 	}
 
+	r.tracker.FlushDeferred()
 	res.OfferedPackets = r.offeredPackets
 	res.OfferedCopies = r.offeredCopies
 	res.Completed = r.tracker.Completed()
+	if r.fastEvery > 1 {
+		// Fast mode tracks completion on a 1-in-K packet sample
+		// (DESIGN.md §12); scale back to an estimate of the true count.
+		res.Completed *= r.fastEvery
+	}
 	res.Delivered = r.delivered
 	res.InputDelay = summarize(r.tracker.InputOriented())
 	res.OutputDelay = summarize(r.tracker.OutputOriented())
@@ -432,6 +475,13 @@ func (r *Runner) RunWithCheckpoints(name string, every int64, sink CheckpointFun
 // tick simulates one slot: arrivals, switch step, sampling.
 func (r *Runner) tick(slot, warmup int64) {
 	for in, src := range r.sources {
+		if r.skips != nil {
+			// Fast mode: a source that knows its next arrival slot is
+			// not even polled until then.
+			if sk := r.skips[in]; sk != nil && sk.NextArrival() > slot {
+				continue
+			}
+		}
 		var p *cell.Packet
 		if into := r.intoSources[in]; into != nil {
 			p = r.getPacket()
@@ -474,6 +524,14 @@ func (r *Runner) tick(slot, warmup int64) {
 	}
 
 	if slot >= warmup {
+		// Fast mode subsamples the per-slot occupancy/rounds/memory
+		// walk to every fastEvery-th measured slot: the means stay
+		// unbiased (slot choice is independent of the sampled state),
+		// while MaxQueue and PeakBufferBytes become subsampled
+		// approximations (DESIGN.md §12).
+		if r.fastEvery > 1 && (slot-warmup)%r.fastEvery != 0 {
+			return
+		}
 		r.occ.Sample(r.sw.QueueSizes(r.sizes))
 		if r.rr != nil && busy {
 			r.rounds.Add(float64(r.rr.LastRounds()))

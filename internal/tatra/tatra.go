@@ -107,7 +107,7 @@ func (s *Switch) Step(slot int64, deliver func(cell.Delivery)) {
 			panic(fmt.Sprintf("tatra: board block (%d,%d) not in packet's remaining fanout", in, out))
 		}
 		e.remaining.Remove(out)
-		deliver(cell.Delivery{ID: e.p.ID, In: in, Out: out, Slot: slot, Last: e.remaining.Empty()})
+		deliver(cell.Delivery{ID: e.p.ID, In: in, Out: out, Slot: slot, Arrival: e.p.Arrival, Last: e.remaining.Empty()})
 	}
 
 	// Advance: fully served head-of-line packets leave their queues;

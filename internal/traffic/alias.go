@@ -1,0 +1,154 @@
+package traffic
+
+// Alias-method (Vose) sampling for fast-mode traffic. The bit-exact
+// sources draw destination sets with per-output Bernoulli trials or
+// Vitter reservoir scans — O(N) generator draws per arrival, which
+// BENCH_e2e.json attributes ~21% of the slot profile to. Fast mode
+// replaces the *count* draw with one O(1) alias-table sample from the
+// exact Binomial(N, b) fanout distribution and the *membership* draw
+// with Floyd's O(k) subset algorithm; the joint distribution of the
+// resulting destination set is unchanged (i.i.d. Bernoulli inclusion is
+// exchangeable: conditioned on the count, the subset is uniform), only
+// the draw order differs. DESIGN.md §12 covers the validation story.
+
+import (
+	"fmt"
+	"math"
+
+	"voqsim/internal/xrand"
+)
+
+// AliasTable samples from a fixed discrete distribution over
+// {0..len(weights)-1} in O(1) per draw (one Intn and one Float64),
+// using Vose's alias method. Construction is O(n); the table is
+// immutable and safe for concurrent readers with distinct generators.
+type AliasTable struct {
+	n     int
+	prob  []float64 // acceptance threshold of each column
+	alias []int32   // alternative outcome of each column
+}
+
+// NewAliasTable builds the table for the given non-negative weights,
+// which need not be normalized. It panics if weights is empty, if any
+// weight is negative or non-finite, or if all weights are zero.
+func NewAliasTable(weights []float64) *AliasTable {
+	n := len(weights)
+	if n == 0 {
+		panic("traffic: alias table needs at least one weight")
+	}
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			panic(fmt.Sprintf("traffic: alias weight %d = %v must be finite and non-negative", i, w))
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("traffic: alias weights must not all be zero")
+	}
+
+	// Vose's construction: scale weights to mean 1, then repeatedly pair
+	// an under-full column with an over-full one so every column holds
+	// its own outcome up to prob[i] and one alias above it.
+	scaled := make([]float64, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+	}
+	t := &AliasTable{n: n, prob: make([]float64, n), alias: make([]int32, n)}
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, p := range scaled {
+		t.alias[i] = int32(i)
+		if p < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		t.prob[s] = scaled[s]
+		t.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Leftovers are exactly-full columns up to float rounding.
+	for _, i := range large {
+		t.prob[i] = 1
+	}
+	for _, i := range small {
+		t.prob[i] = 1
+	}
+	return t
+}
+
+// Len returns the number of outcomes.
+func (t *AliasTable) Len() int { return t.n }
+
+// Sample draws one outcome in [0, Len()).
+func (t *AliasTable) Sample(r *xrand.Rand) int {
+	i := r.Intn(t.n)
+	if r.Float64() < t.prob[i] {
+		return i
+	}
+	return int(t.alias[i])
+}
+
+// Prob returns the probability the table assigns to outcome i,
+// reconstructed from the alias columns (each column contributes 1/n
+// split between its own outcome and its alias). Used by the
+// goodness-of-fit tests to compare against the analytic pmf.
+func (t *AliasTable) Prob(i int) float64 {
+	p := 0.0
+	inv := 1 / float64(t.n)
+	for c := 0; c < t.n; c++ {
+		if c == i {
+			p += t.prob[c] * inv
+		}
+		if int(t.alias[c]) == i {
+			p += (1 - t.prob[c]) * inv
+		}
+	}
+	return p
+}
+
+// binomialWeights returns the Binomial(n, p) pmf over {0..n}, computed
+// in log space so it stays exact-to-rounding even where the direct
+// product underflows (e.g. (1-p)^1024).
+func binomialWeights(n int, p float64) []float64 {
+	w := make([]float64, n+1)
+	if p <= 0 {
+		w[0] = 1
+		return w
+	}
+	if p >= 1 {
+		w[n] = 1
+		return w
+	}
+	lp, lq := math.Log(p), math.Log1p(-p)
+	lg := func(x float64) float64 {
+		v, _ := math.Lgamma(x)
+		return v
+	}
+	lgn := lg(float64(n) + 1)
+	logs := make([]float64, n+1)
+	maxLog := math.Inf(-1)
+	for k := 0; k <= n; k++ {
+		l := lgn - lg(float64(k)+1) - lg(float64(n-k)+1) + float64(k)*lp + float64(n-k)*lq
+		logs[k] = l
+		if l > maxLog {
+			maxLog = l
+		}
+	}
+	for k := range w {
+		w[k] = math.Exp(logs[k] - maxLog)
+	}
+	return w
+}

@@ -1,0 +1,323 @@
+package traffic
+
+// Fast-mode sources: relaxed-identity variants of the paper's traffic
+// processes. Each fast source generates arrivals from *exactly the same
+// stochastic model* as its bit-exact counterpart — same per-slot
+// arrival probability, same fanout distribution, same burst-length
+// laws — but spends O(1)+O(fanout) generator draws per arrival instead
+// of O(N) per slot:
+//
+//   - the per-slot Bool(p) gate becomes one Geometric(p) skip-ahead
+//     draw per arrival (and per burst transition),
+//   - per-output Bernoulli destination scans become one alias-method
+//     Binomial(N, b) count draw plus a Floyd uniform k-subset,
+//   - Vitter reservoir k-subsets become Floyd k-subsets.
+//
+// The draw *sequence* differs from the exact sources, so a fast run is
+// not bit-comparable to a default run; it is validated statistically
+// (CI overlap of delay/throughput against the exact path, see
+// TestFastModeEquivalence) instead. Fast sources deliberately do not
+// implement Snapshottable: checkpoint/resume and the golden/replay
+// harnesses assume bit-exact draw order.
+//
+// Sources also implement SkipSource so the engine can skip the
+// per-slot call entirely for ports with no pending arrival.
+
+import (
+	"math"
+
+	"voqsim/internal/destset"
+	"voqsim/internal/xrand"
+)
+
+// SkipSource is optionally implemented by sources that know the next
+// slot at which they may produce a packet. When a source reports
+// NextArrival() > slot the engine may skip calling NextInto for that
+// slot entirely; the source must tolerate the skipped calls. Bit-exact
+// sources cannot implement this (their per-slot draws are part of the
+// pinned sequence); fast-mode sources use it to make idle ports free.
+type SkipSource interface {
+	// NextArrival returns the earliest future slot at which NextInto may
+	// return true. The engine must still call NextInto at every slot >=
+	// that value until it advances.
+	NextArrival() int64
+}
+
+// Fast returns the relaxed-identity variant of pat: a pattern whose
+// sources draw from the same distribution with O(1) alias/Floyd/
+// geometric sampling instead of the bit-exact per-candidate scans.
+// Patterns without a fast variant (hotspot, diagonal, trace replay,
+// and any external pattern) are returned unchanged — for those the
+// exact source is already cheap or the draw sequence *is* the payload.
+// The returned pattern reports the same String(), EffectiveLoad and
+// MeanFanout as pat, so sweep keys and reports stay comparable.
+func Fast(pat Pattern) Pattern {
+	switch p := pat.(type) {
+	case Bernoulli:
+		return fastBernoulli{p}
+	case Uniform:
+		return fastUniform{p}
+	case Burst:
+		return fastBurst{p}
+	case Mixed:
+		return fastMixed{p}
+	default:
+		return pat
+	}
+}
+
+// neverSlot is the NextArrival value of a source that will never emit.
+const neverSlot = math.MaxInt64
+
+// arrivalGeo is the skip-ahead sampler of an independent per-slot
+// Bernoulli(p) arrival process: gaps between arrivals are
+// Geometric(p), with log(1-p) precomputed once per source (the log
+// otherwise dominates the per-arrival cost). p == 0 is the
+// never-arriving process.
+type arrivalGeo struct {
+	p   float64
+	geo xrand.Geo
+}
+
+func newArrivalGeo(p float64) arrivalGeo {
+	a := arrivalGeo{p: p}
+	if p > 0 {
+		a.geo = xrand.NewGeo(p)
+	}
+	return a
+}
+
+// first returns the first arrival slot: g-1 where g ~ Geometric(p).
+func (a arrivalGeo) first(r *xrand.Rand) int64 {
+	if a.p <= 0 {
+		return neverSlot
+	}
+	return int64(a.geo.Next(r)) - 1
+}
+
+// after returns the next arrival slot strictly after slot.
+func (a arrivalGeo) after(r *xrand.Rand, slot int64) int64 {
+	if a.p <= 0 {
+		return neverSlot
+	}
+	return slot + int64(a.geo.Next(r))
+}
+
+// fastBernoulli is the relaxed-identity Bernoulli pattern.
+type fastBernoulli struct{ Bernoulli }
+
+func (t fastBernoulli) NewSource(n, input int, r *xrand.Rand) Source {
+	validateProb("bernoulli p", t.P)
+	validateProb("bernoulli b", t.B)
+	src := &fastBernoulliSource{
+		fanout: NewAliasTable(binomialWeights(n, t.B)),
+		gap:    newArrivalGeo(t.P), n: n, r: r,
+	}
+	src.next = src.gap.first(r)
+	return src
+}
+
+type fastBernoulliSource struct {
+	fanout *AliasTable // Binomial(n, b) over {0..n}
+	gap    arrivalGeo
+	n      int
+	r      *xrand.Rand
+	next   int64
+}
+
+func (s *fastBernoulliSource) NextArrival() int64 { return s.next }
+
+func (s *fastBernoulliSource) NextInto(slot int64, d *destset.Set) bool {
+	if slot < s.next {
+		return false
+	}
+	s.next = s.gap.after(s.r, slot)
+	// An empty Bernoulli draw is "no arrival" in the exact source; here
+	// that is the k=0 outcome of the binomial count.
+	k := s.fanout.Sample(s.r)
+	if k == 0 {
+		return false
+	}
+	d.RandomKSubsetFloyd(s.r, k)
+	return true
+}
+
+func (s *fastBernoulliSource) Next(slot int64) *destset.Set {
+	d := destset.New(s.n)
+	if !s.NextInto(slot, d) {
+		return nil
+	}
+	return d
+}
+
+// fastUniform is the relaxed-identity Uniform pattern.
+type fastUniform struct{ Uniform }
+
+func (t fastUniform) NewSource(n, input int, r *xrand.Rand) Source {
+	validateProb("uniform p", t.P)
+	if t.MaxFanout < 1 || t.MaxFanout > n {
+		panic("traffic: maxFanout outside [1,n]")
+	}
+	src := &fastUniformSource{gap: newArrivalGeo(t.P), maxFanout: t.MaxFanout, n: n, r: r}
+	src.next = src.gap.first(r)
+	return src
+}
+
+type fastUniformSource struct {
+	gap       arrivalGeo
+	maxFanout int
+	n         int
+	r         *xrand.Rand
+	next      int64
+}
+
+func (s *fastUniformSource) NextArrival() int64 { return s.next }
+
+func (s *fastUniformSource) NextInto(slot int64, d *destset.Set) bool {
+	if slot < s.next {
+		return false
+	}
+	s.next = s.gap.after(s.r, slot)
+	k := 1 + s.r.Intn(s.maxFanout)
+	d.RandomKSubsetFloyd(s.r, k)
+	return true
+}
+
+func (s *fastUniformSource) Next(slot int64) *destset.Set {
+	d := destset.New(s.n)
+	if !s.NextInto(slot, d) {
+		return nil
+	}
+	return d
+}
+
+// fastMixed is the relaxed-identity Mixed pattern.
+type fastMixed struct{ Mixed }
+
+func (t fastMixed) NewSource(n, input int, r *xrand.Rand) Source {
+	validateProb("mixed p", t.P)
+	validateProb("mixed multicastFrac", t.MulticastFrac)
+	if t.MaxFanout < 2 || t.MaxFanout > n {
+		panic("traffic: mixed maxFanout outside [2,n]")
+	}
+	src := &fastMixedSource{gap: newArrivalGeo(t.P), frac: t.MulticastFrac,
+		maxFanout: t.MaxFanout, n: n, r: r}
+	src.next = src.gap.first(r)
+	return src
+}
+
+type fastMixedSource struct {
+	gap       arrivalGeo
+	frac      float64
+	maxFanout int
+	n         int
+	r         *xrand.Rand
+	next      int64
+}
+
+func (s *fastMixedSource) NextArrival() int64 { return s.next }
+
+func (s *fastMixedSource) NextInto(slot int64, d *destset.Set) bool {
+	if slot < s.next {
+		return false
+	}
+	s.next = s.gap.after(s.r, slot)
+	if s.r.Bool(s.frac) {
+		k := 2 + s.r.Intn(s.maxFanout-1)
+		d.RandomKSubsetFloyd(s.r, k)
+	} else {
+		d.Clear()
+		d.Add(s.r.Intn(s.n))
+	}
+	return true
+}
+
+func (s *fastMixedSource) Next(slot int64) *destset.Set {
+	d := destset.New(s.n)
+	if !s.NextInto(slot, d) {
+		return nil
+	}
+	return d
+}
+
+// fastBurst is the relaxed-identity Burst pattern. Instead of one
+// Bool draw per slot for the on/off Markov chain, it draws whole state
+// lengths: both run lengths are geometric (off ~ Geometric(pOn), on ~
+// Geometric(pOff)) because the exact chain tests a constant exit
+// probability at the end of every slot.
+type fastBurst struct{ Burst }
+
+func (t fastBurst) NewSource(n, input int, r *xrand.Rand) Source {
+	if t.EOn < 1 {
+		panic("traffic: burst EOn must be >= 1")
+	}
+	if t.EOff < 0 {
+		panic("traffic: burst EOff must be >= 0")
+	}
+	validateProb("burst b", t.B)
+	if t.B == 0 {
+		panic("traffic: burst b must be positive")
+	}
+	s := &fastBurstSource{
+		geoOn:  xrand.NewGeo(probFromMean(t.EOff)),
+		geoOff: xrand.NewGeo(1 / t.EOn),
+		fanout: NewAliasTable(binomialWeights(n, t.B)),
+		n:      n, r: r,
+		dests: destset.New(n),
+	}
+	// The source starts off; the first on-slot is one whole off-run away.
+	s.stateEnd = int64(s.geoOn.Next(r))
+	s.next = s.stateEnd
+	return s
+}
+
+type fastBurstSource struct {
+	geoOn    xrand.Geo // off-run lengths exit at rate pOn
+	geoOff   xrand.Geo // on-run lengths exit at rate pOff
+	fanout   *AliasTable
+	n        int
+	r        *xrand.Rand
+	dests    *destset.Set
+	on       bool
+	stateEnd int64 // first slot of the next state
+	next     int64 // next slot NextInto must run at
+}
+
+func (s *fastBurstSource) NextArrival() int64 { return s.next }
+
+func (s *fastBurstSource) NextInto(slot int64, d *destset.Set) bool {
+	if slot < s.next {
+		return false
+	}
+	if !s.on {
+		// slot == stateEnd: the off-run ended, start a burst. The burst's
+		// destination set is a Bernoulli(b) draw conditioned non-empty,
+		// i.e. a binomial count redrawn until positive plus a uniform
+		// subset of that size.
+		s.on = true
+		s.stateEnd = slot + int64(s.geoOff.Next(s.r))
+		for {
+			if k := s.fanout.Sample(s.r); k > 0 {
+				s.dests.RandomKSubsetFloyd(s.r, k)
+				break
+			}
+		}
+	}
+	d.CopyFrom(s.dests)
+	if slot+1 >= s.stateEnd {
+		s.on = false
+		s.stateEnd = slot + 1 + int64(s.geoOn.Next(s.r))
+		s.next = s.stateEnd
+	} else {
+		s.next = slot + 1
+	}
+	return true
+}
+
+func (s *fastBurstSource) Next(slot int64) *destset.Set {
+	d := destset.New(s.n)
+	if !s.NextInto(slot, d) {
+		return nil
+	}
+	return d
+}

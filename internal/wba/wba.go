@@ -182,7 +182,7 @@ func (s *Switch) Step(slot int64, deliver func(cell.Delivery)) {
 		e := s.heads[chosen]
 		e.remaining.Remove(out)
 		last := e.remaining.Empty()
-		deliver(cell.Delivery{ID: e.p.ID, In: chosen, Out: out, Slot: slot, Last: last})
+		deliver(cell.Delivery{ID: e.p.ID, In: chosen, Out: out, Slot: slot, Arrival: e.p.Arrival, Last: last})
 		if s.obs != nil {
 			s.served[chosen]++
 			if s.obs.TraceOn() {

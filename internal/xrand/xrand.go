@@ -261,3 +261,41 @@ func (r *Rand) Geometric(p float64) int {
 	}
 	return g
 }
+
+// Geo is a Geometric(p) sampler with the parameter's log(1-p)
+// precomputed: Geometric spends most of its time in two logarithms,
+// and the denominator one is loop-invariant for any fixed-rate source.
+// Next is computation-for-computation the inversion Geometric uses, so
+// given the same generator state it returns the same value.
+type Geo struct {
+	p    float64
+	logQ float64 // log(1-p); 0 when p == 1 (unused)
+}
+
+// NewGeo returns a sampler of Geometric(p) on {1, 2, ...}.
+func NewGeo(p float64) Geo {
+	if p <= 0 || p > 1 {
+		panic("xrand: NewGeo needs 0 < p <= 1")
+	}
+	g := Geo{p: p}
+	if p < 1 {
+		g.logQ = math.Log(1 - p)
+	}
+	return g
+}
+
+// Next draws one geometric variate using r's stream.
+func (g Geo) Next(r *Rand) int {
+	if g.p == 1 {
+		return 1
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	v := int(math.Ceil(math.Log(1-u) / g.logQ))
+	if v < 1 {
+		v = 1
+	}
+	return v
+}

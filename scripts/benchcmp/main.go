@@ -20,6 +20,8 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -87,10 +89,11 @@ func parseFile(path string) (map[string]*result, error) {
 	return out, nil
 }
 
-// compare writes a delta table to w and returns the names of
+// compare writes a delta table to w — ending with a geomean speedup
+// row over the common benchmarks — and returns the names of
 // benchmarks that regressed beyond thresholdPct (time) or regressed
 // from zero to non-zero allocations.
-func compare(w *os.File, old, new map[string]*result, thresholdPct float64) []string {
+func compare(w io.Writer, old, new map[string]*result, thresholdPct float64) []string {
 	names := make([]string, 0, len(old))
 	for name := range old {
 		if _, ok := new[name]; ok {
@@ -100,12 +103,18 @@ func compare(w *os.File, old, new map[string]*result, thresholdPct float64) []st
 	sort.Strings(names)
 
 	var regressed []string
+	var logSum float64
+	var logN int
 	fmt.Fprintf(w, "%-60s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
 	for _, name := range names {
 		o, n := old[name], new[name]
 		delta := 0.0
 		if o.ns > 0 {
 			delta = (n.ns - o.ns) / o.ns * 100
+		}
+		if o.ns > 0 && n.ns > 0 {
+			logSum += math.Log(o.ns / n.ns)
+			logN++
 		}
 		mark := ""
 		if delta > thresholdPct {
@@ -118,6 +127,14 @@ func compare(w *os.File, old, new map[string]*result, thresholdPct float64) []st
 			regressed = append(regressed, fmt.Sprintf("%s: 0 -> %d allocs/op", name, n.allocs))
 		}
 		fmt.Fprintf(w, "%-60s %14.0f %14.0f %+7.1f%%%s\n", name, o.ns, n.ns, delta, mark)
+	}
+	if logN > 0 {
+		// The geomean of per-benchmark old/new time ratios: >1 means the
+		// new side is faster overall; the symmetric aggregate benchstat
+		// reports, immune to one benchmark dominating an arithmetic mean.
+		speedup := math.Exp(logSum / float64(logN))
+		fmt.Fprintf(w, "%-60s %38.3fx (%+.1f%%)\n",
+			fmt.Sprintf("geomean speedup (%d benchmarks)", logN), speedup, (speedup-1)*100)
 	}
 
 	// Benchmarks present on only one side are reported but never fatal:

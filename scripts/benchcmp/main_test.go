@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -79,5 +80,62 @@ func TestCompareFlagsAllocRegression(t *testing.T) {
 	regressed := compare(os.Stdout, old, new, 10)
 	if len(regressed) != 1 {
 		t.Fatalf("flagged %d regressions, want 1 (alloc): %v", len(regressed), regressed)
+	}
+}
+
+func TestCompareReportsGeomeanSpeedup(t *testing.T) {
+	// A uniform 2x win across both common benchmarks must report a
+	// 2.000x geomean; the benchmark present on one side only is
+	// excluded from the aggregate.
+	old, err := parseFile(writeTemp(t, "old.txt", `
+BenchmarkSlot/n=64-8   100 20000 ns/op 0 B/op 0 allocs/op
+BenchmarkSlot/n=128-8  100 50000 ns/op 0 B/op 0 allocs/op
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	new, err := parseFile(writeTemp(t, "new.txt", `
+BenchmarkSlot/n=64-8   100 10000 ns/op 0 B/op 0 allocs/op
+BenchmarkSlot/n=128-8  100 25000 ns/op 0 B/op 0 allocs/op
+BenchmarkSlot/n=256-8  100 99999 ns/op 0 B/op 0 allocs/op
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if regressed := compare(&sb, old, new, 10); len(regressed) != 0 {
+		t.Fatalf("unexpected regressions: %v", regressed)
+	}
+	report := sb.String()
+	if !strings.Contains(report, "geomean speedup (2 benchmarks)") {
+		t.Fatalf("no geomean row in:\n%s", report)
+	}
+	if !strings.Contains(report, "2.000x (+100.0%)") {
+		t.Fatalf("wrong geomean value in:\n%s", report)
+	}
+}
+
+func TestCompareGeomeanIsSymmetric(t *testing.T) {
+	// One benchmark 2x faster, one 2x slower: the ratio geomean is
+	// exactly 1.000x — an arithmetic mean of deltas would report a
+	// spurious +25%.
+	old, err := parseFile(writeTemp(t, "old.txt", `
+BenchmarkA-8 100 1000 ns/op
+BenchmarkB-8 100 4000 ns/op
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	new, err := parseFile(writeTemp(t, "new.txt", `
+BenchmarkA-8 100 500 ns/op
+BenchmarkB-8 100 8000 ns/op
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	compare(&sb, old, new, 1000) // threshold high: aggregate only
+	if !strings.Contains(sb.String(), "1.000x (+0.0%)") {
+		t.Fatalf("geomean not symmetric in:\n%s", sb.String())
 	}
 }

@@ -203,6 +203,13 @@ type Config struct {
 	// WarmupFrac is the fraction of slots excluded from statistics
 	// (zero means the paper's one half; negative means none).
 	WarmupFrac float64
+	// Fast trades bit-exact reproducibility for raw speed: traffic is
+	// drawn with O(1) alias/Floyd/geometric samplers and statistics
+	// accumulate in batches (DESIGN.md §12). A fast run samples the
+	// same stochastic model, so its delay and throughput estimates
+	// agree with the default path up to sampling error, but the run
+	// is not bit-comparable, and checkpoint/resume is unavailable.
+	Fast bool
 }
 
 // Report is the outcome of one run: the four statistics of the paper's
@@ -297,7 +304,7 @@ func buildRunner(cfg Config) (*switchsim.Runner, string, error) {
 	}
 	seedRoot := xrand.New(cfg.Seed)
 	sw := algo.New(cfg.Ports, seedRoot.Split("switch", 0))
-	engineCfg := switchsim.Config{Slots: cfg.Slots, Seed: cfg.Seed, WarmupFrac: cfg.WarmupFrac}
+	engineCfg := switchsim.Config{Slots: cfg.Slots, Seed: cfg.Seed, WarmupFrac: cfg.WarmupFrac, Fast: cfg.Fast}
 	return switchsim.New(sw, pat, engineCfg, seedRoot.Split("traffic", 0)), algo.Name, nil
 }
 
@@ -325,6 +332,9 @@ type CheckpointFunc func(nextSlot int64, blob []byte) error
 // `every` slots. Snapshots require a checkpointable scheduler (the
 // core VOQ family, eslip and wba).
 func RunResumable(cfg Config, resumeFrom []byte, every int64, sink CheckpointFunc) (Report, error) {
+	if cfg.Fast && (resumeFrom != nil || every > 0) {
+		return Report{}, fmt.Errorf("voqsim: Fast mode cannot be checkpointed or resumed (it relaxes bit-exact draw order)")
+	}
 	if every > 0 && sink == nil {
 		return Report{}, fmt.Errorf("voqsim: checkpoint interval %d without a sink", every)
 	}
