@@ -1,0 +1,171 @@
+// Command voqd runs the multicast VOQ switch as a live UDP
+// packet-switching daemon (docs/OPERATIONS.md is the operator guide).
+//
+// One UDP ingress socket per input port accepts data frames (source
+// port, destination bitmap, payload), the configured scheduler —
+// FIFOMS by default — arbitrates on a fixed-tick slot clock, and every
+// delivered copy egresses as a delivery frame to the subscribers of
+// its output port. An HTTP admin listener serves /healthz, /metrics,
+// /queues, /subscribe, /unsubscribe and /checkpoint.
+//
+// Usage:
+//
+//	voqd [flags]
+//	    -n 8 -algo fifoms -seed 1
+//	    -ingress 127.0.0.1:0     base ingress address; input i listens on
+//	                             port+i, port 0 binds ephemeral ports
+//	    -admin 127.0.0.1:0       admin HTTP address ("" disables)
+//	    -slot-period 20us        slot clock tick
+//	    -max-input-cells 1024    per-input buffered-cell bound (overload policy)
+//	    -ingress-backlog 256     per-input decoded-frame ring
+//	    -subscribe all=host:port subscribe an address at startup
+//	                             (out=addr or all=addr; repeatable)
+//	    -checkpoint FILE         crash-recovery snapshot path
+//	    -checkpoint-every K      snapshot cadence in slots (default 100000)
+//	    -resume                  restore FILE at startup when it exists
+//	    -record FILE             write the admitted-arrival transcript
+//	                             (trace JSONL, replayable by voqtrace run)
+//	                             at shutdown
+//	    -duration D              exit cleanly after D (default: run until
+//	                             SIGINT/SIGTERM)
+//
+// Once serving, voqd prints one machine-readable line:
+//
+//	READY ports=N algo=A seed=S ingress=addr0,addr1,... admin=addr
+//
+// which voqload and the loopback tests parse for the ephemeral ports.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"voqsim/internal/daemon"
+)
+
+// subscribeFlag collects repeated -subscribe out=addr values.
+type subscribeFlag struct {
+	outs  []int // -1 = all
+	addrs []string
+}
+
+func (s *subscribeFlag) String() string { return strings.Join(s.addrs, ",") }
+
+func (s *subscribeFlag) Set(v string) error {
+	out, addr, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want out=addr or all=addr, got %q", v)
+	}
+	o := -1
+	if out != "all" {
+		p, err := strconv.Atoi(out)
+		if err != nil {
+			return fmt.Errorf("output %q: %v", out, err)
+		}
+		o = p
+	}
+	s.outs = append(s.outs, o)
+	s.addrs = append(s.addrs, addr)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "voqd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var subs subscribeFlag
+	var (
+		n          = flag.Int("n", 8, "switch size (input and output ports)")
+		algo       = flag.String("algo", "fifoms", "scheduling algorithm")
+		seed       = flag.Uint64("seed", 1, "arbiter seed (mirror replays need it)")
+		ingress    = flag.String("ingress", "127.0.0.1:0", "base ingress address; input i listens on port+i (0 = ephemeral)")
+		admin      = flag.String("admin", "127.0.0.1:0", "admin HTTP address; empty disables")
+		slotPeriod = flag.Duration("slot-period", 20*time.Microsecond, "slot clock tick")
+		maxCells   = flag.Int("max-input-cells", 1024, "per-input buffered data cell bound")
+		backlog    = flag.Int("ingress-backlog", 256, "per-input decoded-frame ring capacity")
+		checkpoint = flag.String("checkpoint", "", "crash-recovery snapshot path")
+		ckptEvery  = flag.Int64("checkpoint-every", 0, "checkpoint cadence in slots (default 100000 with -checkpoint)")
+		resume     = flag.Bool("resume", false, "restore -checkpoint at startup when the file exists")
+		record     = flag.String("record", "", "write the admitted-arrival transcript (trace JSONL) at shutdown")
+		duration   = flag.Duration("duration", 0, "exit cleanly after this long (0: run until SIGINT/SIGTERM)")
+	)
+	flag.Var(&subs, "subscribe", "out=addr or all=addr delivery subscription (repeatable)")
+	flag.Parse()
+
+	if *slotPeriod <= 0 {
+		return fmt.Errorf("-slot-period must be positive (the manual clock is library-only)")
+	}
+	if *resume && *checkpoint == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
+	d, err := daemon.New(daemon.Config{
+		Ports:           *n,
+		Algo:            *algo,
+		Seed:            *seed,
+		Ingress:         *ingress,
+		Admin:           *admin,
+		SlotPeriod:      *slotPeriod,
+		MaxInputCells:   *maxCells,
+		IngressBacklog:  *backlog,
+		CheckpointPath:  *checkpoint,
+		CheckpointEvery: *ckptEvery,
+		Resume:          *resume,
+		Record:          *record != "",
+		RecordPath:      *record,
+	})
+	if err != nil {
+		return err
+	}
+	for i := range subs.addrs {
+		addr, err := net.ResolveUDPAddr("udp", subs.addrs[i])
+		if err != nil {
+			return fmt.Errorf("-subscribe %q: %w", subs.addrs[i], err)
+		}
+		if err := d.Subscribe(subs.outs[i], addr); err != nil {
+			return err
+		}
+	}
+	d.Start()
+
+	inAddrs := make([]string, 0, *n)
+	for _, a := range d.IngressAddrs() {
+		inAddrs = append(inAddrs, a.String())
+	}
+	adminStr := ""
+	if a := d.AdminAddr(); a != nil {
+		adminStr = a.String()
+	}
+	fmt.Printf("READY ports=%d algo=%s seed=%d ingress=%s admin=%s\n",
+		*n, *algo, *seed, strings.Join(inAddrs, ","), adminStr)
+	os.Stdout.Sync()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	var timer <-chan time.Time
+	if *duration > 0 {
+		timer = time.After(*duration)
+	}
+	select {
+	case <-sig:
+	case <-timer:
+	}
+	if err := d.Shutdown(); err != nil {
+		return err
+	}
+	m := d.FinalMetrics()
+	fmt.Printf("DONE slot=%d admitted=%d delivered=%d completed=%d drops=%d\n",
+		m.Slot, m.Daemon.Admitted, m.Daemon.Delivered, m.Daemon.Completed,
+		m.Daemon.RingDrops+m.Daemon.EgressDrops)
+	return nil
+}

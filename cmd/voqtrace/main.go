@@ -9,8 +9,10 @@
 //	    -traffic bernoulli -load 0.8 -b 0.2 -n 16 -slots 100000 -seed 1
 //	    (same traffic flags as cmd/voqsim)
 //
-//	voqtrace run -algo fifoms < trace.jsonl
-//	    replays the trace and prints the run's statistics
+//	voqtrace run -algo fifoms [-check] < trace.jsonl
+//	    replays the trace and prints the run's statistics; -check
+//	    replays under the runtime invariant checker, which is how a
+//	    voqd arrival transcript (voqd -record) is certified
 //
 //	voqtrace info < trace.jsonl
 //	    prints the trace's measured load and fanout
@@ -34,6 +36,7 @@ import (
 	"fmt"
 	"os"
 
+	"voqsim/internal/check"
 	"voqsim/internal/experiment"
 	"voqsim/internal/switchsim"
 	"voqsim/internal/traffic"
@@ -112,6 +115,7 @@ func run(args []string) error {
 	var (
 		algo = fs.String("algo", "fifoms", "scheduling algorithm")
 		seed = fs.Uint64("seed", 1, "switch-side seed (tie breaks)")
+		chk  = fs.Bool("check", false, "replay under the runtime invariant checker (DESIGN.md §9); nonzero exit on violations")
 	)
 	fs.Parse(args)
 
@@ -123,8 +127,30 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	// The switch-side derivation Split("switch", 0) is pinned across
+	// voqsim, voqd and here: replaying a daemon's recorded arrival
+	// transcript with the daemon's algo and seed reproduces the live
+	// delivery stream draw for draw, and with -check certifies it
+	// against the full invariant catalogue (docs/OPERATIONS.md).
 	sw := a.New(tr.N, xrand.New(*seed).Split("switch", 0))
-	cfg := switchsim.Config{Slots: tr.Slots, Seed: *seed}
+	// WarmupFrac -1 disables the warmup cut: a replayed trace is the
+	// whole population (a daemon transcript's traffic may sit anywhere
+	// in the slot range), so the reported statistics cover every
+	// recorded arrival — the delay/throughput numbers are directly
+	// comparable with the live daemon's own counters.
+	cfg := switchsim.Config{Slots: tr.Slots, Seed: *seed, WarmupFrac: -1}
+	if *chk {
+		res, ck, cerr := switchsim.CheckedRun(a.Name, sw, tr.Pattern(), cfg, xrand.New(*seed), check.Options{})
+		fmt.Println(res.Describe())
+		if cerr != nil {
+			for _, v := range ck.Violations() {
+				fmt.Fprintf(os.Stderr, "violation: %v\n", v)
+			}
+			return cerr
+		}
+		fmt.Println("check: all invariants held")
+		return nil
+	}
 	res := switchsim.New(sw, tr.Pattern(), cfg, xrand.New(*seed)).Run(a.Name)
 	fmt.Println(res.Describe())
 	return nil

@@ -1,10 +1,11 @@
 package voqsim
 
 // TestDocLinks keeps the Markdown documentation navigable: every
-// relative link in the repo-root *.md files must point at a file that
-// exists, and every fragment must match a heading's GitHub-style
-// anchor in the target file. External links (http/https/mailto) are
-// not fetched. CI runs this in the docs job.
+// relative link in the repo-root and docs/ *.md files must point at a
+// file that exists (resolved relative to the linking file's own
+// directory, as GitHub renders it), and every fragment must match a
+// heading's GitHub-style anchor in the target file. External links
+// (http/https/mailto) are not fetched. CI runs this in the docs job.
 
 import (
 	"os"
@@ -25,6 +26,14 @@ func TestDocLinks(t *testing.T) {
 	if len(files) == 0 {
 		t.Fatal("no markdown files found at the repo root")
 	}
+	docFiles, err := filepath.Glob(filepath.Join("docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docFiles) == 0 {
+		t.Fatal("no markdown files found under docs/")
+	}
+	files = append(files, docFiles...)
 	for _, file := range files {
 		body, err := os.ReadFile(file)
 		if err != nil {
@@ -65,8 +74,12 @@ func checkLink(t *testing.T, file, target string) {
 	path, frag, _ := strings.Cut(target, "#")
 	if path == "" {
 		path = file // intra-document fragment
+	} else {
+		// Relative links resolve against the linking file's directory,
+		// exactly as GitHub renders them (docs/OPERATIONS.md links to
+		// ../README.md, not README.md).
+		path = filepath.Join(filepath.Dir(file), filepath.FromSlash(path))
 	}
-	path = filepath.FromSlash(path)
 	if _, err := os.Stat(path); err != nil {
 		t.Errorf("%s: broken link %q: %v", file, target, err)
 		return

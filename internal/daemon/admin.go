@@ -1,0 +1,273 @@
+package daemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// adminServer is the HTTP side of voqd. Handlers that need switch
+// state or the obs registry run their read on the slot-loop goroutine
+// (Daemon.inLoop): the registry and every loop-owned counter are
+// single-writer by design, so the admin plane serializes behind slot
+// boundaries instead of taking locks on the hot path.
+type adminServer struct {
+	d        *Daemon
+	listener net.Listener
+	srv      *http.Server
+}
+
+func newAdminServer(d *Daemon, addr string) (*adminServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("daemon: binding admin %q: %w", addr, err)
+	}
+	a := &adminServer{d: d, listener: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", a.handleHealthz)
+	mux.HandleFunc("/metrics", a.handleMetrics)
+	mux.HandleFunc("/queues", a.handleQueues)
+	mux.HandleFunc("/subscribe", a.handleSubscribe)
+	mux.HandleFunc("/unsubscribe", a.handleSubscribe)
+	mux.HandleFunc("/checkpoint", a.handleCheckpoint)
+	a.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	return a, nil
+}
+
+func (a *adminServer) serve() {
+	go a.srv.Serve(a.listener)
+}
+
+func (a *adminServer) close() {
+	a.srv.Close()
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// handleHealthz answers from atomics only — it stays responsive even
+// while the slot loop is busy catching up a large batch.
+func (a *adminServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	d := a.d
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"algo":      d.cfg.Algo,
+		"ports":     d.n,
+		"seed":      d.cfg.Seed,
+		"slot":      d.Slot(),
+		"uptime_ms": time.Since(d.startWall).Milliseconds(),
+	})
+}
+
+// MetricsSnapshot is the /metrics response shape.
+type MetricsSnapshot struct {
+	Slot   int64            `json:"slot"`
+	Switch map[string]int64 `json:"switch"` // obs registry (arrivals_total, ...)
+	Daemon DaemonCounters   `json:"daemon"`
+}
+
+// DaemonCounters are voqd's own counters, outside the switch: the
+// overload policy's observable surface.
+type DaemonCounters struct {
+	RecvFrames        int64   `json:"ingress_frames_total"`
+	BadFrames         int64   `json:"ingress_rejected_total"`
+	RingDrops         int64   `json:"ingress_ring_drops_total"`
+	Admitted          int64   `json:"admitted_packets_total"`
+	AdmittedCopies    int64   `json:"admitted_copies_total"`
+	Delivered         int64   `json:"delivered_copies_total"`
+	Completed         int64   `json:"completed_packets_total"`
+	BackpressureSlots int64   `json:"backpressure_slots_total"`
+	AdmitErrors       int64   `json:"admit_errors_total"`
+	EgressFrames      int64   `json:"egress_frames_total"`
+	EgressDrops       int64   `json:"egress_drops_total"`
+	EgressSends       int64   `json:"egress_datagrams_total"`
+	Checkpoints       int64   `json:"checkpoints_total"`
+	BufferedCells     int64   `json:"buffered_cells"`
+	InFlightPackets   int64   `json:"inflight_packets"`
+	MeanCopyDelay     float64 `json:"mean_copy_delay_slots"`
+}
+
+// Metrics snapshots the full metrics surface on a slot boundary.
+func (d *Daemon) Metrics() (MetricsSnapshot, error) {
+	var m MetricsSnapshot
+	err := d.inLoop(func() { m = d.metricsLocked() })
+	return m, err
+}
+
+// FinalMetrics reads the metrics surface after Shutdown has returned,
+// when the slot loop no longer runs and its state is stable. Calling
+// it on a live daemon races with the loop; use Metrics instead.
+func (d *Daemon) FinalMetrics() MetricsSnapshot {
+	return d.metricsLocked()
+}
+
+// metricsLocked runs on the slot loop.
+func (d *Daemon) metricsLocked() MetricsSnapshot {
+	sw := make(map[string]int64)
+	for _, mv := range d.observer.Metrics.Snapshot() {
+		sw[mv.Name] = mv.Value
+	}
+	var recv, bad, drops, bp int64
+	for i := 0; i < d.n; i++ {
+		recv += d.recvFrames[i].Load()
+		bad += d.badFrames[i].Load()
+		drops += d.ringDrops[i].Load()
+		bp += d.backpressure[i]
+	}
+	return MetricsSnapshot{
+		Slot:   d.curSlot,
+		Switch: sw,
+		Daemon: DaemonCounters{
+			RecvFrames:        recv,
+			BadFrames:         bad,
+			RingDrops:         drops,
+			Admitted:          d.live.Admitted(),
+			AdmittedCopies:    d.live.AdmittedCopies(),
+			Delivered:         d.live.Delivered(),
+			Completed:         d.live.Completed(),
+			BackpressureSlots: bp,
+			AdmitErrors:       d.admitErrs,
+			EgressFrames:      d.egressFrames,
+			EgressDrops:       d.egressDrops,
+			EgressSends:       d.egressSends.Load(),
+			Checkpoints:       d.checkpoints,
+			BufferedCells:     d.live.BufferedCells(),
+			InFlightPackets:   int64(len(d.inflight)),
+			MeanCopyDelay:     d.live.CopyDelay().Mean,
+		},
+	}
+}
+
+func (a *adminServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m, err := a.d.Metrics()
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+// QueuesSnapshot is the /queues response shape: per-port occupancy
+// and overload counters.
+type QueuesSnapshot struct {
+	Slot          int64         `json:"slot"`
+	MaxInputCells int           `json:"max_input_cells"`
+	BufferedCells int64         `json:"buffered_cells"`
+	Inputs        []InputState  `json:"inputs"`
+	Outputs       []OutputState `json:"outputs"`
+}
+
+// InputState is one input port's occupancy and overload counters.
+type InputState struct {
+	Port              int   `json:"port"`
+	QueuedCells       int   `json:"queued_cells"`
+	RingLen           int   `json:"ring_len"`
+	RecvFrames        int64 `json:"ingress_frames_total"`
+	BadFrames         int64 `json:"ingress_rejected_total"`
+	RingDrops         int64 `json:"ingress_ring_drops_total"`
+	BackpressureSlots int64 `json:"backpressure_slots_total"`
+}
+
+// OutputState is one output port's subscriber count.
+type OutputState struct {
+	Port        int `json:"port"`
+	Subscribers int `json:"subscribers"`
+}
+
+// Queues snapshots per-port state on a slot boundary.
+func (d *Daemon) Queues() (QueuesSnapshot, error) {
+	var q QueuesSnapshot
+	err := d.inLoop(func() {
+		sizes := d.live.Sizes()
+		q = QueuesSnapshot{
+			Slot:          d.curSlot,
+			MaxInputCells: d.cfg.MaxInputCells,
+			BufferedCells: d.live.BufferedCells(),
+			Inputs:        make([]InputState, d.n),
+			Outputs:       make([]OutputState, d.n),
+		}
+		d.subMu.RLock()
+		for i := 0; i < d.n; i++ {
+			q.Inputs[i] = InputState{
+				Port:              i,
+				QueuedCells:       sizes[i],
+				RingLen:           len(d.rings[i]),
+				RecvFrames:        d.recvFrames[i].Load(),
+				BadFrames:         d.badFrames[i].Load(),
+				RingDrops:         d.ringDrops[i].Load(),
+				BackpressureSlots: d.backpressure[i],
+			}
+			q.Outputs[i] = OutputState{Port: i, Subscribers: len(d.subs[i])}
+		}
+		d.subMu.RUnlock()
+	})
+	return q, err
+}
+
+func (a *adminServer) handleQueues(w http.ResponseWriter, r *http.Request) {
+	q, err := a.d.Queues()
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, q)
+}
+
+// handleSubscribe serves POST /subscribe?out=N&addr=host:port (out may
+// be "all") and its /unsubscribe mirror.
+func (a *adminServer) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	outStr := r.URL.Query().Get("out")
+	addrStr := r.URL.Query().Get("addr")
+	out := -1
+	if outStr != "" && outStr != "all" {
+		v, err := strconv.Atoi(outStr)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("out=%q: %w", outStr, err))
+			return
+		}
+		out = v
+	}
+	addr, err := net.ResolveUDPAddr("udp", addrStr)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("addr=%q: %w", addrStr, err))
+		return
+	}
+	if r.URL.Path == "/subscribe" {
+		err = a.d.Subscribe(out, addr)
+	} else {
+		err = a.d.Unsubscribe(out, addr)
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "out": outStr, "addr": addr.String()})
+}
+
+func (a *adminServer) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	if err := a.d.Checkpoint(); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "path": a.d.cfg.CheckpointPath, "slot": a.d.Slot()})
+}

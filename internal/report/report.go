@@ -130,7 +130,51 @@ func Generate(o Options, w io.Writer) error {
 			return err
 		}
 	}
+	writeLiveSaturationGuide(w)
 	return nil
+}
+
+// writeLiveSaturationGuide emits the recipe for measuring the live
+// daemon's saturation curve with voqload over real sockets. Unlike the
+// sweep sections above this one is a worked procedure, not a
+// regenerated measurement: its numbers depend on the host the daemon
+// runs on, so the section records how to produce the curve and what
+// shape to expect rather than a table to diff.
+func writeLiveSaturationGuide(w io.Writer) {
+	fmt.Fprintf(w, "## Live daemon saturation (voqd + voqload)\n\n")
+	fmt.Fprintf(w, "The saturation and scaling sections above are simulated model time.\n")
+	fmt.Fprintf(w, "`cmd/voqd` runs the same switch against the wall clock — UDP ingress,\n")
+	fmt.Fprintf(w, "slot-clock admission, UDP egress (docs/OPERATIONS.md) — so its\n")
+	fmt.Fprintf(w, "saturation curve is a property of switch *and host*, measured end to\n")
+	fmt.Fprintf(w, "end with `cmd/voqload` over real sockets. One point per offered load:\n\n")
+	fmt.Fprintf(w, "    voqd -n 4 -seed 7 -ingress 127.0.0.1:9700 -admin 127.0.0.1:9790 \\\n")
+	fmt.Fprintf(w, "        -slot-period 25us &\n")
+	fmt.Fprintf(w, "    for load in 0.2 0.4 0.6 0.8 0.9 0.95; do\n")
+	fmt.Fprintf(w, "      voqload -targets 127.0.0.1:9700,127.0.0.1:9701,127.0.0.1:9702,127.0.0.1:9703 \\\n")
+	fmt.Fprintf(w, "          -admin 127.0.0.1:9790 -traffic uniform -load $load -maxfanout 2 \\\n")
+	fmt.Fprintf(w, "          -slots 40000 -slot-rate 40000 -seed 7 | grep RESULT\n")
+	fmt.Fprintf(w, "    done\n\n")
+	fmt.Fprintf(w, "Each `RESULT` line carries the point: offered frames (`sent`),\n")
+	fmt.Fprintf(w, "received copies (`recv`), completed packets (`completed`), mean\n")
+	fmt.Fprintf(w, "per-copy delay in slots (`mean_delay`) and total daemon-side drops\n")
+	fmt.Fprintf(w, "(`drops`). `-slot-rate` paces the generator at the daemon's own slot\n")
+	fmt.Fprintf(w, "rate, so `-load` means the same thing it means in the simulator.\n\n")
+	fmt.Fprintf(w, "What to expect:\n\n")
+	fmt.Fprintf(w, "- Below the knee, `recv` equals the copies addressed, `drops` is 0 and\n")
+	fmt.Fprintf(w, "  `mean_delay` tracks the simulator's delay curve at that load (the\n")
+	fmt.Fprintf(w, "  recorded-transcript mirror in docs/OPERATIONS.md shows the match to\n")
+	fmt.Fprintf(w, "  the hundredth of a slot).\n")
+	fmt.Fprintf(w, "- Past the knee the overload policy engages in order: `mean_delay`\n")
+	fmt.Fprintf(w, "  climbs (VOQs filling), then `backpressure_slots_total` in `/metrics`\n")
+	fmt.Fprintf(w, "  moves (admission holds frames in the ingress rings), then `drops`\n")
+	fmt.Fprintf(w, "  go nonzero (rings full — the counted shed point). Which load hits\n")
+	fmt.Fprintf(w, "  the knee depends on `-slot-period` and the host: admission capacity\n")
+	fmt.Fprintf(w, "  is one packet per input per slot.\n")
+	fmt.Fprintf(w, "- The curve is *statistically* reproducible (same seed, same offered\n")
+	fmt.Fprintf(w, "  arrivals — `sent` and the addressed copies repeat exactly) but\n")
+	fmt.Fprintf(w, "  delays and the knee are host-dependent, unlike every simulated\n")
+	fmt.Fprintf(w, "  number in this file. For an auditable record of any live point, add\n")
+	fmt.Fprintf(w, "  `-record` and replay the transcript with `voqtrace run -check`.\n")
 }
 
 // writeReproductionGuide emits the worked, command-by-command guide
