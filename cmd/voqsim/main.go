@@ -8,6 +8,12 @@
 //	-algo fifoms        scheduler: fifoms, tatra, islip, oqfifo, pim,
 //	                    wba, fifoms-nosplit, fifoms-rK (K = round cap)
 //	-n 16               switch size
+//	-topology SPEC      run a multi-stage fabric instead of a single
+//	                    switch: every node is an instance of -algo and
+//	                    packets travel end to end through multicast
+//	                    trees over bounded inter-stage links. Specs:
+//	                    fattree:k=K (K even) and clos:n=N,m=M,r=R.
+//	                    -n defaults to the fabric's external port count
 //	-traffic bernoulli  bernoulli | uniform | burst | mixed
 //	-load 0.8           target effective load (solves the free parameter)
 //	-b 0.2              per-output probability (bernoulli, burst)
@@ -61,6 +67,7 @@ import (
 	"voqsim"
 	"voqsim/internal/check"
 	"voqsim/internal/experiment"
+	"voqsim/internal/fabric"
 	"voqsim/internal/obs"
 	"voqsim/internal/report"
 	"voqsim/internal/switchsim"
@@ -72,6 +79,7 @@ func main() {
 	var (
 		algo      = flag.String("algo", "fifoms", "scheduling algorithm")
 		n         = flag.Int("n", 16, "switch size N")
+		topology  = flag.String("topology", "", "multi-stage fabric spec: fattree:k=K | clos:n=N,m=M,r=R (empty: single switch)")
 		trafficK  = flag.String("traffic", "bernoulli", "traffic family: bernoulli|uniform|burst|mixed")
 		load      = flag.Float64("load", 0.8, "target effective load per output")
 		b         = flag.Float64("b", 0.2, "per-output destination probability (bernoulli, burst)")
@@ -130,9 +138,24 @@ func main() {
 		os.Exit(2)
 	}
 
+	ports := *n
+	if *topology != "" {
+		// With a topology, -n defaults to the fabric's external port
+		// count; an explicit -n must match it (the facade verifies).
+		nSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "n" {
+				nSet = true
+			}
+		})
+		if !nSet {
+			ports = 0
+		}
+	}
 	cfg := voqsim.Config{
-		Ports:     *n,
+		Ports:     ports,
 		Scheduler: voqsim.Scheduler(*algo),
+		Topology:  *topology,
 		Traffic:   tr,
 		Slots:     *slots,
 		Seed:      *seed,
@@ -150,14 +173,14 @@ func main() {
 	}
 
 	if *seriesOut != "" {
-		if err := writeSeries(*seriesOut, *algo, *n, *slots, *seed, *fast, report.Load, *trafficK, *b, *maxFanout, *eOn, *mcFrac); err != nil {
+		if err := writeSeries(*seriesOut, *algo, *topology, report.Ports, *slots, *seed, *fast, report.Load, *trafficK, *b, *maxFanout, *eOn, *mcFrac); err != nil {
 			fmt.Fprintf(os.Stderr, "voqsim: %v\n", err)
 			os.Exit(1)
 		}
 	}
 
 	if *traceOut != "" || *metricsK > 0 {
-		if err := runObserved(*traceOut, *metricsK, *algo, *n, *slots, *seed, *fast, report.Load, *trafficK, *b, *maxFanout, *eOn, *mcFrac); err != nil {
+		if err := runObserved(*traceOut, *metricsK, *algo, *topology, report.Ports, *slots, *seed, *fast, report.Load, *trafficK, *b, *maxFanout, *eOn, *mcFrac); err != nil {
 			fmt.Fprintf(os.Stderr, "voqsim: %v\n", err)
 			os.Exit(1)
 		}
@@ -170,7 +193,7 @@ func main() {
 		if *asJSON {
 			verdictTo = os.Stderr
 		}
-		if err := runChecked(verdictTo, *algo, *n, *slots, *seed, report.Load, *trafficK, *b, *maxFanout, *eOn, *mcFrac); err != nil {
+		if err := runChecked(verdictTo, *algo, *topology, report.Ports, *slots, *seed, report.Load, *trafficK, *b, *maxFanout, *eOn, *mcFrac); err != nil {
 			fmt.Fprintf(os.Stderr, "voqsim: %v\n", err)
 			os.Exit(1)
 		}
@@ -207,6 +230,20 @@ func main() {
 	fmt.Printf("throughput:           %.4f copies/output/slot\n", report.Throughput)
 	fmt.Printf("completed packets:    %d\n", report.CompletedPackets)
 	fmt.Printf("delivered copies:     %d\n", report.DeliveredCopies)
+	if f := report.Fabric; f != nil {
+		fmt.Printf("topology:             %s (%d switches, %d links)\n", f.Topology, f.Nodes, f.Links)
+		fmt.Printf("fabric admitted:      %d packets, %d copies\n", f.AdmittedPackets, f.AdmittedCopies)
+		fmt.Printf("fabric delivered:     %d copies\n", f.DeliveredCopies)
+		fmt.Printf("fabric dropped:       %d copies\n", f.DroppedCopies)
+		for h, c := range f.DropsByHop {
+			if c > 0 {
+				fmt.Printf("  dropped at hop %d:   %d\n", h, c)
+			}
+		}
+		if f.DeliveredCopies > 0 {
+			fmt.Printf("hops per copy:        mean %.3f, min %d, max %d\n", f.HopMean, f.HopMin, f.HopMax)
+		}
+	}
 }
 
 // runResumable is the checkpoint/resume path of the main run: it
@@ -284,7 +321,7 @@ func startProfiles(cpuPath, memPath string) (stop func(), err error) {
 // pass can attach recorders, the observability layer or the invariant
 // checker. The rerun is exact: the engine (fast or not) is
 // deterministic in the seed.
-func buildSim(algo string, n int, slots int64, seed uint64, fast bool, load float64, family string, b float64, maxFanout int, eOn, mcFrac float64) (switchsim.Switch, traffic.Pattern, switchsim.Config, *xrand.Rand, error) {
+func buildSim(algo, topology string, n int, slots int64, seed uint64, fast bool, load float64, family string, b float64, maxFanout int, eOn, mcFrac float64) (switchsim.Switch, traffic.Pattern, switchsim.Config, *xrand.Rand, error) {
 	var pat traffic.Pattern
 	var err error
 	switch family {
@@ -306,14 +343,23 @@ func buildSim(algo string, n int, slots int64, seed uint64, fast bool, load floa
 	if err != nil {
 		return nil, nil, switchsim.Config{}, nil, err
 	}
+	if topology != "" {
+		top, err := fabric.ParseSpec(topology)
+		if err != nil {
+			return nil, nil, switchsim.Config{}, nil, err
+		}
+		if a, err = experiment.WithTopology(a, top, fabric.Config{}); err != nil {
+			return nil, nil, switchsim.Config{}, nil, err
+		}
+	}
 	seedRoot := xrand.New(seed)
 	sw := a.New(n, seedRoot.Split("switch", 0))
 	return sw, pat, switchsim.Config{Slots: slots, Seed: seed, Fast: fast}, seedRoot.Split("traffic", 0), nil
 }
 
 // buildRunner is buildSim packaged as an engine Runner.
-func buildRunner(algo string, n int, slots int64, seed uint64, fast bool, load float64, family string, b float64, maxFanout int, eOn, mcFrac float64) (*switchsim.Runner, error) {
-	sw, pat, cfg, trafficRoot, err := buildSim(algo, n, slots, seed, fast, load, family, b, maxFanout, eOn, mcFrac)
+func buildRunner(algo, topology string, n int, slots int64, seed uint64, fast bool, load float64, family string, b float64, maxFanout int, eOn, mcFrac float64) (*switchsim.Runner, error) {
+	sw, pat, cfg, trafficRoot, err := buildSim(algo, topology, n, slots, seed, fast, load, family, b, maxFanout, eOn, mcFrac)
 	if err != nil {
 		return nil, err
 	}
@@ -325,8 +371,8 @@ func buildRunner(algo string, n int, slots int64, seed uint64, fast bool, load f
 // verdict. The checker is passive — the checked rerun delivers
 // bit-identically to the measured run — so a clean verdict certifies
 // the run that was just reported.
-func runChecked(verdictTo io.Writer, algo string, n int, slots int64, seed uint64, load float64, family string, b float64, maxFanout int, eOn, mcFrac float64) error {
-	sw, pat, cfg, trafficRoot, err := buildSim(algo, n, slots, seed, false, load, family, b, maxFanout, eOn, mcFrac)
+func runChecked(verdictTo io.Writer, algo, topology string, n int, slots int64, seed uint64, load float64, family string, b float64, maxFanout int, eOn, mcFrac float64) error {
+	sw, pat, cfg, trafficRoot, err := buildSim(algo, topology, n, slots, seed, false, load, family, b, maxFanout, eOn, mcFrac)
 	if err != nil {
 		return err
 	}
@@ -344,8 +390,8 @@ func runChecked(verdictTo io.Writer, algo string, n int, slots int64, seed uint6
 
 // writeSeries re-runs the identical simulation with a series recorder
 // attached and writes the per-slot backlog CSV.
-func writeSeries(path, algo string, n int, slots int64, seed uint64, fast bool, load float64, family string, b float64, maxFanout int, eOn, mcFrac float64) error {
-	runner, err := buildRunner(algo, n, slots, seed, fast, load, family, b, maxFanout, eOn, mcFrac)
+func writeSeries(path, algo, topology string, n int, slots int64, seed uint64, fast bool, load float64, family string, b float64, maxFanout int, eOn, mcFrac float64) error {
+	runner, err := buildRunner(algo, topology, n, slots, seed, fast, load, family, b, maxFanout, eOn, mcFrac)
 	if err != nil {
 		return err
 	}
@@ -374,8 +420,8 @@ func writeSeries(path, algo string, n int, slots int64, seed uint64, fast bool, 
 // as JSONL, and every metricsEvery slots a registry snapshot goes to
 // stderr as one JSON line (plus a final snapshot at the end of the
 // run).
-func runObserved(tracePath string, metricsEvery int64, algo string, n int, slots int64, seed uint64, fast bool, load float64, family string, b float64, maxFanout int, eOn, mcFrac float64) error {
-	runner, err := buildRunner(algo, n, slots, seed, fast, load, family, b, maxFanout, eOn, mcFrac)
+func runObserved(tracePath string, metricsEvery int64, algo, topology string, n int, slots int64, seed uint64, fast bool, load float64, family string, b float64, maxFanout int, eOn, mcFrac float64) error {
+	runner, err := buildRunner(algo, topology, n, slots, seed, fast, load, family, b, maxFanout, eOn, mcFrac)
 	if err != nil {
 		return err
 	}

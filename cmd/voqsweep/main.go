@@ -11,7 +11,11 @@
 //	-loads 0.1,0.2,...                 swept effective loads
 //	-b, -maxfanout, -eon, -mcfrac      family shape parameters
 //	-n, -slots, -seed, -workers        run setup
-//	-metrics in_delay,avg_queue        metrics to print
+//	-topology fattree:k=4              sweep a multi-stage fabric (every node an
+//	                                   instance of each -algos entry) instead of
+//	                                   a single switch; -n is forced to the
+//	                                   fabric's external port count
+//	-metrics in_delay,avg_queue        metrics to print (fabric runs add hops, drops)
 //	-fast                              relaxed-identity fast mode: O(1) traffic
 //	                                   sampling and batched statistics (DESIGN.md
 //	                                   §12); statistically equivalent, not
@@ -43,6 +47,7 @@ import (
 	"time"
 
 	"voqsim/internal/experiment"
+	"voqsim/internal/fabric"
 	"voqsim/internal/scenario"
 	"voqsim/internal/traffic"
 )
@@ -68,6 +73,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		mcFrac      = fs.Float64("mcfrac", 0.5, "multicast fraction (mixed)")
 		skew        = fs.Float64("skew", 4, "hot/cold load ratio (hotspot)")
 		n           = fs.Int("n", 16, "switch size N")
+		topoFlag    = fs.String("topology", "", "multi-stage fabric spec: fattree:k=K | clos:n=N,m=M,r=R (empty: single switch)")
 		slots       = fs.Int64("slots", 200_000, "slots per point")
 		seed        = fs.Uint64("seed", 2004, "base seed")
 		workers     = fs.Int("workers", 0, "parallel simulations (0 = all cores)")
@@ -120,6 +126,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(stderr, err)
 	}
+	sizeLabel := fmt.Sprintf("%dx%d", *n, *n)
+	if *topoFlag != "" {
+		top, err := fabric.ParseSpec(*topoFlag)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		for i := range algos {
+			if algos[i], err = experiment.WithTopology(algos[i], top, fabric.Config{}); err != nil {
+				return fail(stderr, err)
+			}
+		}
+		// The engine drives the fabric's external ports; -n is not a
+		// free parameter on a topology sweep.
+		*n = top.Ingress()
+		sizeLabel = fmt.Sprintf("%s (%d ports)", top.Name(), *n)
+	}
 	pattern, title, err := patternFor(*trafficK, *b, *maxFanout, *eOn, *mcFrac, *skew)
 	if err != nil {
 		return fail(stderr, err)
@@ -131,7 +153,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	sweep := &experiment.Sweep{
 		Name:            "sweep",
-		Title:           fmt.Sprintf("%s, %dx%d", title, *n, *n),
+		Title:           fmt.Sprintf("%s, %s", title, sizeLabel),
 		N:               *n,
 		Loads:           loads,
 		Algorithms:      algos,
@@ -302,6 +324,8 @@ func parseMetrics(s string) ([]experiment.Metric, error) {
 		"rounds":       experiment.Rounds,
 		"throughput":   experiment.Throughput,
 		"buffer_bytes": experiment.BufferBytes,
+		"hops":         experiment.HopCount,
+		"drops":        experiment.DroppedCopies,
 	}
 	var out []experiment.Metric
 	for _, tok := range strings.Split(s, ",") {

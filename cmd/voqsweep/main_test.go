@@ -60,6 +60,31 @@ func TestStdoutDeterministic(t *testing.T) {
 	}
 }
 
+// TestTopologySweepDeterministic pins that a multi-stage fabric sweep
+// renders the fabric metrics and prints byte-identical tables for any
+// worker count — fabric points must parallelise as cleanly as
+// single-switch points.
+func TestTopologySweepDeterministic(t *testing.T) {
+	args := []string{
+		"-topology", "fattree:k=4",
+		"-algos", "fifoms,pim",
+		"-traffic", "bernoulli", "-b", "0.12",
+		"-loads", "0.2,0.4",
+		"-slots", "2000", "-seed", "11",
+		"-metrics", "in_delay,hops,drops",
+	}
+	first, _ := runCmd(t, append([]string{"-workers", "1"}, args...)...)
+	again, _ := runCmd(t, append([]string{"-workers", "4"}, args...)...)
+	if first != again {
+		t.Errorf("fabric sweep stdout differs across worker counts\nfirst: %q\nagain: %q", first, again)
+	}
+	for _, want := range []string{"fattree:k=4", "fifoms@fattree:k=4", "switches traversed"} {
+		if !strings.Contains(first, want) {
+			t.Errorf("fabric sweep output missing %q:\n%s", want, first)
+		}
+	}
+}
+
 func TestBadFlagFails(t *testing.T) {
 	var out, errBuf bytes.Buffer
 	if code := run([]string{"-algos", "nosuch"}, &out, &errBuf); code == 0 {

@@ -22,6 +22,10 @@
 //	I7 event consistency     — obs events ↔ arrivals/deliveries 1:1
 //	I8 arbitration rule      — grants go to requesters; min-timestamp
 //	                           arbiters grant the minimum requested TS
+//	F1 fabric conservation   — in a multi-stage fabric, every admitted
+//	                           copy is buffered in exactly one stage (a
+//	                           node VOQ or an inter-stage link), or
+//	                           delivered to its leaf, or counted dropped
 //
 // Checking is behavioural passivity by construction: the checker never
 // draws randomness and never mutates the wrapped switch beyond
@@ -38,14 +42,16 @@ import (
 	"voqsim/internal/core"
 	"voqsim/internal/destset"
 	"voqsim/internal/eslip"
+	"voqsim/internal/fabric"
 	"voqsim/internal/fifoq"
 	"voqsim/internal/obs"
 	"voqsim/internal/sched/pim"
 	"voqsim/internal/wba"
 )
 
-// NumInvariants is the size of the invariant catalogue (I1..I8).
-const NumInvariants = 8
+// NumInvariants is the size of the invariant catalogue (I1..I8 plus
+// the fabric conservation invariant F1).
+const NumInvariants = 9
 
 // Switch is the minimal structural surface the checker needs. It is a
 // subset of switchsim.Switch, declared here so that switchsim can
@@ -168,6 +174,7 @@ type profile struct {
 	core      *core.Switch // non-nil for core-substrate switches
 	wba       *wba.Switch  // non-nil for WBA
 	eslip     *eslip.Switch
+	fab       *fabric.Fabric // non-nil for multi-stage fabrics
 	input     inputRule
 	last      lastRule
 	grant     GrantRule
@@ -207,6 +214,18 @@ func detect(sw Switch) profile {
 		// only checked against the round's requesters.
 		return profile{eslip: s, input: inputSharedPacket, last: lastPacket,
 			grant: GrantRequesters, pairsEq: true, name: "eslip"}
+	case *fabric.Fabric:
+		// Fabric deliveries are end-to-end: In is the fabric ingress,
+		// Out the egress leaf, and Last fires on the final surviving
+		// copy (drops included — the checker interposes on the drop
+		// hook so the shadow model retires dropped copies too). Copies
+		// of several packets from one ingress can surface in one slot
+		// via different stages, and path lengths differ per leaf, so
+		// neither an input discipline nor timestamp monotonicity
+		// applies; I1 still holds because each leaf is one last-stage
+		// output port.
+		return profile{fab: s, input: inputAny, last: lastPacket,
+			grant: GrantNone, name: "fabric/" + s.Topology().Name()}
 	default:
 		return profile{input: inputAny, last: lastUnknown, grant: GrantNone, name: "generic"}
 	}
@@ -252,6 +271,7 @@ type Checker struct {
 	offeredPackets   int64
 	offeredCopies    int64
 	deliveredCopies  int64
+	droppedCopies    int64 // fabric only: copies retired by counted drops
 	completedPackets int64
 	outstanding      int64 // address-cell copies still owed
 	resident         int64 // packets with ≥1 copy still owed
@@ -266,6 +286,16 @@ type Checker struct {
 	deliveries []cell.Delivery
 
 	sizes []int // scratch for QueueSizes
+
+	// outerDrop chains the engine's drop hook behind the checker's own
+	// (the fabric has a single hook slot; the checker interposes).
+	outerDrop func(fabric.Drop)
+
+	// Fabric counter baselines: a restored fabric resumes with non-zero
+	// delivery/drop counters the checker never witnessed, so the F1
+	// counter cross-check compares deltas from these.
+	fabDelivered0 int64
+	fabDropped0   int64
 
 	violations []Violation
 	total      int
@@ -324,6 +354,9 @@ func Wrap(sw Switch, opt Options) *Checker {
 	}
 	if prof.wba != nil {
 		c.inq = make([]fifoq.Queue[cell.PacketID], n)
+	}
+	if prof.fab != nil {
+		prof.fab.SetDropHook(c.handleDrop)
 	}
 	if !opt.NoEvents {
 		if ob, ok := base.(observable); ok {
@@ -521,12 +554,67 @@ func (c *Checker) checkDelivery(slot int64, d cell.Delivery) {
 	}
 }
 
+// SetDropHook implements the engine's DropReporter surface for checked
+// fabrics: the checker keeps its own interposed hook on the fabric (it
+// must retire dropped copies from the shadow model) and chains fn
+// behind it. For non-fabric profiles fn never fires, exactly as the
+// bare switch would behave.
+func (c *Checker) SetDropHook(fn func(fabric.Drop)) { c.outerDrop = fn }
+
+// FabricStats implements the engine's FabricReporter surface by
+// forwarding to the wrapped fabric; nil for non-fabric profiles.
+func (c *Checker) FabricStats() *fabric.Stats {
+	if c.prof.fab == nil {
+		return nil
+	}
+	return c.prof.fab.FabricStats()
+}
+
+// handleDrop is the checker's interposed fabric drop hook: a counted
+// drop retires the lost copies from the shadow model (so Last and
+// conservation keep agreeing with the fabric), after validating that
+// every dropped leaf was actually owed.
+func (c *Checker) handleDrop(d fabric.Drop) {
+	st := c.pkts[d.ID]
+	if st == nil {
+		c.violatef(d.Slot, "I3", "drop of unknown packet %d", d.ID)
+	} else {
+		dropped := int64(0)
+		d.Leaves.ForEach(func(leaf int) {
+			if !st.remaining.Contains(leaf) {
+				c.violatef(d.Slot, "I3", "packet %d not (or no longer) destined to dropped leaf %d",
+					d.ID, leaf)
+				return
+			}
+			st.remaining.Remove(leaf)
+			dropped++
+		})
+		c.outstanding -= dropped
+		c.droppedCopies += dropped
+		if st.input >= 0 && st.input < c.n {
+			c.perInOutstanding[st.input] -= dropped
+		}
+		if st.remaining.Empty() {
+			// The packet retires without completing: every copy was
+			// delivered or dropped, none are owed.
+			c.resident--
+			if st.input >= 0 && st.input < c.n {
+				c.perInResident[st.input]--
+			}
+			delete(c.pkts, d.ID)
+		}
+	}
+	if c.outerDrop != nil {
+		c.outerDrop(d)
+	}
+}
+
 // deepCheck cross-checks the switch's own counters and queue state
 // against the shadow model (I6, plus per-queue I4 state for core).
 func (c *Checker) deepCheck(slot int64) {
-	if c.offeredCopies != c.deliveredCopies+c.outstanding {
-		c.violatef(slot, "I6", "copy conservation broken: offered %d != delivered %d + outstanding %d",
-			c.offeredCopies, c.deliveredCopies, c.outstanding)
+	if c.offeredCopies != c.deliveredCopies+c.droppedCopies+c.outstanding {
+		c.violatef(slot, "I6", "copy conservation broken: offered %d != delivered %d + dropped %d + outstanding %d",
+			c.offeredCopies, c.deliveredCopies, c.droppedCopies, c.outstanding)
 	}
 	switch {
 	case c.prof.core != nil:
@@ -553,6 +641,65 @@ func (c *Checker) deepCheck(slot int64) {
 				c.violatef(slot, "I6", "input %d reports %d queued packets, shadow expects %d",
 					in, got, c.perInResident[in])
 			}
+		}
+	case c.prof.fab != nil:
+		c.deepCheckFabric(slot)
+	}
+}
+
+// deepCheckFabric is the F1 conservation pass: the fabric's buffered
+// copy multiset — every (packet, leaf) copy in a node buffer or on a
+// link — must match the shadow model's outstanding copies exactly.
+// Together with the counter identity above (offered = delivered +
+// dropped + outstanding) this pins every admitted copy to exactly one
+// fate: buffered in exactly one stage, delivered to its leaf, or
+// counted dropped. A mis-routed copy (buffered under the wrong leaf),
+// a duplicated split (buffered twice) or a vanished copy all surface
+// here.
+func (c *Checker) deepCheckFabric(slot int64) {
+	f := c.prof.fab
+	st := f.FabricStats()
+	if st.DeliveredCopies-c.fabDelivered0 != c.deliveredCopies ||
+		st.DroppedCopies-c.fabDropped0 != c.droppedCopies {
+		c.violatef(slot, "F1", "fabric counts %d delivered / %d dropped copies, shadow expects %d / %d",
+			st.DeliveredCopies-c.fabDelivered0, st.DroppedCopies-c.fabDropped0,
+			c.deliveredCopies, c.droppedCopies)
+	}
+	type pend struct {
+		id   cell.PacketID
+		leaf int
+	}
+	counts := make(map[pend]int)
+	if !f.ForEachPending(func(id cell.PacketID, leaf int) { counts[pend{id, leaf}]++ }) {
+		// A node architecture without buffer iteration: only the
+		// counter identities above are checkable.
+		return
+	}
+	for id, ps := range c.pkts {
+		ps.remaining.ForEach(func(leaf int) {
+			k := pend{id, leaf}
+			if counts[k] == 0 {
+				c.violatef(slot, "F1", "copy (packet %d -> leaf %d) owed but buffered nowhere", id, leaf)
+				return
+			}
+			counts[k]--
+			if counts[k] == 0 {
+				delete(counts, k)
+			}
+		})
+	}
+	if len(counts) > 0 {
+		extra := make([]pend, 0, len(counts))
+		for k := range counts {
+			extra = append(extra, k)
+		}
+		sort.Slice(extra, func(i, j int) bool {
+			return extra[i].id < extra[j].id ||
+				(extra[i].id == extra[j].id && extra[i].leaf < extra[j].leaf)
+		})
+		for _, k := range extra {
+			c.violatef(slot, "F1", "copy (packet %d -> leaf %d) buffered %d time(s) beyond what is owed",
+				k.id, k.leaf, counts[k])
 		}
 	}
 }

@@ -96,6 +96,37 @@ func (c *Checker) prime() {
 		})
 	case c.prof.eslip != nil:
 		c.prof.eslip.ForEachBuffered(c.primePacket)
+	case c.prof.fab != nil:
+		f := c.prof.fab
+		f.ForEachLive(func(id cell.PacketID, input int, arrival int64, remain int) {
+			c.pkts[id] = &pktState{input: input, arrival: arrival, remaining: destset.New(c.n)}
+			c.offeredPackets++
+			c.resident++
+			if input >= 0 && input < c.n {
+				c.perInResident[input]++
+			}
+		})
+		// The leaf sets come from the buffered copies themselves, so
+		// the shadow model starts exactly where the first F1 pass will
+		// look. (Fabrics restored from snapshots always have iterable
+		// nodes — only snapshot-capable architectures reach prime.)
+		f.ForEachPending(func(id cell.PacketID, leaf int) {
+			st := c.pkts[id]
+			if st == nil || st.remaining.Contains(leaf) {
+				// Orphaned or duplicated buffered copy in the restored
+				// state; leave it for the first F1 pass to report.
+				return
+			}
+			st.remaining.Add(leaf)
+			c.offeredCopies++
+			c.outstanding++
+			if st.input >= 0 && st.input < c.n {
+				c.perInOutstanding[st.input]++
+			}
+		})
+		st := f.FabricStats()
+		c.fabDelivered0 = st.DeliveredCopies
+		c.fabDropped0 = st.DroppedCopies
 	}
 }
 

@@ -657,6 +657,12 @@ func (s *Switch) QueueSizes(dst []int) []int {
 // all input ports; the engine uses it for instability detection.
 func (s *Switch) BufferedCells() int64 { return s.totalData }
 
+// InputBacklog returns the number of data cells buffered at one input
+// port — QueueSizes for a single port, without the slice walk. The
+// multi-stage fabric polls it per link head when deciding whether a
+// buffered copy may be admitted into the downstream switch.
+func (s *Switch) InputBacklog(in int) int { return s.ports[in].dataCells }
+
 // BufferedAddressCells returns the total address cells across all
 // VOQs, the additional (small) space cost the queue structure pays for
 // multicast support (Section IV.B).

@@ -72,6 +72,29 @@ var (
 		Of:         func(r switchsim.Results) float64 { return r.Throughput },
 		Saturating: false,
 	}
+	// HopCount and DroppedCopies are fabric metrics (WithTopology
+	// algorithms); on single-switch runs they report the trivial values
+	// (every copy crosses exactly one switch, nothing is dropped).
+	HopCount = Metric{
+		Name: "hops", Label: "average switches traversed per delivered copy",
+		Of: func(r switchsim.Results) float64 {
+			if r.Fabric == nil {
+				return 1
+			}
+			return r.Fabric.HopMean
+		},
+		Saturating: false,
+	}
+	DroppedCopies = Metric{
+		Name: "drops", Label: "copies dropped at inter-stage links",
+		Of: func(r switchsim.Results) float64 {
+			if r.Fabric == nil {
+				return 0
+			}
+			return float64(r.Fabric.DroppedCopies)
+		},
+		Saturating: false,
+	}
 )
 
 // FigureMetrics returns the four subfigure metrics (a)-(d) shared by

@@ -1,0 +1,670 @@
+package fabric
+
+import (
+	"fmt"
+
+	"voqsim/internal/cell"
+	"voqsim/internal/destset"
+	"voqsim/internal/obs"
+	"voqsim/internal/stats"
+	"voqsim/internal/xrand"
+)
+
+// Node is what the fabric needs from a switch architecture — the same
+// structural surface as switchsim.Switch, declared here so that
+// switchsim can import fabric without a cycle. Any switch the engine
+// can drive can be a fabric node.
+type Node interface {
+	Ports() int
+	Arrive(p *cell.Packet)
+	Step(slot int64, deliver func(cell.Delivery))
+	QueueSizes(dst []int) []int
+	BufferedCells() int64
+}
+
+// Optional node capabilities, matched structurally.
+type (
+	releaser   interface{ SetReleaseHook(fn func(*cell.Packet)) }
+	backlogger interface{ InputBacklog(in int) int }
+	observable interface{ SetObserver(o *obs.Observer) }
+)
+
+// Config tunes the fabric's inter-stage behaviour. The zero value asks
+// for defaults.
+type Config struct {
+	// LinkCapacity bounds each inter-stage link's buffer, in copy
+	// entries. A copy delivered into a full link is dropped and
+	// counted — the daemon's bounded/counted overload policy at every
+	// hop. Zero means 16.
+	LinkCapacity int
+	// MaxInputCells is the admission bound: a link head is held back
+	// while the downstream input port already buffers this many cells,
+	// pushing congestion upstream (and eventually into counted drops)
+	// instead of growing interior queues without bound. Zero means 64.
+	MaxInputCells int
+}
+
+func (c Config) withDefaults() Config {
+	if c.LinkCapacity <= 0 {
+		c.LinkCapacity = 16
+	}
+	if c.MaxInputCells <= 0 {
+		c.MaxInputCells = 64
+	}
+	return c
+}
+
+// Drop reports one discarded copy bundle: the leaves of packet ID that
+// were lost when a full link refused the copy. Leaves is only valid
+// during the callback (the set returns to the fabric's pool).
+type Drop struct {
+	ID     cell.PacketID
+	In     int   // fabric ingress the packet arrived at
+	Slot   int64 // slot of the drop
+	Hops   int   // links crossed before the drop
+	Leaves *destset.Set
+}
+
+// ctxInfo is the fabric's per-(node, local packet) copy context: which
+// fabric packet the local packet carries, the exact leaf subset it is
+// responsible for, and how many links it crossed to get here. remain
+// counts the node-local output copies not yet delivered — the fabric's
+// own completion tracking, because Delivery.Last is per data cell and
+// a ModeCopied architecture marks every fanout-1 copy as last.
+type ctxInfo struct {
+	fab    cell.PacketID
+	leaves *destset.Set
+	hops   int32
+	remain int32
+}
+
+// liveInfo is the fabric-level record of one admitted packet.
+type liveInfo struct {
+	input   int32
+	arrival int64
+	remain  int32 // leaf copies not yet delivered or dropped
+}
+
+// linkEntry is one buffered copy on an inter-stage link.
+type linkEntry struct {
+	fabID  cell.PacketID
+	leaves *destset.Set
+	hops   int32 // links crossed including this one
+	enq    int64 // slot the entry was pushed; admissible when slot > enq
+}
+
+// linkRing is a fixed-capacity FIFO of link entries.
+type linkRing struct {
+	buf        []linkEntry
+	head, size int
+}
+
+func (l *linkRing) push(e linkEntry) {
+	l.buf[(l.head+l.size)%len(l.buf)] = e
+	l.size++
+}
+
+func (l *linkRing) pop() {
+	l.buf[l.head] = linkEntry{}
+	l.head = (l.head + 1) % len(l.buf)
+	l.size--
+}
+
+func (l *linkRing) at(i int) *linkEntry { return &l.buf[(l.head+i)%len(l.buf)] }
+
+// Fabric drives a topology of Node switches as one compound switch.
+// It implements the switchsim.Switch surface — Ports() is the fabric
+// ingress count, Arrive takes fabric packets whose destination
+// universe is the egress leaf count, Step runs one synchronous slot of
+// every stage — plus the engine's optional capabilities (release hook,
+// observer, drop hook, snapshot). The fabric must be square (ingress
+// count == egress count) to sit behind Runner/LiveRunner, which use
+// one N for both sides; Builder topologies that aren't square can
+// still be driven by custom loops.
+type Fabric struct {
+	top *Topology
+	cfg Config
+
+	nodes     []Node
+	backlog   []func(in int) int // per node, nil -> QueueSizes fallback
+	scratch   [][]int            // per node QueueSizes scratch
+	scratchAt []int64            // slot the scratch was filled for, -1 never
+	nodeFns   []func(cell.Delivery)
+
+	links     []linkRing
+	ctxs      []pidWindow[ctxInfo] // per node, keyed by local packet ID
+	nextLocal []int64
+	live      pidWindow[liveInfo] // keyed by fabric packet ID
+
+	pools    [][]*cell.Packet // per node local-packet pool
+	leafPool []*destset.Set   // egress-universe set pool
+
+	slot    int64
+	outer   func(cell.Delivery)
+	release func(*cell.Packet)
+	onDrop  func(Drop)
+	obs     *obs.Observer
+
+	admitted       int64
+	admittedCopies int64
+	delivered      int64
+	dropped        int64
+	dropsByHop     []int64
+	hops           stats.Welford
+}
+
+// New builds the fabric: one fresh switch per topology node via
+// newNode (node i is seeded with root.Split("node", i)), wired by
+// cfg-bounded links. newNode must return a switch with exactly the
+// node's port count.
+func New(top *Topology, cfg Config, newNode func(ports int, root *xrand.Rand) Node, root *xrand.Rand) (*Fabric, error) {
+	cfg = cfg.withDefaults()
+	f := &Fabric{
+		top:        top,
+		cfg:        cfg,
+		nodes:      make([]Node, top.Nodes()),
+		backlog:    make([]func(int) int, top.Nodes()),
+		scratch:    make([][]int, top.Nodes()),
+		scratchAt:  make([]int64, top.Nodes()),
+		nodeFns:    make([]func(cell.Delivery), top.Nodes()),
+		links:      make([]linkRing, top.NumLinks()),
+		ctxs:       make([]pidWindow[ctxInfo], top.Nodes()),
+		nextLocal:  make([]int64, top.Nodes()),
+		pools:      make([][]*cell.Packet, top.Nodes()),
+		dropsByHop: make([]int64, top.MaxHops()+1),
+	}
+	for i := range f.nodes {
+		nd := newNode(top.NodePorts(i), root.Split("node", i))
+		if nd == nil {
+			return nil, fmt.Errorf("fabric: node factory returned nil for node %d", i)
+		}
+		if nd.Ports() != top.NodePorts(i) {
+			return nil, fmt.Errorf("fabric: node %d has %d ports, topology wants %d",
+				i, nd.Ports(), top.NodePorts(i))
+		}
+		f.nodes[i] = nd
+		f.scratch[i] = make([]int, nd.Ports())
+		f.scratchAt[i] = -1
+		if bl, ok := nd.(backlogger); ok {
+			f.backlog[i] = bl.InputBacklog
+		}
+		if pr, ok := nd.(releaser); ok {
+			i := i
+			pr.SetReleaseHook(func(p *cell.Packet) {
+				f.pools[i] = append(f.pools[i], p)
+			})
+		}
+		i := i
+		f.nodeFns[i] = func(d cell.Delivery) { f.handleNodeDelivery(i, d) }
+	}
+	for i := range f.links {
+		f.links[i].buf = make([]linkEntry, cfg.LinkCapacity)
+	}
+	return f, nil
+}
+
+// Topology returns the fabric's wiring.
+func (f *Fabric) Topology() *Topology { return f.top }
+
+// Node returns node i, for tests and inspectors.
+func (f *Fabric) Node(i int) Node { return f.nodes[i] }
+
+// Ports implements the engine's Switch surface: the fabric ingress
+// count (== egress count for Runner-drivable fabrics).
+func (f *Fabric) Ports() int { return f.top.Ingress() }
+
+// SetReleaseHook implements the engine's PacketReleaser capability:
+// the fabric copies an arriving packet's destinations immediately, so
+// it can hand the packet straight back to the engine's pool.
+func (f *Fabric) SetReleaseHook(fn func(*cell.Packet)) { f.release = fn }
+
+// SetDropHook registers fn to observe every counted drop as it
+// happens. One consumer; the invariant checker interposes and chains
+// when both it and the engine want the stream.
+func (f *Fabric) SetDropHook(fn func(Drop)) { f.onDrop = fn }
+
+// SetObserver attaches the observability layer at fabric scope:
+// arrivals at ingress, one EvHop per link admission, counted EvDrops,
+// departures at egress. Node-internal events stay unobserved (the
+// per-node arbiter traffic would drown the end-to-end story).
+func (f *Fabric) SetObserver(o *obs.Observer) { f.obs = o }
+
+// getLocal returns a pooled node-local packet for node ni.
+func (f *Fabric) getLocal(ni int) *cell.Packet {
+	pool := f.pools[ni]
+	if k := len(pool) - 1; k >= 0 {
+		p := pool[k]
+		f.pools[ni] = pool[:k]
+		return p
+	}
+	return &cell.Packet{Dests: destset.New(f.top.NodePorts(ni))}
+}
+
+// getLeafSet returns a pooled egress-universe destination set.
+func (f *Fabric) getLeafSet() *destset.Set {
+	if k := len(f.leafPool) - 1; k >= 0 {
+		s := f.leafPool[k]
+		f.leafPool = f.leafPool[:k]
+		return s
+	}
+	return destset.New(f.top.Egress())
+}
+
+func (f *Fabric) putLeafSet(s *destset.Set) { f.leafPool = append(f.leafPool, s) }
+
+// Arrive admits one fabric packet at fabric ingress p.Input. The
+// destination universe must be the fabric's egress leaf count; the
+// engine's one-arrival-per-ingress-per-slot discipline carries over to
+// the first-stage switches by construction (each ingress binds a
+// distinct node input port).
+func (f *Fabric) Arrive(p *cell.Packet) {
+	if p.Input < 0 || p.Input >= f.top.Ingress() {
+		panic(fmt.Sprintf("fabric: arrival at ingress %d of a %d-ingress fabric", p.Input, f.top.Ingress()))
+	}
+	if p.Dests.Universe() != f.top.Egress() {
+		panic(fmt.Sprintf("fabric: arrival with destination universe %d, fabric has %d leaves",
+			p.Dests.Universe(), f.top.Egress()))
+	}
+	fanout := p.Fanout()
+	if fanout == 0 {
+		panic("fabric: arrival with no destinations")
+	}
+	e, dup := f.live.ensure(p.ID)
+	if dup {
+		panic(fmt.Sprintf("fabric: duplicate arrival of packet %d", p.ID))
+	}
+	e.v = liveInfo{input: int32(p.Input), arrival: p.Arrival, remain: int32(fanout)}
+	f.admitted++
+	f.admittedCopies += int64(fanout)
+	if f.obs.TraceOn() {
+		f.obs.Trace.Emit(obs.Event{
+			Slot: p.Arrival, Type: obs.EvArrival, In: int32(p.Input), Out: -1,
+			Round: -1, Aux: int32(fanout), TS: p.Arrival, Packet: int64(p.ID),
+		})
+	}
+	leaves := f.getLeafSet()
+	leaves.CopyFrom(p.Dests)
+	ep := f.top.IngressAt(p.Input)
+	f.admitLocal(ep.Node, p.ID, leaves, 0, ep.Port, p.Arrival)
+	if f.release != nil {
+		f.release(p)
+	}
+}
+
+// admitLocal hands one copy (fabric packet fabID, responsible for
+// leaves, hops links deep) to node ni as a fresh node-local packet
+// arriving at input port in this slot. Ownership of leaves moves to
+// the copy context.
+func (f *Fabric) admitLocal(ni int, fabID cell.PacketID, leaves *destset.Set, hops int32, in int, slot int64) {
+	local := f.getLocal(ni)
+	f.nextLocal[ni]++
+	id := cell.PacketID(f.nextLocal[ni])
+	local.ID, local.Input, local.Arrival = id, in, slot
+	f.top.LocalDests(ni, leaves, local.Dests)
+	e, dup := f.ctxs[ni].ensure(id)
+	if dup {
+		panic(fmt.Sprintf("fabric: node %d local packet id %d reused", ni, id))
+	}
+	e.v = ctxInfo{fab: fabID, leaves: leaves, hops: hops, remain: int32(local.Dests.Count())}
+	f.nodes[ni].Arrive(local)
+}
+
+// Step runs one synchronous fabric slot: admit ready link heads into
+// their downstream switches (one per link — each link feeds one input
+// port, which takes one arrival per slot), then step every node.
+// Deliveries out of leaf-bound ports surface through deliver with the
+// fabric packet's identity; deliveries into links become entries
+// admissible from the next slot.
+func (f *Fabric) Step(slot int64, deliver func(cell.Delivery)) {
+	f.slot = slot
+	f.outer = deliver
+	for li := range f.links {
+		lk := &f.links[li]
+		if lk.size == 0 {
+			continue
+		}
+		head := lk.at(0)
+		if head.enq >= slot {
+			continue
+		}
+		to := f.top.links[li].To
+		if f.inBacklog(to.Node, to.Port) >= f.cfg.MaxInputCells {
+			continue // backpressure: retry next slot
+		}
+		if f.obs.TraceOn() {
+			lv := f.live.lookup(head.fabID)
+			f.obs.Trace.Emit(obs.Event{
+				Slot: slot, Type: obs.EvHop, In: int32(lv.v.input), Out: int32(to.Node),
+				Round: -1, Aux: int32(head.hops), TS: lv.v.arrival, Packet: int64(head.fabID),
+			})
+		}
+		f.admitLocal(to.Node, head.fabID, head.leaves, head.hops, to.Port, slot)
+		lk.pop()
+	}
+	for i, nd := range f.nodes {
+		nd.Step(slot, f.nodeFns[i])
+	}
+	f.outer = nil
+}
+
+// inBacklog returns the number of cells buffered at one node input
+// port, through the exact accessor when the architecture has one
+// (core's InputBacklog) or a once-per-slot QueueSizes snapshot
+// otherwise.
+func (f *Fabric) inBacklog(node, port int) int {
+	if fn := f.backlog[node]; fn != nil {
+		return fn(port)
+	}
+	if f.scratchAt[node] != f.slot {
+		f.nodes[node].QueueSizes(f.scratch[node])
+		f.scratchAt[node] = f.slot
+	}
+	return f.scratch[node][port]
+}
+
+// handleNodeDelivery resolves one node-level delivery: an egress leaf
+// delivery surfaces as a fabric delivery; a link-bound delivery splits
+// off the child leaf subset and pushes it onto the link (or drops it,
+// counted, when the link is full).
+func (f *Fabric) handleNodeDelivery(ni int, d cell.Delivery) {
+	e := f.ctxs[ni].lookup(d.ID)
+	if e == nil {
+		panic(fmt.Sprintf("fabric: node %d delivered unknown local packet %d", ni, d.ID))
+	}
+	ctx := &e.v
+	switch {
+	case f.top.outLeaf[ni][d.Out] >= 0:
+		leaf := int(f.top.outLeaf[ni][d.Out])
+		lv := f.live.lookup(ctx.fab)
+		if lv == nil {
+			panic(fmt.Sprintf("fabric: delivery of retired packet %d", ctx.fab))
+		}
+		lv.v.remain--
+		if lv.v.remain < 0 {
+			panic(fmt.Sprintf("fabric: packet %d over-delivered", ctx.fab))
+		}
+		last := lv.v.remain == 0
+		f.delivered++
+		f.hops.Add(float64(ctx.hops) + 1)
+		if f.obs.TraceOn() {
+			aux := int32(0)
+			if last {
+				aux = 1
+			}
+			f.obs.Trace.Emit(obs.Event{
+				Slot: f.slot, Type: obs.EvDeparture, In: lv.v.input, Out: int32(leaf),
+				Round: -1, Aux: aux, TS: lv.v.arrival, Packet: int64(ctx.fab),
+			})
+		}
+		fd := cell.Delivery{
+			ID: ctx.fab, In: int(lv.v.input), Out: leaf,
+			Slot: f.slot, Arrival: lv.v.arrival, Last: last,
+		}
+		if last {
+			f.live.release(lv)
+		}
+		if f.outer != nil {
+			f.outer(fd)
+		}
+	case f.top.outLink[ni][d.Out] >= 0:
+		li := int(f.top.outLink[ni][d.Out])
+		sub := f.getLeafSet()
+		f.top.ChildLeaves(ni, d.Out, ctx.leaves, sub)
+		if sub.Empty() {
+			panic(fmt.Sprintf("fabric: node %d delivered port %d with no routed leaves for packet %d",
+				ni, d.Out, ctx.fab))
+		}
+		lk := &f.links[li]
+		if lk.size == len(lk.buf) {
+			f.dropCopy(ctx, sub)
+		} else {
+			lk.push(linkEntry{fabID: ctx.fab, leaves: sub, hops: ctx.hops + 1, enq: f.slot})
+		}
+	default:
+		panic(fmt.Sprintf("fabric: node %d delivered out unwired port %d", ni, d.Out))
+	}
+	ctx.remain--
+	if ctx.remain == 0 {
+		f.putLeafSet(ctx.leaves)
+		ctx.leaves = nil
+		f.ctxs[ni].release(e)
+	}
+}
+
+// dropCopy counts the loss of one copy bundle (the daemon's overload
+// policy, per hop): the leaves never arrive, the fabric packet's
+// outstanding count shrinks accordingly, and the drop hook and tracer
+// see exactly what was lost. Queue structure is untouched, which is
+// why every per-stage invariant survives a drop.
+func (f *Fabric) dropCopy(ctx *ctxInfo, sub *destset.Set) {
+	cnt := sub.Count()
+	f.dropped += int64(cnt)
+	f.dropsByHop[ctx.hops] += int64(cnt)
+	lv := f.live.lookup(ctx.fab)
+	if lv == nil {
+		panic(fmt.Sprintf("fabric: drop of retired packet %d", ctx.fab))
+	}
+	lv.v.remain -= int32(cnt)
+	if lv.v.remain < 0 {
+		panic(fmt.Sprintf("fabric: packet %d over-dropped", ctx.fab))
+	}
+	if f.obs.TraceOn() {
+		in, arr := lv.v.input, lv.v.arrival
+		sub.ForEach(func(leaf int) {
+			f.obs.Trace.Emit(obs.Event{
+				Slot: f.slot, Type: obs.EvDrop, In: in, Out: int32(leaf),
+				Round: -1, Aux: int32(ctx.hops), TS: arr, Packet: int64(ctx.fab),
+			})
+		})
+	}
+	if f.onDrop != nil {
+		f.onDrop(Drop{ID: ctx.fab, In: int(lv.v.input), Slot: f.slot, Hops: int(ctx.hops), Leaves: sub})
+	}
+	if lv.v.remain == 0 {
+		f.live.release(lv)
+	}
+	f.putLeafSet(sub)
+}
+
+// QueueSizes implements the engine's Switch surface: per fabric
+// ingress, the cell backlog of the bound first-stage input port (the
+// fabric's ingress-stage occupancy, which is where an unsustainable
+// load accumulates — interior stages are bounded by the admission
+// policy).
+func (f *Fabric) QueueSizes(dst []int) []int {
+	for i, ep := range f.top.ingress {
+		if f.backlog[ep.Node] == nil && f.scratchAt[ep.Node] != f.slot {
+			f.nodes[ep.Node].QueueSizes(f.scratch[ep.Node])
+			f.scratchAt[ep.Node] = f.slot
+		}
+		dst[i] = f.inBacklog(ep.Node, ep.Port)
+	}
+	return dst
+}
+
+// BufferedCells implements the engine's Switch surface: total backlog
+// across every stage — node buffers plus link entries — so the
+// engine's instability ceiling and end-of-run drift check see the
+// whole fabric.
+func (f *Fabric) BufferedCells() int64 {
+	var total int64
+	for _, nd := range f.nodes {
+		total += nd.BufferedCells()
+	}
+	for i := range f.links {
+		total += int64(f.links[i].size)
+	}
+	return total
+}
+
+// ForEachLive calls fn for every admitted fabric packet with copies
+// still owed, in ascending packet ID order.
+func (f *Fabric) ForEachLive(fn func(id cell.PacketID, input int, arrival int64, remain int)) {
+	f.live.forEachAscending(func(id cell.PacketID, v *liveInfo) {
+		fn(id, int(v.input), v.arrival, int(v.remain))
+	})
+}
+
+// Buffer-iteration shapes of the node architectures (core's
+// per-address-cell walk; wba/eslip's per-packet residue walk).
+type (
+	coreBuffered interface {
+		ForEachBuffered(fn func(in, out int, p *cell.Packet))
+	}
+	residueBuffered interface {
+		ForEachBuffered(fn func(in int, p *cell.Packet, remaining *destset.Set))
+	}
+)
+
+// ForEachPending calls fn once for every (fabric packet, leaf) copy
+// still buffered somewhere in the fabric — in node buffers (where one
+// buffered node-level copy stands for every leaf it is responsible for
+// through that output) or on inter-stage links. The invariant
+// checker's conservation pass compares this against its shadow model:
+// every admitted copy is here exactly once, or delivered, or counted
+// dropped. Returns false when a node architecture supports no buffer
+// iteration (the structural pass then degrades to counter checks).
+func (f *Fabric) ForEachPending(fn func(id cell.PacketID, leaf int)) bool {
+	scratch := f.getLeafSet()
+	defer f.putLeafSet(scratch)
+	emit := func(ni int, ctx *ctxInfo, out int) {
+		f.top.ChildLeaves(ni, out, ctx.leaves, scratch)
+		scratch.ForEach(func(leaf int) { fn(ctx.fab, leaf) })
+	}
+	for ni, nd := range f.nodes {
+		ctxs := &f.ctxs[ni]
+		switch b := nd.(type) {
+		case coreBuffered:
+			b.ForEachBuffered(func(in, out int, p *cell.Packet) {
+				e := ctxs.lookup(p.ID)
+				if e == nil {
+					panic(fmt.Sprintf("fabric: node %d buffers unknown local packet %d", ni, p.ID))
+				}
+				emit(ni, &e.v, out)
+			})
+		case residueBuffered:
+			b.ForEachBuffered(func(in int, p *cell.Packet, remaining *destset.Set) {
+				e := ctxs.lookup(p.ID)
+				if e == nil {
+					panic(fmt.Sprintf("fabric: node %d buffers unknown local packet %d", ni, p.ID))
+				}
+				remaining.ForEach(func(out int) { emit(ni, &e.v, out) })
+			})
+		default:
+			if nd.BufferedCells() > 0 {
+				return false
+			}
+		}
+	}
+	for li := range f.links {
+		lk := &f.links[li]
+		for i := 0; i < lk.size; i++ {
+			ent := lk.at(i)
+			ent.leaves.ForEach(func(leaf int) { fn(ent.fabID, leaf) })
+		}
+	}
+	return true
+}
+
+// pidWindow is an open-addressed table keyed by sequentially-issued
+// packet IDs, the same structure as the delay tracker's in-flight
+// window (internal/stats): IDs retire roughly in issue order, so one
+// indexed load finds an entry and the table only grows when the live
+// ID span outgrows it.
+type pidWindow[T any] struct {
+	entries []pidEntry[T]
+	n       int
+}
+
+type pidEntry[T any] struct {
+	id   cell.PacketID
+	v    T
+	live bool
+}
+
+func (w *pidWindow[T]) lookup(id cell.PacketID) *pidEntry[T] {
+	if len(w.entries) == 0 {
+		return nil
+	}
+	e := &w.entries[uint64(id)&uint64(len(w.entries)-1)]
+	if !e.live || e.id != id {
+		return nil
+	}
+	return e
+}
+
+func (w *pidWindow[T]) ensure(id cell.PacketID) (*pidEntry[T], bool) {
+	for {
+		if len(w.entries) == 0 {
+			w.entries = make([]pidEntry[T], 64)
+		}
+		e := &w.entries[uint64(id)&uint64(len(w.entries)-1)]
+		if e.live {
+			if e.id == id {
+				return e, true
+			}
+			w.grow()
+			continue
+		}
+		var zero T
+		e.id, e.v, e.live = id, zero, true
+		w.n++
+		return e, false
+	}
+}
+
+func (w *pidWindow[T]) release(e *pidEntry[T]) {
+	var zero T
+	e.v, e.live = zero, false
+	w.n--
+}
+
+func (w *pidWindow[T]) grow() {
+	newLen := 2 * len(w.entries)
+rehash:
+	for {
+		next := make([]pidEntry[T], newLen)
+		mask := uint64(newLen - 1)
+		for i := range w.entries {
+			e := w.entries[i]
+			if !e.live {
+				continue
+			}
+			d := &next[uint64(e.id)&mask]
+			if d.live {
+				newLen *= 2
+				continue rehash
+			}
+			*d = e
+		}
+		w.entries = next
+		return
+	}
+}
+
+// forEachAscending visits live entries in ascending ID order. It
+// allocates (sort scratch) and is only used by inspectors and the
+// snapshot path, never per slot.
+func (w *pidWindow[T]) forEachAscending(fn func(id cell.PacketID, v *T)) {
+	ids := make([]cell.PacketID, 0, w.n)
+	for i := range w.entries {
+		if w.entries[i].live {
+			ids = append(ids, w.entries[i].id)
+		}
+	}
+	sortPacketIDs(ids)
+	for _, id := range ids {
+		fn(id, &w.lookup(id).v)
+	}
+}
+
+func sortPacketIDs(ids []cell.PacketID) {
+	// Insertion sort over an almost-sorted id list (window iteration
+	// yields ids in hash order, which is nearly ascending for dense
+	// sequential ids); fine for snapshot/inspection cadence.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

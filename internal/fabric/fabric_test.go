@@ -1,0 +1,426 @@
+package fabric_test
+
+import (
+	"sort"
+	"testing"
+
+	"voqsim/internal/cell"
+	"voqsim/internal/check"
+	"voqsim/internal/core"
+	"voqsim/internal/destset"
+	"voqsim/internal/experiment"
+	"voqsim/internal/fabric"
+	"voqsim/internal/switchsim"
+	"voqsim/internal/traffic"
+	"voqsim/internal/xrand"
+)
+
+func mustTop(tb testing.TB, spec string) *fabric.Topology {
+	tb.Helper()
+	top, err := fabric.ParseSpec(spec)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return top
+}
+
+// newFabric builds a fabric whose every node runs the named algorithm,
+// seeded the way the facade seeds a run (root = Split("switch", 0)).
+func newFabric(tb testing.TB, top *fabric.Topology, algo string, fcfg fabric.Config, seed uint64) *fabric.Fabric {
+	tb.Helper()
+	alg, err := experiment.ByName(algo)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	f, err := fabric.New(top, fcfg, func(ports int, r *xrand.Rand) fabric.Node {
+		return alg.New(ports, r)
+	}, xrand.New(seed).Split("switch", 0))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return f
+}
+
+// pendingCopies counts every (packet, leaf) copy still buffered in the
+// fabric.
+func pendingCopies(tb testing.TB, f *fabric.Fabric) int64 {
+	tb.Helper()
+	var n int64
+	if !f.ForEachPending(func(cell.PacketID, int) { n++ }) {
+		tb.Fatal("fabric nodes do not support buffer iteration")
+	}
+	return n
+}
+
+// TestFabricRunConservation drives both constructor topologies through
+// the standard runner and checks the end-to-end ledger directly on the
+// fabric: every admitted copy was delivered, dropped (counted), or is
+// still buffered in some stage.
+func TestFabricRunConservation(t *testing.T) {
+	for _, spec := range []string{"fattree:k=4", "clos:n=4,m=4,r=4"} {
+		t.Run(spec, func(t *testing.T) {
+			top := mustTop(t, spec)
+			f := newFabric(t, top, "fifoms", fabric.Config{}, 11)
+			pat := traffic.Bernoulli{P: 0.3, B: 0.12}
+			cfg := switchsim.Config{Slots: 2500, Seed: 11, WarmupFrac: 0.25}
+			r := switchsim.New(f, pat, cfg, xrand.New(11).Split("traffic", 0))
+			res := r.Run("fifoms@" + spec)
+
+			if res.Unstable {
+				t.Fatalf("unstable at slot %d under light load", res.UnstableAt)
+			}
+			if res.Delivered == 0 {
+				t.Fatal("no copies delivered")
+			}
+			st := f.FabricStats()
+			if res.Fabric == nil || res.Fabric.DeliveredCopies != st.DeliveredCopies {
+				t.Fatalf("Results.Fabric = %+v, fabric reports %+v", res.Fabric, st)
+			}
+			if st.Topology != spec || st.Nodes != top.Nodes() || st.Links != top.NumLinks() {
+				t.Fatalf("stats identity %+v does not match %s", st, spec)
+			}
+			pending := pendingCopies(t, f)
+			if st.AdmittedCopies != st.DeliveredCopies+st.DroppedCopies+pending {
+				t.Fatalf("copy ledger broken: admitted %d != delivered %d + dropped %d + pending %d",
+					st.AdmittedCopies, st.DeliveredCopies, st.DroppedCopies, pending)
+			}
+			if st.HopMin < 1 || st.HopMax > int64(top.MaxHops())+1 {
+				t.Fatalf("hop range [%d,%d] outside [1,%d]", st.HopMin, st.HopMax, top.MaxHops()+1)
+			}
+			if st.HopMean < 1 || st.HopMean > float64(top.MaxHops())+1 {
+				t.Fatalf("hop mean %v outside [1,%d]", st.HopMean, top.MaxHops()+1)
+			}
+		})
+	}
+}
+
+// TestFabricChecked runs a fat-tree under the full invariant checker:
+// the per-stage invariants plus the F1 fabric conservation invariant
+// must stay clean for a healthy fabric.
+func TestFabricChecked(t *testing.T) {
+	top := mustTop(t, "fattree:k=4")
+	f := newFabric(t, top, "fifoms", fabric.Config{}, 23)
+	pat := traffic.Bernoulli{P: 0.3, B: 0.12}
+	cfg := switchsim.Config{Slots: 1200, Seed: 23, WarmupFrac: 0.25}
+	_, ck, err := switchsim.CheckedRun("fifoms@fattree", f, pat, cfg,
+		xrand.New(23).Split("traffic", 0), check.Options{Every: 16})
+	if err != nil {
+		t.Fatalf("checked fat-tree run: %v", err)
+	}
+	if ck.Profile() != "fabric/fattree:k=4" {
+		t.Fatalf("checker profile %q, want fabric/fattree:k=4", ck.Profile())
+	}
+	if ck.FabricStats() == nil {
+		t.Fatal("checker does not forward fabric stats")
+	}
+}
+
+// TestFabricCheckedWithDrops squeezes a Clos through capacity-1 links
+// under heavy multicast load, so interior links overflow: the drops
+// must be counted (mirroring the daemon's bounded/counted overload
+// policy) and every invariant — including F1 conservation — must
+// accept them.
+func TestFabricCheckedWithDrops(t *testing.T) {
+	top := mustTop(t, "clos:n=4,m=2,r=4")
+	f := newFabric(t, top, "fifoms", fabric.Config{LinkCapacity: 1, MaxInputCells: 4}, 5)
+	pat := traffic.Bernoulli{P: 0.7, B: 0.4}
+	cfg := switchsim.Config{Slots: 800, Seed: 5, WarmupFrac: 0.25, UnstableCellLimit: 1 << 30}
+	res, _, err := switchsim.CheckedRun("fifoms@clos", f, pat, cfg,
+		xrand.New(5).Split("traffic", 0), check.Options{Every: 8})
+	if err != nil {
+		t.Fatalf("checked run with drops: %v", err)
+	}
+	st := f.FabricStats()
+	if st.DroppedCopies == 0 {
+		t.Fatal("capacity-1 links dropped nothing under heavy load; the overload path is untested")
+	}
+	if res.Fabric.DroppedCopies != st.DroppedCopies {
+		t.Fatalf("results report %d drops, fabric %d", res.Fabric.DroppedCopies, st.DroppedCopies)
+	}
+	var byHop int64
+	for _, c := range st.DropsByHop {
+		byHop += c
+	}
+	if byHop != st.DroppedCopies {
+		t.Fatalf("drops-by-hop %v does not sum to %d", st.DropsByHop, st.DroppedCopies)
+	}
+	pending := pendingCopies(t, f)
+	if st.AdmittedCopies != st.DeliveredCopies+st.DroppedCopies+pending {
+		t.Fatalf("copy ledger broken after drops: admitted %d != delivered %d + dropped %d + pending %d",
+			st.AdmittedCopies, st.DeliveredCopies, st.DroppedCopies, pending)
+	}
+}
+
+// passThroughTop wires an N-port switch in front of N single-port
+// FIFO stages: node 0 is the switch under test, its output o feeds the
+// 1x1 switch that binds leaf o. An otherwise idle 1x1 FIFO forwards in
+// the slot a cell reaches it, so the compound is the plain switch
+// delayed by exactly the one-slot link crossing.
+func passThroughTop(tb testing.TB, n int) *fabric.Topology {
+	tb.Helper()
+	b := fabric.NewBuilder("passthrough")
+	n0 := b.AddNode(n)
+	for i := 0; i < n; i++ {
+		b.BindIngress(n0, i)
+	}
+	for o := 0; o < n; o++ {
+		stage := b.AddNode(1)
+		b.Connect(fabric.Endpoint{Node: n0, Port: o}, fabric.Endpoint{Node: stage, Port: 0})
+		b.BindEgress(stage, 0)
+		b.Route(n0, o, o)
+		b.Route(stage, o, 0)
+	}
+	top, err := b.Build()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return top
+}
+
+type deliveryRec struct {
+	id      cell.PacketID
+	in, out int
+	slot    int64
+	arrival int64
+	last    bool
+}
+
+// runStream runs the simulation and returns the delivery stream in the
+// canonical (slot, out, id) order. One cell per output per slot makes
+// (slot, out) unique, so the order is total and the comparison exact.
+func runStream(tb testing.TB, sw switchsim.Switch, n int, seed uint64, slots int64, pat traffic.Pattern) []deliveryRec {
+	tb.Helper()
+	cfg := switchsim.Config{Slots: slots, Seed: seed, WarmupFrac: 0.25}
+	r := switchsim.New(sw, pat, cfg, xrand.New(seed).Split("traffic", 0))
+	var recs []deliveryRec
+	r.OnDelivery(func(d cell.Delivery) {
+		recs = append(recs, deliveryRec{id: d.ID, in: d.In, out: d.Out, slot: d.Slot, arrival: d.Arrival, last: d.Last})
+	})
+	res := r.Run("diff")
+	if res.Unstable {
+		tb.Fatalf("differential run unstable at slot %d", res.UnstableAt)
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.slot != b.slot {
+			return a.slot < b.slot
+		}
+		if a.out != b.out {
+			return a.out < b.out
+		}
+		return a.id < b.id
+	})
+	return recs
+}
+
+// TestFabricDifferential is the two-stage differential battery: an
+// N-port switch followed by pass-through 1x1 stages must reproduce the
+// single switch's delivery stream bit for bit, one slot later — same
+// packet IDs, inputs, outputs and arrival stamps. Last flags are
+// excluded from the record comparison — a ModeCopied architecture
+// marks every fanout-1 copy last, while the fabric computes a
+// per-packet last — and checked for coherence on the fabric stream
+// instead. Any divergence in the fabric's admission, splitting or
+// link timing shows up as a stream mismatch.
+func TestFabricDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential battery is not short")
+	}
+	type size struct {
+		n     int
+		slots int64
+		pat   traffic.Pattern
+	}
+	sizes := []size{
+		{4, 3000, traffic.Bernoulli{P: 0.5, B: 0.3}},
+		{16, 1200, traffic.Bernoulli{P: 0.3, B: 0.1}},
+	}
+	for _, algoName := range []string{"fifoms", "pim", "eslip"} {
+		alg, err := experiment.ByName(algoName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sz := range sizes {
+			for seed := uint64(1); seed <= 3; seed++ {
+				// The standalone switch must draw the same randomness as
+				// fabric node 0, which New seeds with root.Split("node", 0).
+				single := alg.New(sz.n, xrand.New(seed).Split("switch", 0).Split("node", 0))
+				want := runStream(t, single, sz.n, seed, sz.slots, sz.pat)
+
+				top := passThroughTop(t, sz.n)
+				fab, err := fabric.New(top, fabric.Config{}, func(ports int, r *xrand.Rand) fabric.Node {
+					if ports == sz.n {
+						return alg.New(ports, r)
+					}
+					return core.NewSwitch(1, &core.FIFOMS{}, r)
+				}, xrand.New(seed).Split("switch", 0))
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := runStream(t, fab, sz.n, seed, sz.slots, sz.pat)
+
+				// The fabric run ends at the same slot, so the single
+				// switch's final-slot deliveries have no shifted
+				// counterpart; trim them before comparing.
+				for len(want) > 0 && want[len(want)-1].slot == sz.slots-1 {
+					want = want[:len(want)-1]
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%s n=%d seed=%d: %d fabric deliveries, single switch made %d",
+						algoName, sz.n, seed, len(got), len(want))
+				}
+				for i := range want {
+					w, g := want[i], got[i]
+					w.slot++ // the constant hop delay
+					w.last, g.last = false, false
+					if g != w {
+						t.Fatalf("%s n=%d seed=%d: delivery %d diverged:\nfabric %+v\nsingle %+v (slot already shifted)",
+							algoName, sz.n, seed, i, got[i], w)
+					}
+				}
+				if len(want) == 0 {
+					t.Fatalf("%s n=%d seed=%d: empty delivery stream proves nothing", algoName, sz.n, seed)
+				}
+
+				// The fabric's Last is per packet: at most one per ID, and
+				// only on that packet's final delivery slot.
+				maxSlot := make(map[cell.PacketID]int64)
+				for _, g := range got {
+					if s, ok := maxSlot[g.id]; !ok || g.slot > s {
+						maxSlot[g.id] = g.slot
+					}
+				}
+				lasts := make(map[cell.PacketID]int)
+				for _, g := range got {
+					if !g.last {
+						continue
+					}
+					lasts[g.id]++
+					if g.slot != maxSlot[g.id] {
+						t.Fatalf("%s n=%d seed=%d: packet %d marked last at slot %d but delivered again at %d",
+							algoName, sz.n, seed, g.id, g.slot, maxSlot[g.id])
+					}
+				}
+				if len(lasts) == 0 {
+					t.Fatalf("%s n=%d seed=%d: no packet completed", algoName, sz.n, seed)
+				}
+				for id, c := range lasts {
+					if c != 1 {
+						t.Fatalf("%s n=%d seed=%d: packet %d marked last %d times", algoName, sz.n, seed, id, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFabricLiveRunner drives a fat-tree behind the live (daemon)
+// runner: manual admissions, manual slots, per-copy delivery
+// callbacks.
+func TestFabricLiveRunner(t *testing.T) {
+	top := mustTop(t, "fattree:k=4")
+	f := newFabric(t, top, "fifoms", fabric.Config{}, 3)
+	l := switchsim.NewLive(f)
+	if l.Ports() != 16 {
+		t.Fatalf("live fabric has %d ports, want 16", l.Ports())
+	}
+	delivered := map[cell.PacketID]int{}
+	var slot int64
+	for ; slot < 40; slot++ {
+		if slot < 8 {
+			p := l.Borrow()
+			p.Dests.Clear()
+			p.Dests.Add(int(slot))        // same-switch leaf
+			p.Dests.Add(int(slot+8) % 16) // cross-pod leaf
+			if _, err := l.Admit(p, int(slot), slot); err != nil {
+				t.Fatal(err)
+			}
+		}
+		l.Step(slot, func(d cell.Delivery) { delivered[d.ID]++ })
+	}
+	if l.Admitted() != 8 || l.Completed() != 8 {
+		t.Fatalf("admitted %d, completed %d; want 8/8", l.Admitted(), l.Completed())
+	}
+	for id, n := range delivered {
+		if n != 2 {
+			t.Fatalf("packet %d delivered %d copies, want 2", id, n)
+		}
+	}
+	if f.BufferedCells() != 0 {
+		t.Fatalf("%d cells still buffered after drain", f.BufferedCells())
+	}
+}
+
+// fabricStepper drives a fat-tree at a fixed deterministic load with
+// recycled packets, for the allocation guard and the benchmark.
+type fabricStepper struct {
+	f      *fabric.Fabric
+	free   []*cell.Packet
+	nextID cell.PacketID
+	slot   int64
+	n      int
+}
+
+func newFabricStepper(tb testing.TB, algo string) *fabricStepper {
+	tb.Helper()
+	top := mustTop(tb, "fattree:k=4")
+	f := newFabric(tb, top, algo, fabric.Config{}, 41)
+	s := &fabricStepper{f: f, n: top.Ingress()}
+	f.SetReleaseHook(func(p *cell.Packet) { s.free = append(s.free, p) })
+	return s
+}
+
+func (s *fabricStepper) packet() *cell.Packet {
+	if k := len(s.free) - 1; k >= 0 {
+		p := s.free[k]
+		s.free = s.free[:k]
+		return p
+	}
+	return &cell.Packet{Dests: destset.New(s.n)}
+}
+
+// step simulates one slot: two arrivals at rotating inputs, each a
+// two-leaf multicast (one local, one cross-pod), then one fabric step.
+func (s *fabricStepper) step() {
+	for a := 0; a < 2; a++ {
+		in := (int(s.slot) + a*7) % s.n
+		p := s.packet()
+		s.nextID++
+		p.ID, p.Input, p.Arrival = s.nextID, in, s.slot
+		p.Dests.Clear()
+		p.Dests.Add(in)
+		p.Dests.Add((in + 9) % s.n)
+		s.f.Arrive(p)
+	}
+	s.f.Step(s.slot, nil)
+	s.slot++
+}
+
+// TestFabricSlotAllocs is the steady-state allocation guard: once the
+// pools and windows are warm, a fabric slot — admissions, link
+// crossings, every stage's scheduling, splits and deliveries — must
+// run without a single heap allocation, like the single-switch slot
+// loop it extends.
+func TestFabricSlotAllocs(t *testing.T) {
+	s := newFabricStepper(t, "fifoms")
+	for i := 0; i < 500; i++ {
+		s.step()
+	}
+	if avg := testing.AllocsPerRun(200, s.step); avg != 0 {
+		t.Fatalf("warm fabric slot allocates %v times per slot; want 0", avg)
+	}
+}
+
+// BenchmarkFabricSlot is the CI-gated per-slot cost of a 20-switch
+// fat-tree under a light deterministic multicast load.
+func BenchmarkFabricSlot(b *testing.B) {
+	s := newFabricStepper(b, "fifoms")
+	for i := 0; i < 500; i++ {
+		s.step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.step()
+	}
+}

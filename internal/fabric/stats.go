@@ -1,0 +1,50 @@
+package fabric
+
+// Stats is the fabric-level summary of one run: identity counts plus
+// end-to-end copy accounting and the hop-count distribution (a hop
+// count is the number of switches a delivered copy traversed, i.e.
+// links crossed + 1). DropsByHop[h] counts copies lost at links
+// leaving stage-depth h (h links already crossed).
+type Stats struct {
+	Topology string `json:"topology"`
+	Nodes    int    `json:"nodes"`
+	Links    int    `json:"links"`
+
+	AdmittedPackets int64 `json:"admitted_packets"`
+	AdmittedCopies  int64 `json:"admitted_copies"`
+	DeliveredCopies int64 `json:"delivered_copies"`
+	DroppedCopies   int64 `json:"dropped_copies"`
+
+	DropsByHop []int64 `json:"drops_by_hop,omitempty"`
+
+	HopMean float64 `json:"hop_mean"`
+	HopMin  int64   `json:"hop_min"`
+	HopMax  int64   `json:"hop_max"`
+}
+
+// FabricStats snapshots the fabric's counters. The method name doubles
+// as the engine's structural capability probe (switchsim reads it off
+// any Switch that has it).
+func (f *Fabric) FabricStats() *Stats {
+	s := &Stats{
+		Topology:        f.top.Name(),
+		Nodes:           f.top.Nodes(),
+		Links:           f.top.NumLinks(),
+		AdmittedPackets: f.admitted,
+		AdmittedCopies:  f.admittedCopies,
+		DeliveredCopies: f.delivered,
+		DroppedCopies:   f.dropped,
+	}
+	for _, c := range f.dropsByHop {
+		if c != 0 {
+			s.DropsByHop = append([]int64(nil), f.dropsByHop...)
+			break
+		}
+	}
+	if f.hops.Count() > 0 {
+		s.HopMean = f.hops.Mean()
+		s.HopMin = int64(f.hops.Min())
+		s.HopMax = int64(f.hops.Max())
+	}
+	return s
+}

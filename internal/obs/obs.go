@@ -58,11 +58,16 @@ const (
 	// rate is the paper's "fanout splitting only when necessary" claim
 	// made measurable.
 	EvFanoutSplit
-	// EvDrop: a cell was discarded. No current architecture has finite
-	// buffers (instability is detected by the engine's backlog ceiling
-	// instead), so nothing emits it today; the type reserves the slot
-	// in the taxonomy for finite-buffer switches.
+	// EvDrop: a cell was discarded. Single-stage architectures have
+	// infinite buffers (instability is detected by the engine's backlog
+	// ceiling instead) and never emit it; the multi-stage fabric's
+	// bounded inter-stage links do (In = fabric ingress, Out = the leaf
+	// destination lost, Aux = links crossed before the drop).
 	EvDrop
+	// EvHop: a multi-stage fabric admitted one buffered copy from an
+	// inter-stage link into the next switch (In = fabric ingress,
+	// Out = the node the copy entered, Aux = links crossed so far).
+	EvHop
 
 	numEventTypes = iota
 )
@@ -76,6 +81,7 @@ var eventNames = [numEventTypes]string{
 	EvDeparture:   "departure",
 	EvFanoutSplit: "split",
 	EvDrop:        "drop",
+	EvHop:         "hop",
 }
 
 // String returns the event type's wire name.

@@ -288,6 +288,12 @@ func (t *DelayTracker) Deliver(d cell.Delivery) {
 		panic(fmt.Sprintf("stats: packet %d over-delivered", d.ID))
 	}
 	if st.remain == 0 {
+		if st.fanout == 0 {
+			// Tainted by Drop: some copy never arrived, so the packet
+			// has no input-oriented delay and does not complete.
+			t.outstanding.release(e)
+			return
+		}
 		if t.dIn != nil {
 			t.dIn.Add(float64(st.maxDelay))
 			if st.fanout == 1 {
@@ -305,6 +311,34 @@ func (t *DelayTracker) Deliver(d cell.Delivery) {
 		}
 		t.inHist.Observe(st.maxDelay)
 		t.completed++
+		t.outstanding.release(e)
+	}
+}
+
+// Drop records that `copies` copies of packet id were discarded in
+// transit (the multi-stage fabric's bounded inter-stage links). The
+// packet is tainted: its already-delivered copies stay in the per-copy
+// statistics, but it can never complete, so it contributes nothing to
+// the input-oriented series and is not counted in Completed. Once the
+// last owed copy is resolved — delivered or dropped — its window entry
+// is released, keeping the in-flight table bounded even on lossy runs.
+// Drops of unknown (pre-window, or unsampled in fast mode) packets are
+// ignored, mirroring Deliver.
+func (t *DelayTracker) Drop(id cell.PacketID, copies int) {
+	if copies <= 0 {
+		return
+	}
+	e := t.outstanding.lookup(id)
+	if e == nil {
+		return
+	}
+	st := &e.st
+	st.remain -= copies
+	if st.remain < 0 {
+		panic(fmt.Sprintf("stats: packet %d over-dropped", id))
+	}
+	st.fanout = 0 // taint: this packet never completes
+	if st.remain == 0 {
 		t.outstanding.release(e)
 	}
 }
@@ -344,6 +378,10 @@ func (t *DelayTracker) deliverSampled(d cell.Delivery) {
 		panic(fmt.Sprintf("stats: packet %d over-delivered", d.ID))
 	}
 	if st.remain == 0 {
+		if st.fanout == 0 {
+			t.outstanding.release(e)
+			return
+		}
 		t.dIn.Add(float64(st.maxDelay))
 		if st.fanout == 1 {
 			t.dUni.Add(float64(st.maxDelay))

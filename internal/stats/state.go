@@ -149,7 +149,9 @@ func (t *DelayTracker) LoadState(r *snap.Reader) error {
 		if r.Err() != nil {
 			return r.Err()
 		}
-		if st.remain < 1 || st.fanout < st.remain || st.arrival < 0 || st.maxDelay < 0 {
+		// fanout == 0 marks a packet tainted by Drop (a copy was
+		// discarded in transit); its remain no longer relates to fanout.
+		if st.remain < 1 || (st.fanout != 0 && st.fanout < st.remain) || st.arrival < 0 || st.maxDelay < 0 {
 			r.Failf("outstanding packet %d has impossible state %+v", id, st)
 			return r.Err()
 		}

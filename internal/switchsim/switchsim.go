@@ -19,6 +19,7 @@ import (
 
 	"voqsim/internal/cell"
 	"voqsim/internal/destset"
+	"voqsim/internal/fabric"
 	"voqsim/internal/obs"
 	"voqsim/internal/stats"
 	"voqsim/internal/traffic"
@@ -77,6 +78,23 @@ type Observable interface {
 // engine then simply never reuses a packet.
 type PacketReleaser interface {
 	SetReleaseHook(fn func(*cell.Packet))
+}
+
+// FabricReporter is optionally implemented by compound switches — the
+// multi-stage fabric, possibly under a checker wrapper — that track
+// end-to-end copy routing; the engine then attaches the fabric summary
+// to the results.
+type FabricReporter interface {
+	FabricStats() *fabric.Stats
+}
+
+// DropReporter is optionally implemented by switches that can lose
+// admitted copies (the fabric's bounded inter-stage links). The engine
+// registers a hook that taints the delay tracker for every dropped
+// copy, so a packet with lost copies neither completes (its delay
+// would be a lie) nor pins the tracker's in-flight window forever.
+type DropReporter interface {
+	SetDropHook(fn func(fabric.Drop))
 }
 
 // Config controls one simulation run.
@@ -207,6 +225,10 @@ type Results struct {
 
 	// Delay distribution tail bounds (log-bucket upper bounds).
 	InputDelayP99 int64 `json:"input_delay_p99"`
+
+	// Fabric carries the multi-stage summary when the switch is a
+	// fabric (nil — and omitted from JSON — for single switches).
+	Fabric *fabric.Stats `json:"fabric,omitempty"`
 }
 
 // Runner binds a switch to its traffic and measurement state.
@@ -307,6 +329,9 @@ func New(sw Switch, pat traffic.Pattern, cfg Config, root *xrand.Rand) *Runner {
 	r.br, _ = sw.(BytesReporter)
 	if pr, ok := sw.(PacketReleaser); ok {
 		pr.SetReleaseHook(r.putPacket)
+	}
+	if dr, ok := sw.(DropReporter); ok {
+		dr.SetDropHook(r.handleDrop)
 	}
 	r.deliverFn = r.handleDelivery
 	return r
@@ -469,6 +494,9 @@ func (r *Runner) RunWithCheckpoints(name string, every int64, sink CheckpointFun
 	if measured := slot - warmup; measured > 0 {
 		res.Throughput = float64(r.delivered) / float64(measured) / float64(r.sw.Ports())
 	}
+	if fr, ok := r.sw.(FabricReporter); ok {
+		res.Fabric = fr.FabricStats()
+	}
 	return res, nil
 }
 
@@ -556,6 +584,13 @@ func (r *Runner) handleDelivery(d cell.Delivery) {
 		r.delivered++
 	}
 	r.tracker.Deliver(d)
+}
+
+// handleDrop is the engine's accounting for copies a fabric discarded
+// in transit: the delay tracker writes those copies off so the packet
+// retires from the in-flight window without ever completing.
+func (r *Runner) handleDrop(d fabric.Drop) {
+	r.tracker.Drop(d.ID, d.Leaves.Count())
 }
 
 // Describe renders the headline numbers of a Results for logs.

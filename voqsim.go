@@ -30,6 +30,7 @@ import (
 	"sort"
 
 	"voqsim/internal/experiment"
+	"voqsim/internal/fabric"
 	"voqsim/internal/switchsim"
 	"voqsim/internal/traffic"
 	"voqsim/internal/xrand"
@@ -188,10 +189,19 @@ func DiagonalTraffic(p float64) Traffic {
 
 // Config describes one simulation run.
 type Config struct {
-	// Ports is the switch size N (inputs and outputs).
+	// Ports is the switch size N (inputs and outputs). With a Topology
+	// it is the fabric's external port count and may be left zero to
+	// derive it from the topology.
 	Ports int
 	// Scheduler selects the algorithm and architecture.
 	Scheduler Scheduler
+	// Topology, when non-empty, runs a multi-stage fabric instead of a
+	// single switch: every node of the topology is an instance of
+	// Scheduler's switch, and packets are delivered end to end through
+	// multicast trees over bounded inter-stage links. Specs:
+	// "fattree:k=K" (k-ary fat tree, K even) and "clos:n=N,m=M,r=R"
+	// (3-stage Clos). Empty means a single switch.
+	Topology string
 	// Traffic is the arrival process.
 	Traffic Traffic
 	// Slots is the simulated duration; zero means 200 000 slots. The
@@ -247,10 +257,50 @@ type Report struct {
 	// that do not report it: mean bytes per port and peak total bytes.
 	AvgBufferBytes  float64
 	PeakBufferBytes int64
+
+	// Fabric summarises the multi-stage run; nil for single switches.
+	Fabric *FabricReport
+}
+
+// FabricReport is the fabric-level outcome of a Topology run: identity
+// of the wiring plus end-to-end copy accounting and hop-count
+// statistics (a copy's hop count is the number of switches it
+// traversed).
+type FabricReport struct {
+	Topology string // normalised spec, e.g. "fattree:k=4"
+	Nodes    int
+	Links    int
+
+	AdmittedPackets int64
+	AdmittedCopies  int64
+	DeliveredCopies int64
+	DroppedCopies   int64 // lost to full inter-stage links, counted per leaf
+	DropsByHop      []int64
+
+	HopMean float64
+	HopMin  int64
+	HopMax  int64
 }
 
 func toReport(r switchsim.Results) Report {
+	var fr *FabricReport
+	if r.Fabric != nil {
+		fr = &FabricReport{
+			Topology:        r.Fabric.Topology,
+			Nodes:           r.Fabric.Nodes,
+			Links:           r.Fabric.Links,
+			AdmittedPackets: r.Fabric.AdmittedPackets,
+			AdmittedCopies:  r.Fabric.AdmittedCopies,
+			DeliveredCopies: r.Fabric.DeliveredCopies,
+			DroppedCopies:   r.Fabric.DroppedCopies,
+			DropsByHop:      r.Fabric.DropsByHop,
+			HopMean:         r.Fabric.HopMean,
+			HopMin:          r.Fabric.HopMin,
+			HopMax:          r.Fabric.HopMax,
+		}
+	}
 	return Report{
+		Fabric:            fr,
 		Scheduler:         Scheduler(r.Algorithm),
 		Traffic:           r.Pattern,
 		Ports:             r.Ports,
@@ -291,12 +341,28 @@ func (r Report) String() string {
 // here is pinned: checkpoint blobs embed the derived streams, so
 // changing it would orphan every saved snapshot.
 func buildRunner(cfg Config) (*switchsim.Runner, string, error) {
-	if cfg.Ports <= 0 {
-		return nil, "", fmt.Errorf("voqsim: Ports must be positive, got %d", cfg.Ports)
-	}
 	algo, err := experiment.ByName(string(cfg.Scheduler))
 	if err != nil {
 		return nil, "", err
+	}
+	if cfg.Topology != "" {
+		top, err := fabric.ParseSpec(cfg.Topology)
+		if err != nil {
+			return nil, "", err
+		}
+		if cfg.Ports == 0 {
+			cfg.Ports = top.Ingress()
+		}
+		if cfg.Ports != top.Ingress() {
+			return nil, "", fmt.Errorf("voqsim: Ports %d does not match the %d external ports of topology %s",
+				cfg.Ports, top.Ingress(), top.Name())
+		}
+		if algo, err = experiment.WithTopology(algo, top, fabric.Config{}); err != nil {
+			return nil, "", err
+		}
+	}
+	if cfg.Ports <= 0 {
+		return nil, "", fmt.Errorf("voqsim: Ports must be positive, got %d", cfg.Ports)
 	}
 	pat, err := cfg.Traffic.resolve(cfg.Ports)
 	if err != nil {
