@@ -29,6 +29,14 @@
 //	-checkpoint-every K                checkpoint cadence in slots (with -resume-dir)
 //	-csv FILE / -json FILE             exports
 //	-cpuprofile FILE / -memprofile FILE  pprof profiles of the sweep
+//	-serve ADDR                        coordinate a worker fleet on ADDR instead of
+//	                                   simulating locally; prints "DSWEEP READY addr"
+//	                                   to stderr, then emits the merged table exactly
+//	                                   as a local run (see README "Distributed sweeps")
+//	-worker ADDR                       run as a fleet worker against a coordinator
+//	-worker-name NAME                  worker display name (default host-pid)
+//	-lease-ttl 10s                     with -serve: reclaim a point whose worker is
+//	                                   silent this long
 //
 // Example — reproduce Figure 7's delay panel with extension baselines:
 //
@@ -46,6 +54,7 @@ import (
 	"strings"
 	"time"
 
+	"voqsim/internal/dsweep"
 	"voqsim/internal/experiment"
 	"voqsim/internal/fabric"
 	"voqsim/internal/scenario"
@@ -88,9 +97,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ckptEvery   = fs.Int64("checkpoint-every", 0, "checkpoint cadence in slots (with -resume-dir; 0 = a tenth of -slots)")
 		cpuProf     = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf     = fs.String("memprofile", "", "write a heap profile to this file at exit")
+		serveAddr   = fs.String("serve", "", "coordinate a worker fleet on this TCP address (e.g. 127.0.0.1:0) instead of simulating locally")
+		workerAddr  = fs.String("worker", "", "run as a fleet worker against this coordinator address")
+		workerName  = fs.String("worker-name", "", "worker display name (default host-pid)")
+		leaseTTL    = fs.Duration("lease-ttl", 10*time.Second, "with -serve: reclaim a point whose worker is silent this long")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *workerAddr != "" {
+		if *serveAddr != "" {
+			return fail(stderr, fmt.Errorf("-serve and -worker are mutually exclusive"))
+		}
+		return runWorkerMode(*workerAddr, *workerName, *progressOn, stderr)
+	}
+	serve := serveOpts{addr: *serveAddr, ttl: *leaseTTL, verbose: *progressOn}
+	if *serveAddr != "" {
+		switch {
+		case *fastRun:
+			return fail(stderr, fmt.Errorf("-serve is incompatible with -fast: the fleet protocol checkpoints the bit-exact path"))
+		case *topoFlag != "":
+			return fail(stderr, fmt.Errorf("-serve cannot distribute -topology sweeps: fabric rosters are not expressible as a wire spec yet"))
+		}
 	}
 
 	if *fastRun {
@@ -115,7 +144,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *configPath != "" {
 		return runScenario(*configPath, *metricsFlag, *csvPath, *jsonPath,
-			*checkRun, *fastRun, *resumeDir, *ckptEvery, progress, stdout, stderr)
+			*checkRun, *fastRun, *resumeDir, *ckptEvery, serve, progress, stdout, stderr)
 	}
 
 	loads, err := parseLoads(*loadsFlag)
@@ -166,6 +195,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		CheckpointEvery: *ckptEvery,
 		Progress:        progress,
 		Fast:            *fastRun,
+	}
+	if serve.addr != "" {
+		ts, err := trafficSpecFor(*trafficK, *b, *maxFanout, *eOn, *mcFrac, *skew)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		names := make([]string, len(algos))
+		for i, a := range algos {
+			names[i] = a.Name
+		}
+		spec := dsweep.Spec{
+			Scenario: scenario.Scenario{
+				Name:       sweep.Name,
+				N:          *n,
+				Slots:      *slots,
+				Seed:       *seed,
+				Traffic:    ts,
+				Algorithms: names,
+				Loads:      loads,
+			},
+			Check: *checkRun,
+		}
+		return serveSweep(sweep, spec, serve, metrics, *csvPath, *jsonPath, *checkRun, progress, stdout, stderr)
 	}
 	tbl, err := sweep.Run()
 	if err != nil {
@@ -260,8 +312,10 @@ func startProfiles(cpuPath, memPath string, stderr io.Writer) (stop func(), err 
 	}, nil
 }
 
-// runScenario executes a version-controlled scenario file.
-func runScenario(path, metricsFlag, csvPath, jsonPath string, checked, fast bool, resumeDir string, ckptEvery int64, progress func(experiment.Progress), stdout, stderr io.Writer) int {
+// runScenario executes a version-controlled scenario file, locally or
+// (with -serve) as a fleet coordinator handing the scenario itself to
+// workers as the wire spec.
+func runScenario(path, metricsFlag, csvPath, jsonPath string, checked, fast bool, resumeDir string, ckptEvery int64, serve serveOpts, progress func(experiment.Progress), stdout, stderr io.Writer) int {
 	f, err := os.Open(path)
 	if err != nil {
 		return fail(stderr, err)
@@ -283,6 +337,10 @@ func runScenario(path, metricsFlag, csvPath, jsonPath string, checked, fast bool
 	metrics, err := parseMetrics(metricsFlag)
 	if err != nil {
 		return fail(stderr, err)
+	}
+	if serve.addr != "" {
+		spec := dsweep.Spec{Scenario: *sc, Check: sweep.Check}
+		return serveSweep(sweep, spec, serve, metrics, csvPath, jsonPath, sweep.Check, progress, stdout, stderr)
 	}
 	tbl, err := sweep.Run()
 	if err != nil {

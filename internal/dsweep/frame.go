@@ -1,0 +1,411 @@
+// Package dsweep scales parameter sweeps across processes and
+// machines: a coordinator owns one experiment.Sweep's grid and leases
+// points to workers over TCP; workers simulate points, stream
+// heartbeats and mid-point snapshot checkpoints back, and return
+// per-point results. When a worker dies — connection drop, kill -9,
+// heartbeat loss — the coordinator re-leases the point, handing the
+// replacement worker the latest checkpoint blob so it resumes mid-run
+// instead of restarting. Because every grid point derives its seeds
+// from its own coordinates and a resumed point is bit-identical to a
+// straight run (the PR 4 contract pinned in internal/switchsim), the
+// merged table is byte-identical to a single-process Sweep.Run for any
+// fleet size, join/leave order, or crash schedule — the chaos battery
+// in this package proves it.
+//
+// DESIGN.md §15 documents the wire protocol, the lease lifecycle and
+// the trust model; docs for the operator flow live in README's
+// "Distributed sweeps" section.
+package dsweep
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Wire format. A dsweep connection is a TCP stream of length-prefixed
+// frames: a big-endian uint32 payload length followed by the payload.
+// Every payload starts with the four-byte header 'D' 'S' version kind;
+// multi-byte integers are big-endian, strings and blobs are
+// length-prefixed, and trailing bytes after a frame's declared fields
+// are a decode error so a truncated or corrupted frame can never be
+// half-understood. Snapshot and result payloads carry an FNV-1a
+// checksum; the codec transports it verbatim (re-encode identity holds
+// even for a bad sum) and the coordinator/worker verify it
+// semantically, so a tampered or corrupted payload is rejected with a
+// counted error instead of killing the parse.
+const (
+	// Version is the protocol version in every frame header.
+	Version = 1
+
+	// KindHello opens a session: worker -> coordinator, carrying the
+	// worker's display name.
+	KindHello = 1
+	// KindWelcome answers a hello: coordinator -> worker, carrying the
+	// sweep spec JSON plus the heartbeat interval and checkpoint
+	// cadence the worker must honour.
+	KindWelcome = 2
+	// KindClaim asks for work: worker -> coordinator, empty body. The
+	// coordinator answers with exactly one of Lease, Wait or Done.
+	KindClaim = 3
+	// KindLease grants one grid point: coordinator -> worker, carrying
+	// the lease id, the point's grid coordinates and the latest
+	// checkpoint blob of a previously interrupted run (empty = fresh).
+	KindLease = 4
+	// KindWait defers a claim: coordinator -> worker. Every point is
+	// currently leased or backing off; retry after RetryMs.
+	KindWait = 5
+	// KindDone ends the session: coordinator -> worker. The table is
+	// complete; the worker exits cleanly.
+	KindDone = 6
+	// KindHeartbeat keeps a lease alive: worker -> coordinator, with
+	// the current simulation slot as progress.
+	KindHeartbeat = 7
+	// KindCheckpoint streams a mid-point snapshot: worker ->
+	// coordinator. Implicitly also a heartbeat.
+	KindCheckpoint = 8
+	// KindResult returns a finished point: worker -> coordinator, the
+	// point JSON plus its checksum.
+	KindResult = 9
+	// KindError reports a protocol rejection: coordinator -> worker,
+	// sent before the coordinator closes the connection.
+	KindError = 10
+
+	// MaxBlob bounds snapshot blobs and result payloads; generous next
+	// to any real snapshot (an N=1024 point is ~tens of MB at most).
+	MaxBlob = 64 << 20
+	// MaxName bounds the worker name in a hello frame.
+	MaxName = 128
+	// MaxMsg bounds the message in an error frame.
+	MaxMsg = 1024
+	// MaxGrid bounds the grid coordinates a lease may carry.
+	MaxGrid = 1 << 20
+	// maxFrame bounds a whole frame on the stream, covering the
+	// largest legal payload plus headers.
+	maxFrame = MaxBlob + 4096
+	// maxSlot bounds slot fields so they always fit a non-negative
+	// int64.
+	maxSlot = math.MaxInt64
+)
+
+// Frame is one parsed protocol frame. Kind selects which other fields
+// are meaningful; the codec writes and reads only the fields of the
+// frame's kind, so an accepted frame re-encodes to the same bytes.
+type Frame struct {
+	Kind byte
+
+	Name string // Hello: worker display name
+
+	Spec            []byte // Welcome: sweep spec JSON
+	HeartbeatMs     uint32 // Welcome: heartbeat interval, milliseconds
+	CheckpointEvery int64  // Welcome: checkpoint cadence, slots (0 = off)
+
+	LeaseID uint64 // Lease, Heartbeat, Checkpoint, Result
+	AI, LI  int    // Lease: grid coordinates (algorithm, load index)
+
+	Slot int64 // Heartbeat, Checkpoint: current simulation slot
+
+	Sum  uint64 // Lease, Checkpoint, Result: FNV-1a 64 of Blob
+	Blob []byte // Lease, Checkpoint: snapshot; Result: point JSON
+
+	RetryMs uint32 // Wait: suggested delay before the next claim
+
+	Msg string // Error: human-readable rejection reason
+}
+
+// Checksum is the FNV-1a 64 hash guarding blob payloads in transit.
+// It is an integrity check against corruption and casual tampering,
+// not an authentication: the protocol trusts workers that compute
+// valid checksums (see the trust model in DESIGN.md §15).
+func Checksum(b []byte) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for _, c := range b {
+		h = (h ^ uint64(c)) * prime
+	}
+	return h
+}
+
+func be16(b []byte) int { return int(b[0])<<8 | int(b[1]) }
+func be32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+func be64(b []byte) uint64 {
+	return uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+		uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
+}
+
+func put16(dst []byte, v int) []byte { return append(dst, byte(v>>8), byte(v)) }
+func put32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+func put64(dst []byte, v uint64) []byte {
+	return append(dst, byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// AppendFrame encodes f onto dst and returns the extended slice. It
+// panics on caller errors the sender controls — an unknown kind or an
+// oversized field — because those are bugs, not input.
+func AppendFrame(dst []byte, f Frame) []byte {
+	dst = append(dst, 'D', 'S', Version, f.Kind)
+	switch f.Kind {
+	case KindHello:
+		if len(f.Name) == 0 || len(f.Name) > MaxName {
+			panic(fmt.Sprintf("dsweep: hello name is %d bytes", len(f.Name)))
+		}
+		dst = put16(dst, len(f.Name))
+		dst = append(dst, f.Name...)
+	case KindWelcome:
+		if f.HeartbeatMs == 0 {
+			panic("dsweep: welcome without a heartbeat interval")
+		}
+		if f.CheckpointEvery < 0 {
+			panic("dsweep: welcome with a negative checkpoint cadence")
+		}
+		if len(f.Spec) == 0 || len(f.Spec) > MaxBlob {
+			panic(fmt.Sprintf("dsweep: welcome spec is %d bytes", len(f.Spec)))
+		}
+		dst = put32(dst, f.HeartbeatMs)
+		dst = put64(dst, uint64(f.CheckpointEvery))
+		dst = put32(dst, uint32(len(f.Spec)))
+		dst = append(dst, f.Spec...)
+	case KindClaim, KindDone:
+		// empty body
+	case KindLease:
+		if f.AI < 0 || f.AI > MaxGrid || f.LI < 0 || f.LI > MaxGrid {
+			panic(fmt.Sprintf("dsweep: lease coordinates (%d,%d) out of range", f.AI, f.LI))
+		}
+		if len(f.Blob) > MaxBlob {
+			panic(fmt.Sprintf("dsweep: lease blob is %d bytes", len(f.Blob)))
+		}
+		dst = put64(dst, f.LeaseID)
+		dst = put32(dst, uint32(f.AI))
+		dst = put32(dst, uint32(f.LI))
+		dst = put64(dst, f.Sum)
+		dst = put32(dst, uint32(len(f.Blob)))
+		dst = append(dst, f.Blob...)
+	case KindWait:
+		if f.RetryMs == 0 {
+			panic("dsweep: wait without a retry delay")
+		}
+		dst = put32(dst, f.RetryMs)
+	case KindHeartbeat:
+		if f.Slot < 0 {
+			panic(fmt.Sprintf("dsweep: heartbeat slot %d", f.Slot))
+		}
+		dst = put64(dst, f.LeaseID)
+		dst = put64(dst, uint64(f.Slot))
+	case KindCheckpoint:
+		if f.Slot < 0 {
+			panic(fmt.Sprintf("dsweep: checkpoint slot %d", f.Slot))
+		}
+		if len(f.Blob) == 0 || len(f.Blob) > MaxBlob {
+			panic(fmt.Sprintf("dsweep: checkpoint blob is %d bytes", len(f.Blob)))
+		}
+		dst = put64(dst, f.LeaseID)
+		dst = put64(dst, uint64(f.Slot))
+		dst = put64(dst, f.Sum)
+		dst = put32(dst, uint32(len(f.Blob)))
+		dst = append(dst, f.Blob...)
+	case KindResult:
+		if len(f.Blob) == 0 || len(f.Blob) > MaxBlob {
+			panic(fmt.Sprintf("dsweep: result payload is %d bytes", len(f.Blob)))
+		}
+		dst = put64(dst, f.LeaseID)
+		dst = put64(dst, f.Sum)
+		dst = put32(dst, uint32(len(f.Blob)))
+		dst = append(dst, f.Blob...)
+	case KindError:
+		if len(f.Msg) == 0 || len(f.Msg) > MaxMsg {
+			panic(fmt.Sprintf("dsweep: error message is %d bytes", len(f.Msg)))
+		}
+		dst = put16(dst, len(f.Msg))
+		dst = append(dst, f.Msg...)
+	default:
+		panic(fmt.Sprintf("dsweep: unknown frame kind %d", f.Kind))
+	}
+	return dst
+}
+
+// ParseFrame decodes one frame payload. Hostile input errors, never
+// panics: every length is bounds-checked against the actual bytes
+// present before use, and trailing bytes are rejected. The returned
+// views (Spec, Blob) alias b.
+func ParseFrame(b []byte) (Frame, error) {
+	var f Frame
+	if len(b) < 4 {
+		return f, fmt.Errorf("dsweep: frame too short (%d bytes)", len(b))
+	}
+	if b[0] != 'D' || b[1] != 'S' {
+		return f, fmt.Errorf("dsweep: bad frame magic %#02x %#02x", b[0], b[1])
+	}
+	if b[2] != Version {
+		return f, fmt.Errorf("dsweep: unsupported protocol version %d", b[2])
+	}
+	f.Kind = b[3]
+	rest := b[4:]
+	switch f.Kind {
+	case KindHello:
+		if len(rest) < 2 {
+			return Frame{}, fmt.Errorf("dsweep: hello truncated")
+		}
+		n := be16(rest)
+		rest = rest[2:]
+		if n == 0 || n > MaxName {
+			return Frame{}, fmt.Errorf("dsweep: hello name is %d bytes", n)
+		}
+		if len(rest) != n {
+			return Frame{}, fmt.Errorf("dsweep: hello name is %d bytes, declared %d", len(rest), n)
+		}
+		f.Name = string(rest)
+	case KindWelcome:
+		if len(rest) < 4+8+4 {
+			return Frame{}, fmt.Errorf("dsweep: welcome truncated")
+		}
+		f.HeartbeatMs = be32(rest)
+		every := be64(rest[4:])
+		n := int(be32(rest[12:]))
+		rest = rest[16:]
+		if f.HeartbeatMs == 0 {
+			return Frame{}, fmt.Errorf("dsweep: welcome with zero heartbeat interval")
+		}
+		if every > maxSlot {
+			return Frame{}, fmt.Errorf("dsweep: welcome checkpoint cadence overflows")
+		}
+		f.CheckpointEvery = int64(every)
+		if n == 0 || n > MaxBlob {
+			return Frame{}, fmt.Errorf("dsweep: welcome spec is %d bytes", n)
+		}
+		if len(rest) != n {
+			return Frame{}, fmt.Errorf("dsweep: welcome spec is %d bytes, declared %d", len(rest), n)
+		}
+		f.Spec = rest
+	case KindClaim, KindDone:
+		if len(rest) != 0 {
+			return Frame{}, fmt.Errorf("dsweep: frame kind %d with %d trailing bytes", f.Kind, len(rest))
+		}
+	case KindLease:
+		if len(rest) < 8+4+4+8+4 {
+			return Frame{}, fmt.Errorf("dsweep: lease truncated")
+		}
+		f.LeaseID = be64(rest)
+		ai, li := be32(rest[8:]), be32(rest[12:])
+		f.Sum = be64(rest[16:])
+		n := int(be32(rest[24:]))
+		rest = rest[28:]
+		if ai > MaxGrid || li > MaxGrid {
+			return Frame{}, fmt.Errorf("dsweep: lease coordinates (%d,%d) out of range", ai, li)
+		}
+		f.AI, f.LI = int(ai), int(li)
+		if n > MaxBlob {
+			return Frame{}, fmt.Errorf("dsweep: lease blob is %d bytes", n)
+		}
+		if len(rest) != n {
+			return Frame{}, fmt.Errorf("dsweep: lease blob is %d bytes, declared %d", len(rest), n)
+		}
+		if n > 0 {
+			f.Blob = rest
+		}
+	case KindWait:
+		if len(rest) != 4 {
+			return Frame{}, fmt.Errorf("dsweep: wait is %d bytes", len(rest))
+		}
+		f.RetryMs = be32(rest)
+		if f.RetryMs == 0 {
+			return Frame{}, fmt.Errorf("dsweep: wait with zero retry delay")
+		}
+	case KindHeartbeat:
+		if len(rest) != 16 {
+			return Frame{}, fmt.Errorf("dsweep: heartbeat is %d bytes", len(rest))
+		}
+		f.LeaseID = be64(rest)
+		slot := be64(rest[8:])
+		if slot > maxSlot {
+			return Frame{}, fmt.Errorf("dsweep: heartbeat slot overflows")
+		}
+		f.Slot = int64(slot)
+	case KindCheckpoint:
+		if len(rest) < 8+8+8+4 {
+			return Frame{}, fmt.Errorf("dsweep: checkpoint truncated")
+		}
+		f.LeaseID = be64(rest)
+		slot := be64(rest[8:])
+		f.Sum = be64(rest[16:])
+		n := int(be32(rest[24:]))
+		rest = rest[28:]
+		if slot > maxSlot {
+			return Frame{}, fmt.Errorf("dsweep: checkpoint slot overflows")
+		}
+		f.Slot = int64(slot)
+		if n == 0 || n > MaxBlob {
+			return Frame{}, fmt.Errorf("dsweep: checkpoint blob is %d bytes", n)
+		}
+		if len(rest) != n {
+			return Frame{}, fmt.Errorf("dsweep: checkpoint blob is %d bytes, declared %d", len(rest), n)
+		}
+		f.Blob = rest
+	case KindResult:
+		if len(rest) < 8+8+4 {
+			return Frame{}, fmt.Errorf("dsweep: result truncated")
+		}
+		f.LeaseID = be64(rest)
+		f.Sum = be64(rest[8:])
+		n := int(be32(rest[16:]))
+		rest = rest[20:]
+		if n == 0 || n > MaxBlob {
+			return Frame{}, fmt.Errorf("dsweep: result payload is %d bytes", n)
+		}
+		if len(rest) != n {
+			return Frame{}, fmt.Errorf("dsweep: result payload is %d bytes, declared %d", len(rest), n)
+		}
+		f.Blob = rest
+	case KindError:
+		if len(rest) < 2 {
+			return Frame{}, fmt.Errorf("dsweep: error frame truncated")
+		}
+		n := be16(rest)
+		rest = rest[2:]
+		if n == 0 || n > MaxMsg {
+			return Frame{}, fmt.Errorf("dsweep: error message is %d bytes", n)
+		}
+		if len(rest) != n {
+			return Frame{}, fmt.Errorf("dsweep: error message is %d bytes, declared %d", len(rest), n)
+		}
+		f.Msg = string(rest)
+	default:
+		return Frame{}, fmt.Errorf("dsweep: unknown frame kind %d", f.Kind)
+	}
+	return f, nil
+}
+
+// WriteFrame encodes f with its length prefix onto w in one Write
+// call, so concurrent writers serialized by a mutex never interleave
+// partial frames.
+func WriteFrame(w io.Writer, f Frame) error {
+	payload := AppendFrame(make([]byte, 4, 64), f)
+	n := len(payload) - 4
+	payload[0], payload[1], payload[2], payload[3] = byte(n>>24), byte(n>>16), byte(n>>8), byte(n)
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame from r. The returned
+// frame's views alias a fresh buffer, so the caller may retain them
+// until it next needs them.
+func ReadFrame(r *bufio.Reader) (Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	n := int(be32(hdr[:]))
+	if n < 4 || n > maxFrame {
+		return Frame{}, fmt.Errorf("dsweep: frame length %d out of range", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Frame{}, fmt.Errorf("dsweep: frame body: %w", err)
+	}
+	return ParseFrame(buf)
+}

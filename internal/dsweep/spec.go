@@ -1,0 +1,81 @@
+package dsweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"voqsim/internal/experiment"
+	"voqsim/internal/scenario"
+)
+
+// Spec is the sweep description a coordinator sends in its welcome
+// frame: everything a worker needs to rebuild the exact per-point
+// simulations, and nothing it doesn't (table title, worker counts and
+// persistence policy stay coordinator-side). It reuses the
+// version-controlled scenario format for the grid and traffic model,
+// so any scenario file can be served to a fleet unchanged.
+//
+// Determinism contract: a worker's point depends only on the fields
+// here — grid coordinates, N, slots, seed, unstable cap, traffic
+// parameters, algorithm roster and the check flag — so two workers
+// given the same spec produce bit-identical points, and the merged
+// table equals a single-process experiment.Sweep run.
+type Spec struct {
+	Scenario scenario.Scenario `json:"scenario"`
+	// UnstableCap is the backlog ceiling (experiment.Sweep.UnstableCap;
+	// 0 selects the engine default).
+	UnstableCap int64 `json:"unstable_cap,omitempty"`
+	// Check runs every point under the runtime invariant checker; the
+	// verdict travels back inside the point.
+	Check bool `json:"check,omitempty"`
+}
+
+// ParseSpec decodes and validates a wire spec. Unknown fields are
+// rejected, so a version-drifted coordinator fails loudly at the
+// handshake instead of silently running defaults.
+func ParseSpec(b []byte) (Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var sp Spec
+	if err := dec.Decode(&sp); err != nil {
+		return Spec{}, fmt.Errorf("dsweep: decoding spec: %w", err)
+	}
+	if err := sp.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return sp, nil
+}
+
+// Validate checks the spec's structural constraints.
+func (sp *Spec) Validate() error {
+	if err := sp.Scenario.Validate(); err != nil {
+		return fmt.Errorf("dsweep: %w", err)
+	}
+	if sp.UnstableCap < 0 {
+		return fmt.Errorf("dsweep: negative unstable cap %d", sp.UnstableCap)
+	}
+	return nil
+}
+
+// Marshal encodes the spec for the welcome frame.
+func (sp *Spec) Marshal() ([]byte, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(sp)
+}
+
+// Sweep rebuilds the runnable sweep a worker executes points of.
+func (sp *Spec) Sweep() (*experiment.Sweep, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := sp.Scenario.Sweep()
+	if err != nil {
+		return nil, err
+	}
+	s.UnstableCap = sp.UnstableCap
+	s.Check = sp.Check
+	return s, nil
+}

@@ -1,7 +1,6 @@
 package experiment
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -46,15 +45,12 @@ func (s *Sweep) pointPaths(ai, li int) (doneFile, snapFile string) {
 // the simulation.
 func (s *Sweep) runPointResumable(ai, li int, pt Point, pat traffic.Pattern, pool *core.ArenaPool) Point {
 	algo := s.Algorithms[ai]
-	doneFile, snapFile := s.pointPaths(ai, li)
+	_, snapFile := s.pointPaths(ai, li)
 
-	if data, err := os.ReadFile(doneFile); err == nil {
-		var saved Point
-		if err := json.Unmarshal(data, &saved); err == nil {
-			return saved
-		}
-		// Unreadable finished point: fall through and re-run it.
+	if saved, ok := s.LoadFinishedPoint(ai, li); ok {
+		return saved
 	}
+	// Absent or unreadable finished point: run (or resume) it.
 
 	r, ck, release := s.pointRunner(ai, li, pat, pool)
 	if blob, err := os.ReadFile(snapFile); err == nil {
@@ -99,11 +95,7 @@ func (s *Sweep) runPointResumable(ai, li int, pt Point, pat traffic.Pattern, poo
 			pt.CheckError = cerr.Error()
 		}
 	}
-	if data, err := json.MarshalIndent(pt, "", "  "); err == nil {
-		if writeFileAtomic(doneFile, append(data, '\n')) == nil {
-			os.Remove(snapFile)
-		}
-	}
+	s.SaveFinishedPoint(ai, li, pt) // best-effort, see package comment
 	return pt
 }
 

@@ -79,35 +79,58 @@ type Table struct {
 	Points [][]Point `json:"points"`
 }
 
+// Validate checks the sweep's structural constraints and flag
+// combinations without running anything; Run performs the same checks.
+// It is exported so a driver that fans the grid out itself — the
+// distributed coordinator in internal/dsweep — can reject a bad sweep
+// before leasing any point.
+func (s *Sweep) Validate() error {
+	if s.N <= 0 {
+		return fmt.Errorf("experiment: sweep %q has no switch size", s.Name)
+	}
+	if len(s.Loads) == 0 || len(s.Algorithms) == 0 {
+		return fmt.Errorf("experiment: sweep %q has an empty grid", s.Name)
+	}
+	if s.Fast && s.Check {
+		return fmt.Errorf("experiment: sweep %q: Fast and Check are mutually exclusive", s.Name)
+	}
+	if s.Fast && s.CheckpointDir != "" {
+		return fmt.Errorf("experiment: sweep %q: Fast sweeps cannot be checkpointed or resumed", s.Name)
+	}
+	return nil
+}
+
+// NewTable validates the sweep and returns its empty result table,
+// with every grid cell zero. Sweep.Run fills such a table itself; an
+// external driver (internal/dsweep) fills it point by point with
+// Table.SetPoint.
+func (s *Sweep) NewTable() (*Table, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	tbl := &Table{Name: s.Name, Title: s.Title, N: s.N, Loads: s.Loads}
+	tbl.Points = make([][]Point, len(s.Algorithms))
+	for i, a := range s.Algorithms {
+		tbl.Algos = append(tbl.Algos, a.Name)
+		tbl.Points[i] = make([]Point, len(s.Loads))
+	}
+	return tbl, nil
+}
+
 // Run executes every (algorithm, load) point of the sweep on the
 // sharded engine (see engine.go) and returns the assembled table.
 // Results are deterministic for a fixed Sweep regardless of worker
 // count: every point derives its seeds from its grid coordinates and
 // writes only its own table cell.
 func (s *Sweep) Run() (*Table, error) {
-	if s.N <= 0 {
-		return nil, fmt.Errorf("experiment: sweep %q has no switch size", s.Name)
-	}
-	if len(s.Loads) == 0 || len(s.Algorithms) == 0 {
-		return nil, fmt.Errorf("experiment: sweep %q has an empty grid", s.Name)
-	}
-	if s.Fast && s.Check {
-		return nil, fmt.Errorf("experiment: sweep %q: Fast and Check are mutually exclusive", s.Name)
-	}
-	if s.Fast && s.CheckpointDir != "" {
-		return nil, fmt.Errorf("experiment: sweep %q: Fast sweeps cannot be checkpointed or resumed", s.Name)
+	tbl, err := s.NewTable()
+	if err != nil {
+		return nil, err
 	}
 	if s.CheckpointDir != "" {
 		if err := os.MkdirAll(s.CheckpointDir, 0o755); err != nil {
 			return nil, fmt.Errorf("experiment: checkpoint dir: %w", err)
 		}
-	}
-
-	tbl := &Table{Name: s.Name, Title: s.Title, N: s.N, Loads: s.Loads}
-	tbl.Points = make([][]Point, len(s.Algorithms))
-	for i, a := range s.Algorithms {
-		tbl.Algos = append(tbl.Algos, a.Name)
-		tbl.Points[i] = make([]Point, len(s.Loads))
 	}
 
 	total := len(s.Algorithms) * len(s.Loads)
@@ -187,6 +210,26 @@ func (t *Table) CheckFailures() []string {
 		}
 	}
 	return out
+}
+
+// SetPoint stores one measured grid cell, addressed by algorithm and
+// load index. It is the merge half of the distributed seam: a
+// coordinator places points computed elsewhere into the table that
+// Sweep.Run would have filled locally.
+func (t *Table) SetPoint(ai, li int, pt Point) error {
+	if ai < 0 || ai >= len(t.Points) || li < 0 || li >= len(t.Loads) {
+		return fmt.Errorf("experiment: point (%d,%d) outside %dx%d grid", ai, li, len(t.Points), len(t.Loads))
+	}
+	t.Points[ai][li] = pt
+	return nil
+}
+
+// PointAt returns the grid cell at the given coordinates.
+func (t *Table) PointAt(ai, li int) (Point, error) {
+	if ai < 0 || ai >= len(t.Points) || li < 0 || li >= len(t.Loads) {
+		return Point{}, fmt.Errorf("experiment: point (%d,%d) outside %dx%d grid", ai, li, len(t.Points), len(t.Loads))
+	}
+	return t.Points[ai][li], nil
 }
 
 // Get returns the point for the given algorithm name and load index.

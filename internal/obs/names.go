@@ -35,6 +35,58 @@ const (
 	MetricActiveSlots = "active_slots_total"
 )
 
+// Fleet metric names registered by the distributed-sweep coordinator
+// (internal/dsweep), one registry per sweep. The counters make the
+// crash-recovery path auditable: a chaos run's kills, expiries and
+// re-leases must all be visible here, and the chaos battery asserts
+// they are.
+const (
+	// MetricFleetWorkersJoined counts workers that completed the hello
+	// handshake.
+	MetricFleetWorkersJoined = "dsweep_workers_joined_total"
+	// MetricFleetWorkersLost counts connections that dropped before
+	// the coordinator sent Done (crash, kill -9, network loss).
+	MetricFleetWorkersLost = "dsweep_workers_lost_total"
+	// MetricFleetWorkersConnected gauges the currently connected
+	// workers.
+	MetricFleetWorkersConnected = "dsweep_workers_connected"
+	// MetricFleetLeasesGranted counts point leases handed to workers,
+	// including re-leases.
+	MetricFleetLeasesGranted = "dsweep_leases_granted_total"
+	// MetricFleetLeasesResumed counts granted leases that carried a
+	// checkpoint blob — a replacement worker resuming a dead worker's
+	// point mid-run.
+	MetricFleetLeasesResumed = "dsweep_leases_resumed_total"
+	// MetricFleetLeasesExpired counts leases reclaimed by heartbeat
+	// timeout.
+	MetricFleetLeasesExpired = "dsweep_leases_expired_total"
+	// MetricFleetLeasesReclaimed counts every lease bounced back to
+	// pending: expiries, connection drops and rejected results.
+	MetricFleetLeasesReclaimed = "dsweep_leases_reclaimed_total"
+	// MetricFleetResultsMerged counts results accepted into the table.
+	MetricFleetResultsMerged = "dsweep_results_merged_total"
+	// MetricFleetResultsRejected counts result frames refused —
+	// checksum mismatch, undecodable JSON, or grid coordinates that
+	// contradict the lease. Rejected results are never merged.
+	MetricFleetResultsRejected = "dsweep_results_rejected_total"
+	// MetricFleetCheckpointsStored counts mid-point snapshot blobs
+	// accepted from workers.
+	MetricFleetCheckpointsStored = "dsweep_checkpoints_stored_total"
+	// MetricFleetCheckpointsRejected counts checkpoint frames refused
+	// for a checksum mismatch.
+	MetricFleetCheckpointsRejected = "dsweep_checkpoints_rejected_total"
+	// MetricFleetStaleFrames counts heartbeat/checkpoint/result frames
+	// for leases that no longer exist — a zombie worker outliving its
+	// lease. Stale frames are dropped, not merged.
+	MetricFleetStaleFrames = "dsweep_stale_frames_total"
+	// MetricFleetDuplicateClaims counts claims from a worker already
+	// holding a lease, a protocol violation.
+	MetricFleetDuplicateClaims = "dsweep_duplicate_claims_total"
+	// MetricFleetPointsPreloaded counts grid points loaded from the
+	// resume dir instead of leased.
+	MetricFleetPointsPreloaded = "dsweep_points_preloaded_total"
+)
+
 // OccHWM returns the per-port occupancy high-water-mark gauge name,
 // e.g. "occ_hwm_port_03": the largest number of buffered payloads the
 // port ever held (the peak of the paper's queue-size metric).
