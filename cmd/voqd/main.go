@@ -15,6 +15,8 @@
 //	    -ingress 127.0.0.1:0     base ingress address; input i listens on
 //	                             port+i, port 0 binds ephemeral ports
 //	    -admin 127.0.0.1:0       admin HTTP address ("" disables)
+//	    -pprof                   also mount /debug/pprof on the admin
+//	                             server (off by default)
 //	    -slot-period 20us        slot clock tick
 //	    -max-input-cells 1024    per-input buffered-cell bound (overload policy)
 //	    -ingress-backlog 256     per-input decoded-frame ring
@@ -91,6 +93,7 @@ func run() error {
 		seed       = flag.Uint64("seed", 1, "arbiter seed (mirror replays need it)")
 		ingress    = flag.String("ingress", "127.0.0.1:0", "base ingress address; input i listens on port+i (0 = ephemeral)")
 		admin      = flag.String("admin", "127.0.0.1:0", "admin HTTP address; empty disables")
+		pprofOn    = flag.Bool("pprof", false, "mount /debug/pprof on the admin server (profiling a live daemon)")
 		slotPeriod = flag.Duration("slot-period", 20*time.Microsecond, "slot clock tick")
 		maxCells   = flag.Int("max-input-cells", 1024, "per-input buffered data cell bound")
 		backlog    = flag.Int("ingress-backlog", 256, "per-input decoded-frame ring capacity")
@@ -115,6 +118,7 @@ func run() error {
 		Seed:            *seed,
 		Ingress:         *ingress,
 		Admin:           *admin,
+		Pprof:           *pprofOn,
 		SlotPeriod:      *slotPeriod,
 		MaxInputCells:   *maxCells,
 		IngressBacklog:  *backlog,

@@ -11,6 +11,12 @@
 //	-loads 0.1,0.2,...                 swept effective loads
 //	-b, -maxfanout, -eon, -mcfrac      family shape parameters
 //	-n, -slots, -seed, -workers        run setup
+//	-parallel R                        run R independent replications of every
+//	                                   point concurrently and merge them into one
+//	                                   pooled measurement per cell (replication 0
+//	                                   reuses the point's legacy seed, so tables
+//	                                   extend rather than change). Incompatible
+//	                                   with -resume-dir, -serve and -worker.
 //	-topology fattree:k=4              sweep a multi-stage fabric (every node an
 //	                                   instance of each -algos entry) instead of
 //	                                   a single switch; -n is forced to the
@@ -86,6 +92,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		slots       = fs.Int64("slots", 200_000, "slots per point")
 		seed        = fs.Uint64("seed", 2004, "base seed")
 		workers     = fs.Int("workers", 0, "parallel simulations (0 = all cores)")
+		parallelR   = fs.Int("parallel", 0, "independent replications per point, merged into one measurement (0/1 = single run)")
 		metricsFlag = fs.String("metrics", "in_delay,out_delay,avg_queue,max_queue", "metrics to print")
 		csvPath     = fs.String("csv", "", "write long-form CSV to this file")
 		jsonPath    = fs.String("json", "", "write the full table as JSON to this file")
@@ -106,6 +113,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if *parallelR > 1 && (*serveAddr != "" || *workerAddr != "") {
+		// Replications run on the in-process pool; the fleet protocol
+		// leases single simulations (see experiment.RunPointAt).
+		return fail(stderr, fmt.Errorf("-parallel replications cannot be distributed: drop -serve/-worker or run the sweep locally"))
+	}
 	if *workerAddr != "" {
 		if *serveAddr != "" {
 			return fail(stderr, fmt.Errorf("-serve and -worker are mutually exclusive"))
@@ -144,7 +156,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *configPath != "" {
 		return runScenario(*configPath, *metricsFlag, *csvPath, *jsonPath,
-			*checkRun, *fastRun, *resumeDir, *ckptEvery, serve, progress, stdout, stderr)
+			*checkRun, *fastRun, *resumeDir, *ckptEvery, *parallelR, serve, progress, stdout, stderr)
 	}
 
 	loads, err := parseLoads(*loadsFlag)
@@ -189,6 +201,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Slots:           *slots,
 		Seed:            *seed,
 		Workers:         *workers,
+		Replications:    *parallelR,
 		Pattern:         pattern,
 		Check:           *checkRun,
 		CheckpointDir:   *resumeDir,
@@ -315,7 +328,7 @@ func startProfiles(cpuPath, memPath string, stderr io.Writer) (stop func(), err 
 // runScenario executes a version-controlled scenario file, locally or
 // (with -serve) as a fleet coordinator handing the scenario itself to
 // workers as the wire spec.
-func runScenario(path, metricsFlag, csvPath, jsonPath string, checked, fast bool, resumeDir string, ckptEvery int64, serve serveOpts, progress func(experiment.Progress), stdout, stderr io.Writer) int {
+func runScenario(path, metricsFlag, csvPath, jsonPath string, checked, fast bool, resumeDir string, ckptEvery int64, reps int, serve serveOpts, progress func(experiment.Progress), stdout, stderr io.Writer) int {
 	f, err := os.Open(path)
 	if err != nil {
 		return fail(stderr, err)
@@ -332,6 +345,7 @@ func runScenario(path, metricsFlag, csvPath, jsonPath string, checked, fast bool
 	sweep.Check = sweep.Check || checked
 	sweep.CheckpointDir = resumeDir
 	sweep.CheckpointEvery = ckptEvery
+	sweep.Replications = reps
 	sweep.Progress = progress
 	sweep.Fast = fast
 	metrics, err := parseMetrics(metricsFlag)

@@ -85,6 +85,38 @@ func TestTopologySweepDeterministic(t *testing.T) {
 	}
 }
 
+// TestParallelReplicationsDeterministic pins the -parallel surface: a
+// replicated sweep prints byte-identical tables for any worker count,
+// and differs from the single-run table only by the extra samples.
+func TestParallelReplicationsDeterministic(t *testing.T) {
+	args := append([]string{"-parallel", "3"}, sweepArgs...)
+	first, _ := runCmd(t, append([]string{"-workers", "1"}, args...)...)
+	again, _ := runCmd(t, append([]string{"-workers", "4"}, args...)...)
+	if first != again {
+		t.Errorf("replicated sweep stdout differs across worker counts\nfirst: %q\nagain: %q", first, again)
+	}
+	single, _ := runCmd(t, sweepArgs...)
+	if first == single {
+		t.Error("-parallel 3 printed the single-run table; replications were not merged")
+	}
+}
+
+// TestParallelRejectsIncompatibleModes pins the interlocks: replicated
+// sweeps are in-process only and cannot be checkpointed.
+func TestParallelRejectsIncompatibleModes(t *testing.T) {
+	for _, extra := range [][]string{
+		{"-serve", "127.0.0.1:0"},
+		{"-worker", "127.0.0.1:1"},
+		{"-resume-dir", t.TempDir()},
+	} {
+		args := append(append([]string{"-parallel", "2"}, extra...), sweepArgs...)
+		var out, errBuf bytes.Buffer
+		if code := run(args, &out, &errBuf); code == 0 {
+			t.Errorf("%v accepted with -parallel", extra)
+		}
+	}
+}
+
 func TestBadFlagFails(t *testing.T) {
 	var out, errBuf bytes.Buffer
 	if code := run([]string{"-algos", "nosuch"}, &out, &errBuf); code == 0 {

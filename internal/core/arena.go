@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"voqsim/internal/cell"
 	"voqsim/internal/destset"
@@ -187,29 +188,41 @@ func (a *Arena) freeData(idx int32) {
 	a.dFree = append(a.dFree, idx)
 }
 
-// ArenaPool recycles arenas across switch lifetimes. It is not safe
-// for concurrent use: the sweep engine keeps one pool per worker.
+// ArenaPool recycles arenas across switch lifetimes. It is safe for
+// concurrent use, so one pool can serve a whole worker fleet: the
+// sweep engine shares a single pool, and an arena grown by one point
+// is reused by whichever worker next runs a same-sized switch. Get and
+// Put are called once per run, not per slot, so the mutex is never
+// contended in any hot path.
 type ArenaPool struct {
+	mu   sync.Mutex
 	free []*Arena
 }
 
 // Get returns a reset arena for an n-port switch, reusing a pooled one
-// of the same size when available.
+// of the same size when available. The caller owns the arena
+// exclusively until it hands it back with Put.
 func (p *ArenaPool) Get(n int) *Arena {
+	p.mu.Lock()
 	for i := len(p.free) - 1; i >= 0; i-- {
 		if a := p.free[i]; a.n == n {
 			p.free = append(p.free[:i], p.free[i+1:]...)
+			p.mu.Unlock()
 			a.Reset()
 			return a
 		}
 	}
+	p.mu.Unlock()
 	return NewArena(n)
 }
 
 // Put stores an arena for later reuse. The arena may hold stale
 // content; Get resets it before handing it out.
 func (p *ArenaPool) Put(a *Arena) {
-	if a != nil {
-		p.free = append(p.free, a)
+	if a == nil {
+		return
 	}
+	p.mu.Lock()
+	p.free = append(p.free, a)
+	p.mu.Unlock()
 }

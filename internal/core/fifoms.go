@@ -90,7 +90,25 @@ type FIFOMS struct {
 	seedSw    *Switch
 	seedVer   []uint64 // [n] Switch.holVer at last seed of each input
 	seedStale []uint64 // [words] inputs clobbered since their last seed
+
+	// batchSeed enables the slot-batched seeding and the sparse
+	// transpose clear. Both trade a little per-slot bookkeeping
+	// (version comparisons, requested-output popcounts) for skipped
+	// memory traffic — a trade that only pays once the rows being
+	// skipped are wide enough. Below seedBatchMinPorts the bulk
+	// copy/clear is a handful of words and the bookkeeping is pure
+	// overhead (BENCH_e2e.json recorded an 8% slot regression at N=16),
+	// so small switches take the plain path. The values produced are
+	// identical either way — a full reseed copies exactly what the
+	// incremental reseed would — so the gate is invisible to the match
+	// and its RNG draw sequence.
+	batchSeed bool
 }
+
+// seedBatchMinPorts is the smallest switch size that uses slot-batched
+// seeding and sparse transpose clears; smaller switches bulk-copy and
+// bulk-clear every slot.
+const seedBatchMinPorts = 33
 
 // Name implements Arbiter.
 func (f *FIFOMS) Name() string {
@@ -125,6 +143,7 @@ func (f *FIFOMS) ensure(n int) {
 	f.seedSw = nil
 	f.seedVer = make([]uint64, n)
 	f.seedStale = make([]uint64, f.words)
+	f.batchSeed = n >= seedBatchMinPorts
 }
 
 // fillOnes sets the first n bits of the word slice.
@@ -282,6 +301,19 @@ func (f *FIFOMS) Match(s *Switch, slot int64, r *xrand.Rand, m *Matching) {
 // never to stale state.
 func (f *FIFOMS) seedRequests(s *Switch, n int) {
 	w := f.words
+	if !f.batchSeed {
+		// Small switch: the whole cache is a few cache lines, so copy
+		// it wholesale every slot and skip the version bookkeeping.
+		copy(f.reqMask, s.minMask[:n*w])
+		for in := 0; in < n; in++ {
+			if mh := s.minHOL[in]; mh != emptyHOL {
+				f.minTS[in] = mh
+			} else {
+				f.minTS[in] = -1
+			}
+		}
+		return
+	}
 	if f.seedSw != s {
 		f.seedSw = s
 		copy(f.reqMask, s.minMask[:n*w])
@@ -397,6 +429,11 @@ func (f *FIFOMS) computeRequest(s *Switch, in int) {
 // bulk memclr. The threshold charges each sparse column roughly four
 // words of loop overhead against the bulk clear's straight-line run.
 func (f *FIFOMS) clearTranspose() {
+	if !f.batchSeed {
+		clear(f.reqT)
+		clear(f.reqOut)
+		return
+	}
 	w := f.words
 	cnt := 0
 	for _, v := range f.reqOut {

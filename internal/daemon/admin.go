@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 )
@@ -33,6 +34,16 @@ func newAdminServer(d *Daemon, addr string) (*adminServer, error) {
 	mux.HandleFunc("/subscribe", a.handleSubscribe)
 	mux.HandleFunc("/unsubscribe", a.handleSubscribe)
 	mux.HandleFunc("/checkpoint", a.handleCheckpoint)
+	if d.cfg.Pprof {
+		// The default ServeMux registrations from net/http/pprof's
+		// init don't apply here — the admin plane owns its mux — so
+		// the handlers are mounted explicitly, and only on request.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	a.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	return a, nil
 }

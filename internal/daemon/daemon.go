@@ -44,6 +44,12 @@ type Config struct {
 	// /queues, /subscribe, /unsubscribe and /checkpoint; empty
 	// disables the admin server.
 	Admin string
+	// Pprof additionally mounts Go's /debug/pprof handlers on the
+	// admin server, so a live daemon can be profiled over HTTP
+	// (go tool pprof http://ADMIN/debug/pprof/profile). Off by
+	// default: the profile endpoints expose internals and cost CPU
+	// while sampling, so operators opt in per deployment.
+	Pprof bool
 
 	// SlotPeriod is the fixed tick of the slot clock: the daemon runs
 	// wall-time/SlotPeriod slots, catching up in batches when the OS

@@ -592,6 +592,45 @@ func TestAdminEndpoints(t *testing.T) {
 	}
 }
 
+// TestAdminPprof pins the opt-in profile surface: /debug/pprof answers
+// only when Config.Pprof is set, and an unconfigured daemon's admin
+// plane keeps the endpoints off (404), so profiling never leaks into a
+// deployment that didn't ask for it.
+func TestAdminPprof(t *testing.T) {
+	get := func(t *testing.T, url string) int {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	with := startDaemon(t, daemon.Config{
+		Ports: 2, Seed: 1, Admin: "127.0.0.1:0", Pprof: true,
+		SlotPeriod: 50 * time.Microsecond,
+	})
+	base := fmt.Sprintf("http://%s", with.AdminAddr())
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		if code := get(t, base+path); code != http.StatusOK {
+			t.Errorf("GET %s with Pprof on: %d, want 200", path, code)
+		}
+	}
+	if code := get(t, base+"/healthz"); code != http.StatusOK {
+		t.Errorf("healthz broken with Pprof on: %d", code)
+	}
+
+	without := startDaemon(t, daemon.Config{
+		Ports: 2, Seed: 1, Admin: "127.0.0.1:0",
+		SlotPeriod: 50 * time.Microsecond,
+	})
+	base = fmt.Sprintf("http://%s", without.AdminAddr())
+	if code := get(t, base+"/debug/pprof/"); code != http.StatusNotFound {
+		t.Errorf("GET /debug/pprof/ without Pprof: %d, want 404", code)
+	}
+}
+
 func getJSON(t *testing.T, url string, v any) {
 	t.Helper()
 	resp, err := http.Get(url)

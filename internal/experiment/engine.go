@@ -22,11 +22,12 @@ import (
 //     saturated load simulates far more buffered cells per slot than a
 //     light one), so static partitioning would leave the pool idling
 //     behind one straggler.
-//   - Per-worker state is reused, not reallocated. Each worker carries
-//     a core.ArenaPool; a shard whose switch supports arena adoption
-//     runs on a recycled arena, so ring buffers and slab capacity grown
-//     by one point carry over to the next instead of being rebuilt from
-//     cold for every (algorithm, load) cell.
+//   - Arena state is reused, not reallocated. The pool shares one
+//     mutex-guarded core.ArenaPool; a shard whose switch supports arena
+//     adoption runs on a recycled arena, so ring buffers and slab
+//     capacity grown by one point carry over to whichever worker next
+//     runs a same-sized switch instead of being rebuilt from cold for
+//     every (algorithm, load) cell.
 //   - Completion streams. Every finished shard produces one Progress
 //     event (serialized under a lock, so sinks may write to a
 //     terminal) carrying completed/total counts, elapsed time and a
@@ -73,8 +74,9 @@ func (q *shardQueue) next() (int, bool) {
 // runShards executes shards 0..total-1 on a pool of workers and blocks
 // until all complete. run is called once per shard — concurrently, so
 // it must write only shard-local state — and returns the shard's label
-// for progress reporting. The worker's arena pool is private to the
-// calling goroutine for the duration of the call.
+// for progress reporting. The arena pool is shared by the whole worker
+// fleet (ArenaPool is concurrency-safe); an arena checked out for one
+// shard is private to it until released.
 func runShards(workers, total int, progress func(Progress), run func(shard int, pool *core.ArenaPool) string) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -93,6 +95,7 @@ func runShards(workers, total int, progress func(Progress), run func(shard int, 
 	}
 
 	start := time.Now()
+	pool := &core.ArenaPool{}
 	var done atomic.Int64
 	var progressMu sync.Mutex
 	var wg sync.WaitGroup
@@ -100,7 +103,6 @@ func runShards(workers, total int, progress func(Progress), run func(shard int, 
 		wg.Add(1)
 		go func(self int) {
 			defer wg.Done()
-			pool := &core.ArenaPool{}
 			for {
 				shard, ok := queues[self].next()
 				for off := 1; !ok && off < workers; off++ {

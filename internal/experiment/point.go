@@ -50,6 +50,12 @@ func (s *Sweep) RunPointAt(ai, li int, pr PointRun) (Point, error) {
 	if err := s.Validate(); err != nil {
 		return Point{}, err
 	}
+	if s.Replications > 1 {
+		// The leasing protocol streams and resumes one simulation per
+		// point; a merged-replication point has R of them. Replicated
+		// sweeps run in-process (runReplicated), not under a lease.
+		return Point{}, fmt.Errorf("experiment: sweep %q: replicated sweeps cannot run under point leases", s.Name)
+	}
 	if ai < 0 || ai >= len(s.Algorithms) || li < 0 || li >= len(s.Loads) {
 		return Point{}, fmt.Errorf("experiment: point (%d,%d) outside %dx%d grid", ai, li, len(s.Algorithms), len(s.Loads))
 	}

@@ -75,13 +75,18 @@ func (e Estimate) Covers(v float64) bool {
 
 // ReplicateSummary aggregates the replications.
 type ReplicateSummary struct {
-	Algorithm string              `json:"algorithm"`
-	Load      float64             `json:"load"`
-	Unstable  int                 `json:"unstable_replications"`
-	InDelay   Estimate            `json:"in_delay"`
-	OutDelay  Estimate            `json:"out_delay"`
-	AvgQueue  Estimate            `json:"avg_queue"`
-	Runs      []switchsim.Results `json:"runs"`
+	Algorithm string   `json:"algorithm"`
+	Load      float64  `json:"load"`
+	Unstable  int      `json:"unstable_replications"`
+	InDelay   Estimate `json:"in_delay"`
+	OutDelay  Estimate `json:"out_delay"`
+	AvgQueue  Estimate `json:"avg_queue"`
+	// Merged folds all R runs into one Results with
+	// switchsim.MergeResults — the pooled view (counters summed,
+	// moments combined), complementing the interval estimates above,
+	// which stay defined over the per-replication means.
+	Merged switchsim.Results   `json:"merged"`
+	Runs   []switchsim.Results `json:"runs"`
 }
 
 // Replicate runs the configured experiment R times with independent
@@ -114,7 +119,10 @@ func Replicate(cfg ReplicateConfig) (*ReplicateSummary, error) {
 		return fmt.Sprintf("%s rep %d", cfg.Algorithm.Name, rep)
 	})
 
-	sum := &ReplicateSummary{Algorithm: cfg.Algorithm.Name, Load: cfg.Load, Runs: runs}
+	sum := &ReplicateSummary{
+		Algorithm: cfg.Algorithm.Name, Load: cfg.Load, Runs: runs,
+		Merged: switchsim.MergeResults(runs),
+	}
 	var in, out, q stats.Welford
 	for _, r := range runs {
 		if r.Unstable {

@@ -58,6 +58,18 @@ type Sweep struct {
 	// oracle replays exact draw order) and with CheckpointDir (fast
 	// runs cannot be snapshotted); Run rejects the combination.
 	Fast bool
+	// Replications runs every grid point R times with independent
+	// per-replication seed substreams and merges the R runs into the
+	// point's Results with switchsim.MergeResults (counters summed,
+	// moments combined, gauges weighted by measured window). The R
+	// runs are shards of the same work-stealing pool as the points
+	// themselves, so a single point saturates the whole worker fleet;
+	// the merged table is byte-identical for any worker count.
+	// Replication 0 uses exactly the legacy point seed, so a
+	// 1-replication sweep equals a plain one. Values <= 1 mean one run
+	// per point; incompatible with CheckpointDir (the resume protocol
+	// stores one simulation per point).
+	Replications int
 }
 
 // Point is one measured (algorithm, load) grid cell.
@@ -97,6 +109,9 @@ func (s *Sweep) Validate() error {
 	if s.Fast && s.CheckpointDir != "" {
 		return fmt.Errorf("experiment: sweep %q: Fast sweeps cannot be checkpointed or resumed", s.Name)
 	}
+	if s.Replications > 1 && s.CheckpointDir != "" {
+		return fmt.Errorf("experiment: sweep %q: replicated sweeps cannot be checkpointed or resumed", s.Name)
+	}
 	return nil
 }
 
@@ -131,6 +146,10 @@ func (s *Sweep) Run() (*Table, error) {
 		if err := os.MkdirAll(s.CheckpointDir, 0o755); err != nil {
 			return nil, fmt.Errorf("experiment: checkpoint dir: %w", err)
 		}
+	}
+
+	if s.Replications > 1 {
+		return s.runReplicated(tbl)
 	}
 
 	total := len(s.Algorithms) * len(s.Loads)
@@ -182,8 +201,18 @@ func (s *Sweep) runPoint(ai, li int, pool *core.ArenaPool) Point {
 // checkpoint blobs embed the derived seed, so changing it would orphan
 // every saved checkpoint.
 func (s *Sweep) pointRunner(ai, li int, pat traffic.Pattern, pool *core.ArenaPool) (*switchsim.Runner, *invcheck.Checker, func()) {
+	return s.pointRunnerRep(ai, li, 0, pat, pool)
+}
+
+// pointRunnerRep is pointRunner for one replication of the cell.
+// Replication 0 uses the pinned point seed unchanged; higher
+// replications mix in their index, giving every replication an
+// independent substream that is still a pure function of
+// (sweep seed, ai, li, rep).
+func (s *Sweep) pointRunnerRep(ai, li, rep int, pat traffic.Pattern, pool *core.ArenaPool) (*switchsim.Runner, *invcheck.Checker, func()) {
 	algo := s.Algorithms[ai]
 	seed := s.Seed ^ (uint64(ai)+1)*0x9e3779b97f4a7c15 ^ (uint64(li)+1)*0xd6e8feb86659fd93
+	seed ^= uint64(rep) * 0x94d049bb133111eb
 	trafficRoot := xrand.New(seed).Split("run-traffic", 0)
 	switchRoot := xrand.New(seed).Split("run-switch", 0)
 

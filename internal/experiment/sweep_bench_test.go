@@ -30,6 +30,35 @@ func benchSweep(workers int) *Sweep {
 	}
 }
 
+// BenchmarkReplicatedSweep measures the replicated-sweep engine:
+// every grid point simulated 3 times (R x points shards on the same
+// worker pool) and merged. workers=1 is the sequential baseline for
+// the per-core scaling table in BENCH_parallel.json; run through
+// scripts/benchcmp -scaling.
+func BenchmarkReplicatedSweep(b *testing.B) {
+	const reps = 3
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			s := benchSweep(workers)
+			s.Replications = reps
+			slots := int64(0)
+			for i := 0; i < b.N; i++ {
+				tbl, err := s.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, row := range tbl.Points {
+					for _, pt := range row {
+						slots += pt.Results.Slots
+					}
+				}
+			}
+			b.ReportAllocs()
+			b.ReportMetric(float64(slots)/b.Elapsed().Seconds(), "slots/s")
+		})
+	}
+}
+
 // BenchmarkSweep measures aggregate sweep throughput at 1, 4 and 8
 // workers. On a k-core host throughput saturates at k workers; the
 // recorded numbers state the host's core count.

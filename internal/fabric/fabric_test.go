@@ -363,8 +363,13 @@ type fabricStepper struct {
 
 func newFabricStepper(tb testing.TB, algo string) *fabricStepper {
 	tb.Helper()
+	return newFabricStepperCfg(tb, algo, fabric.Config{})
+}
+
+func newFabricStepperCfg(tb testing.TB, algo string, fcfg fabric.Config) *fabricStepper {
+	tb.Helper()
 	top := mustTop(tb, "fattree:k=4")
-	f := newFabric(tb, top, algo, fabric.Config{}, 41)
+	f := newFabric(tb, top, algo, fcfg, 41)
 	s := &fabricStepper{f: f, n: top.Ingress()}
 	f.SetReleaseHook(func(p *cell.Packet) { s.free = append(s.free, p) })
 	return s

@@ -1,0 +1,164 @@
+package switchsim
+
+import (
+	"math"
+
+	"voqsim/internal/fabric"
+)
+
+// Deterministic merging of independent replications. R runs of the
+// same (algorithm, pattern, load, ports) point with independent seeds
+// are folded into one Results as if a single run had observed every
+// sample: counters add, Welford moments combine pairwise (Chan et
+// al.), slot-averaged gauges weight by each run's measured window.
+// The fold always walks the slice left to right, so the merged table
+// is byte-identical however the replications were scheduled — the
+// same contract the sweep engine makes for grid points.
+
+// mergeSummary folds b into a with the pairwise moment-combination
+// update. The second central moment is reconstructed from the stored
+// StdDev (M2 = Var·(n−1)); exact for the values Summary actually
+// carries, which is all the determinism contract needs.
+func mergeSummary(a, b Summary) Summary {
+	if b.Count == 0 {
+		return a
+	}
+	if a.Count == 0 {
+		return b
+	}
+	n1, n2 := float64(a.Count), float64(b.Count)
+	n := n1 + n2
+	m2a := a.StdDev * a.StdDev * (n1 - 1)
+	m2b := b.StdDev * b.StdDev * (n2 - 1)
+	delta := b.Mean - a.Mean
+	mean := a.Mean + delta*n2/n
+	m2 := m2a + m2b + delta*delta*n1*n2/n
+	variance := 0.0
+	if n > 1 {
+		variance = m2 / (n - 1)
+	}
+	sd := math.Sqrt(variance)
+	return Summary{
+		Mean:   finite(mean),
+		StdDev: finite(sd),
+		StdErr: finite(sd / math.Sqrt(n)),
+		Min:    math.Min(a.Min, b.Min),
+		Max:    math.Max(a.Max, b.Max),
+		Count:  a.Count + b.Count,
+	}
+}
+
+// measuredSlots is the length of a run's post-warmup window, the
+// weight of its slot-averaged gauges (AvgQueue, AvgBufferBytes,
+// Throughput).
+func measuredSlots(r *Results) int64 {
+	if m := r.Slots - r.WarmupSlots; m > 0 {
+		return m
+	}
+	return 0
+}
+
+// mergeFabricStats folds the per-run fabric summaries; nil when any
+// run lacks one (single-switch runs never carry fabric stats).
+func mergeFabricStats(rs []Results) *fabric.Stats {
+	for i := range rs {
+		if rs[i].Fabric == nil {
+			return nil
+		}
+	}
+	out := *rs[0].Fabric
+	out.DropsByHop = append([]int64(nil), rs[0].Fabric.DropsByHop...)
+	for i := 1; i < len(rs); i++ {
+		f := rs[i].Fabric
+		// HopMean is per delivered copy: weight by each run's count.
+		if n := out.DeliveredCopies + f.DeliveredCopies; n > 0 {
+			out.HopMean = (out.HopMean*float64(out.DeliveredCopies) +
+				f.HopMean*float64(f.DeliveredCopies)) / float64(n)
+		}
+		switch {
+		case out.DeliveredCopies == 0:
+			out.HopMin, out.HopMax = f.HopMin, f.HopMax
+		case f.DeliveredCopies > 0:
+			out.HopMin = min(out.HopMin, f.HopMin)
+			out.HopMax = max(out.HopMax, f.HopMax)
+		}
+		out.AdmittedPackets += f.AdmittedPackets
+		out.AdmittedCopies += f.AdmittedCopies
+		out.DeliveredCopies += f.DeliveredCopies
+		out.DroppedCopies += f.DroppedCopies
+		for len(out.DropsByHop) < len(f.DropsByHop) {
+			out.DropsByHop = append(out.DropsByHop, 0)
+		}
+		for h, c := range f.DropsByHop {
+			out.DropsByHop[h] += c
+		}
+	}
+	return &out
+}
+
+// MergeResults folds R replications of one point into a single
+// Results, deterministically (left to right, fixed float-op order).
+// Identity fields — Algorithm, Pattern, Load, Ports, Seed — come from
+// the first run; Seed is therefore the first replication's seed, kept
+// only as a provenance breadcrumb. Slots and the counters sum across
+// runs. Unstable is true if any replication went unstable, with
+// UnstableAt the earliest ceiling-hit slot among them. Delay and
+// rounds summaries combine exactly; AvgQueue, AvgBufferBytes and
+// Throughput weight each run by its measured window; MaxQueue,
+// PeakBufferBytes and InputDelayP99 take the maximum (for the P99
+// bound this is conservative: a log-bucket upper bound for every run
+// is an upper bound for the union). An empty slice merges to the zero
+// Results; a single run merges to itself.
+func MergeResults(rs []Results) Results {
+	if len(rs) == 0 {
+		return Results{}
+	}
+	out := rs[0]
+	if len(rs) == 1 {
+		return out
+	}
+	out.Fabric = mergeFabricStats(rs)
+
+	measured := measuredSlots(&rs[0])
+	queueW := out.AvgQueue * float64(measured)
+	bytesW := out.AvgBufferBytes * float64(measured)
+	tputW := out.Throughput * float64(measured)
+
+	for i := 1; i < len(rs); i++ {
+		r := &rs[i]
+		out.Slots += r.Slots
+		out.WarmupSlots += r.WarmupSlots
+		if r.Unstable {
+			if !out.Unstable || r.UnstableAt < out.UnstableAt {
+				out.UnstableAt = r.UnstableAt
+			}
+			out.Unstable = true
+		}
+		out.OfferedPackets += r.OfferedPackets
+		out.OfferedCopies += r.OfferedCopies
+		out.Completed += r.Completed
+		out.Delivered += r.Delivered
+
+		out.InputDelay = mergeSummary(out.InputDelay, r.InputDelay)
+		out.OutputDelay = mergeSummary(out.OutputDelay, r.OutputDelay)
+		out.UnicastInputDelay = mergeSummary(out.UnicastInputDelay, r.UnicastInputDelay)
+		out.MulticastInputDelay = mergeSummary(out.MulticastInputDelay, r.MulticastInputDelay)
+		out.Rounds = mergeSummary(out.Rounds, r.Rounds)
+
+		m := measuredSlots(r)
+		measured += m
+		queueW += r.AvgQueue * float64(m)
+		bytesW += r.AvgBufferBytes * float64(m)
+		tputW += r.Throughput * float64(m)
+
+		out.MaxQueue = max(out.MaxQueue, r.MaxQueue)
+		out.PeakBufferBytes = max(out.PeakBufferBytes, r.PeakBufferBytes)
+		out.InputDelayP99 = max(out.InputDelayP99, r.InputDelayP99)
+	}
+	if measured > 0 {
+		out.AvgQueue = queueW / float64(measured)
+		out.AvgBufferBytes = bytesW / float64(measured)
+		out.Throughput = tputW / float64(measured)
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package switchsim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"voqsim/internal/fabric"
+	"voqsim/internal/stats"
+)
+
+func summaryOf(xs []float64) Summary {
+	var w stats.Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	return summarize(&w)
+}
+
+// TestMergeSummary checks the pairwise moment combination against a
+// single accumulator over the concatenated samples. The two float-op
+// orders differ, so the comparison is tolerance-based; determinism of
+// the merge itself is a separate property (same inputs, same fold
+// order, same bytes) and is pinned by the sweep determinism tests.
+func TestMergeSummary(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 10}
+	b := []float64{5, 5, 6, 0.5}
+	got := mergeSummary(summaryOf(a), summaryOf(b))
+	want := summaryOf(append(append([]float64(nil), a...), b...))
+	if got.Count != want.Count || got.Min != want.Min || got.Max != want.Max {
+		t.Fatalf("count/min/max: got %+v want %+v", got, want)
+	}
+	for _, c := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"mean", got.Mean, want.Mean},
+		{"stddev", got.StdDev, want.StdDev},
+		{"stderr", got.StdErr, want.StdErr},
+	} {
+		if math.Abs(c.got-c.want) > 1e-12 {
+			t.Fatalf("%s: got %v want %v", c.name, c.got, c.want)
+		}
+	}
+
+	empty := Summary{}
+	if got := mergeSummary(empty, summaryOf(a)); got != summaryOf(a) {
+		t.Fatalf("merge with empty left: %+v", got)
+	}
+	if got := mergeSummary(summaryOf(a), empty); got != summaryOf(a) {
+		t.Fatalf("merge with empty right: %+v", got)
+	}
+}
+
+func TestMergeResults(t *testing.T) {
+	r1 := Results{
+		Algorithm: "fifoms", Pattern: "bern", Load: 0.5, Ports: 8, Seed: 11,
+		Slots: 1000, WarmupSlots: 500,
+		OfferedPackets: 100, OfferedCopies: 200, Completed: 90, Delivered: 180,
+		InputDelay: summaryOf([]float64{1, 2, 3}),
+		AvgQueue:   2.0, MaxQueue: 7, Throughput: 0.4,
+		AvgBufferBytes: 64, PeakBufferBytes: 1000, InputDelayP99: 8,
+	}
+	r2 := Results{
+		Algorithm: "fifoms", Pattern: "bern", Load: 0.5, Ports: 8, Seed: 99,
+		Slots: 3000, WarmupSlots: 1500,
+		OfferedPackets: 300, OfferedCopies: 600, Completed: 280, Delivered: 560,
+		InputDelay: summaryOf([]float64{2, 4}),
+		AvgQueue:   4.0, MaxQueue: 5, Throughput: 0.6,
+		AvgBufferBytes: 32, PeakBufferBytes: 800, InputDelayP99: 16,
+		Unstable: true, UnstableAt: 2222,
+	}
+	m := MergeResults([]Results{r1, r2})
+
+	if m.Algorithm != "fifoms" || m.Seed != 11 || m.Ports != 8 {
+		t.Fatalf("identity fields: %+v", m)
+	}
+	if m.Slots != 4000 || m.WarmupSlots != 2000 {
+		t.Fatalf("slots %d/%d, want 4000/2000", m.Slots, m.WarmupSlots)
+	}
+	if !m.Unstable || m.UnstableAt != 2222 {
+		t.Fatalf("instability not propagated: %+v", m)
+	}
+	if m.OfferedPackets != 400 || m.Delivered != 740 {
+		t.Fatalf("counters: %+v", m)
+	}
+	if m.InputDelay.Count != 5 {
+		t.Fatalf("delay count %d, want 5", m.InputDelay.Count)
+	}
+	// Measured windows are 500 and 1500 slots: gauges weight 1:3.
+	if got, want := m.AvgQueue, (2.0*500+4.0*1500)/2000; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("AvgQueue %v, want %v", got, want)
+	}
+	if got, want := m.Throughput, (0.4*500+0.6*1500)/2000; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Throughput %v, want %v", got, want)
+	}
+	if m.MaxQueue != 7 || m.PeakBufferBytes != 1000 || m.InputDelayP99 != 16 {
+		t.Fatalf("max fields: %+v", m)
+	}
+
+	// Earliest instability wins regardless of order.
+	r3 := r2
+	r3.UnstableAt = 100
+	if m := MergeResults([]Results{r2, r3}); m.UnstableAt != 100 {
+		t.Fatalf("UnstableAt %d, want 100", m.UnstableAt)
+	}
+	if m := MergeResults([]Results{r3, r2}); m.UnstableAt != 100 {
+		t.Fatalf("UnstableAt %d, want 100 (reversed)", m.UnstableAt)
+	}
+
+	// Degenerate shapes.
+	if m := MergeResults(nil); !reflect.DeepEqual(m, Results{}) {
+		t.Fatalf("empty merge: %+v", m)
+	}
+	if m := MergeResults([]Results{r1}); !reflect.DeepEqual(m, r1) {
+		t.Fatalf("single merge not identity: %+v", m)
+	}
+}
+
+func TestMergeResultsFabric(t *testing.T) {
+	f1 := &fabric.Stats{
+		Topology: "fattree:k=4", Nodes: 20, Links: 32,
+		AdmittedPackets: 10, AdmittedCopies: 20, DeliveredCopies: 18, DroppedCopies: 2,
+		DropsByHop: []int64{1, 1}, HopMean: 2.0, HopMin: 1, HopMax: 3,
+	}
+	f2 := &fabric.Stats{
+		Topology: "fattree:k=4", Nodes: 20, Links: 32,
+		AdmittedPackets: 30, AdmittedCopies: 60, DeliveredCopies: 54, DroppedCopies: 6,
+		DropsByHop: []int64{0, 2, 4}, HopMean: 4.0, HopMin: 2, HopMax: 5,
+	}
+	a := Results{Slots: 100, Fabric: f1}
+	b := Results{Slots: 100, Fabric: f2}
+	m := MergeResults([]Results{a, b})
+	if m.Fabric == nil {
+		t.Fatal("fabric stats dropped")
+	}
+	if m.Fabric.AdmittedCopies != 80 || m.Fabric.DeliveredCopies != 72 || m.Fabric.DroppedCopies != 8 {
+		t.Fatalf("fabric counters: %+v", m.Fabric)
+	}
+	if want := []int64{1, 3, 4}; !reflect.DeepEqual(m.Fabric.DropsByHop, want) {
+		t.Fatalf("DropsByHop %v, want %v", m.Fabric.DropsByHop, want)
+	}
+	if got, want := m.Fabric.HopMean, (2.0*18+4.0*54)/72; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("HopMean %v, want %v", got, want)
+	}
+	if m.Fabric.HopMin != 1 || m.Fabric.HopMax != 5 {
+		t.Fatalf("hop range: %+v", m.Fabric)
+	}
+	if f1.DropsByHop[0] != 1 || f2.DropsByHop[0] != 0 {
+		t.Fatal("merge mutated its inputs")
+	}
+
+	// One fabric-less run makes the merged point fabric-less.
+	if m := MergeResults([]Results{a, {Slots: 100}}); m.Fabric != nil {
+		t.Fatalf("mixed merge kept fabric stats: %+v", m.Fabric)
+	}
+}

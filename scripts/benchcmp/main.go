@@ -8,12 +8,22 @@
 // Usage:
 //
 //	benchcmp [-threshold 10] old.txt new.txt
+//	benchcmp -scaling bench.txt
 //
 // Aggregation takes the minimum ns/op across -count repetitions: on a
 // noisy shared runner the minimum is the least-contaminated estimate
 // of the code's true cost, and comparing minima keeps scheduler noise
 // from failing (or masking) a comparison. allocs/op takes the maximum,
 // since a single allocating run is already a correctness signal.
+//
+// -scaling reads a single file and reports per-core scaling instead of
+// a regression diff: benchmarks whose name carries a /workers=K
+// sub-benchmark (e.g. BenchmarkFabricSlotParallel/workers=4) are
+// grouped, and each worker count is compared against the group's
+// workers=1 row — speedup (t1/tK) and parallel efficiency
+// (speedup/K). Groups without a workers=1 baseline are listed without
+// ratios. Informational only: scaling depends on the host's core
+// count, so the mode never fails a build over a ratio.
 package main
 
 import (
@@ -152,9 +162,92 @@ func compare(w io.Writer, old, new map[string]*result, thresholdPct float64) []s
 	return regressed
 }
 
+// splitWorkers recognises a /workers=K sub-benchmark component in a
+// benchmark name, returning the group key (the name with that
+// component removed, -GOMAXPROCS suffix preserved) and K.
+func splitWorkers(name string) (group string, workers int, ok bool) {
+	segs := strings.Split(name, "/")
+	for i, s := range segs {
+		v, found := strings.CutPrefix(s, "workers=")
+		if !found {
+			continue
+		}
+		suffix := ""
+		if j := strings.IndexByte(v, '-'); j >= 0 {
+			suffix, v = v[j:], v[:j]
+		}
+		k, err := strconv.Atoi(v)
+		if err != nil || k <= 0 {
+			continue
+		}
+		rest := append(append([]string{}, segs[:i]...), segs[i+1:]...)
+		return strings.Join(rest, "/") + suffix, k, true
+	}
+	return "", 0, false
+}
+
+// scaling writes the per-core scaling table for every /workers=K group
+// in res and returns the number of groups found.
+func scaling(w io.Writer, res map[string]*result) int {
+	type row struct {
+		workers int
+		ns      float64
+	}
+	groups := make(map[string][]row)
+	for name, r := range res {
+		if g, k, ok := splitWorkers(name); ok {
+			groups[g] = append(groups[g], row{k, r.ns})
+		}
+	}
+	names := make([]string, 0, len(groups))
+	for g := range groups {
+		names = append(names, g)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "%-52s %8s %14s %9s %11s\n", "benchmark", "workers", "ns/op", "speedup", "efficiency")
+	for _, g := range names {
+		rows := groups[g]
+		sort.Slice(rows, func(i, j int) bool { return rows[i].workers < rows[j].workers })
+		base := 0.0
+		for _, r := range rows {
+			if r.workers == 1 {
+				base = r.ns
+			}
+		}
+		for _, r := range rows {
+			if base > 0 && r.ns > 0 {
+				speedup := base / r.ns
+				fmt.Fprintf(w, "%-52s %8d %14.0f %8.2fx %10.0f%%\n",
+					g, r.workers, r.ns, speedup, speedup/float64(r.workers)*100)
+			} else {
+				fmt.Fprintf(w, "%-52s %8d %14.0f %9s %11s\n", g, r.workers, r.ns, "-", "-")
+			}
+		}
+	}
+	return len(groups)
+}
+
 func main() {
 	threshold := flag.Float64("threshold", 10, "fail when ns/op grows by more than this percentage")
+	scalingMode := flag.Bool("scaling", false, "read one file and report /workers=K per-core scaling instead of a diff")
 	flag.Parse()
+	if *scalingMode {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: benchcmp -scaling bench.txt")
+			os.Exit(2)
+		}
+		res, err := parseFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcmp:", err)
+			os.Exit(2)
+		}
+		if scaling(os.Stdout, res) == 0 {
+			fmt.Fprintln(os.Stderr, "benchcmp: no /workers=K benchmarks found; was -bench run against the parallel benchmarks?")
+			os.Exit(2)
+		}
+		return
+	}
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchcmp [-threshold pct] old.txt new.txt")
 		os.Exit(2)

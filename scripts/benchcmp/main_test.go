@@ -115,6 +115,64 @@ BenchmarkSlot/n=256-8  100 99999 ns/op 0 B/op 0 allocs/op
 	}
 }
 
+func TestSplitWorkers(t *testing.T) {
+	for _, c := range []struct {
+		name, group string
+		workers     int
+		ok          bool
+	}{
+		{"BenchmarkFabricSlotParallel/workers=4-8", "BenchmarkFabricSlotParallel-8", 4, true},
+		{"BenchmarkX/topo=clos/workers=2-1", "BenchmarkX/topo=clos-1", 2, true},
+		{"BenchmarkSlot/n=64-8", "", 0, false},
+		{"BenchmarkX/workers=zero-8", "", 0, false},
+	} {
+		group, workers, ok := splitWorkers(c.name)
+		if group != c.group || workers != c.workers || ok != c.ok {
+			t.Errorf("splitWorkers(%q) = (%q, %d, %v), want (%q, %d, %v)",
+				c.name, group, workers, ok, c.group, c.workers, c.ok)
+		}
+	}
+}
+
+func TestScalingReport(t *testing.T) {
+	// workers=2 at exactly half the time of workers=1: 2.00x speedup,
+	// 100% efficiency; workers=4 at 2500 ns is 4.00x, 100%.
+	res, err := parseFile(writeTemp(t, "bench.txt", `
+BenchmarkFabricSlotParallel/workers=1-8 100 10000 ns/op
+BenchmarkFabricSlotParallel/workers=2-8 100  5000 ns/op
+BenchmarkFabricSlotParallel/workers=4-8 100  2500 ns/op
+BenchmarkSlot/n=64-8                    100 20000 ns/op
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if groups := scaling(&sb, res); groups != 1 {
+		t.Fatalf("found %d groups, want 1", groups)
+	}
+	report := sb.String()
+	for _, want := range []string{"2.00x", "4.00x", "100%"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("scaling report missing %q:\n%s", want, report)
+		}
+	}
+	if strings.Contains(report, "BenchmarkSlot/n=64") {
+		t.Fatalf("non-parallel benchmark leaked into the scaling report:\n%s", report)
+	}
+
+	// Without a workers=1 baseline the rows print without ratios.
+	res, err = parseFile(writeTemp(t, "nobase.txt",
+		"BenchmarkFabricSlotParallel/workers=2-8 100 5000 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	scaling(&sb, res)
+	if !strings.Contains(sb.String(), "-") {
+		t.Fatalf("baseline-less group should print '-' ratios:\n%s", sb.String())
+	}
+}
+
 func TestCompareGeomeanIsSymmetric(t *testing.T) {
 	// One benchmark 2x faster, one 2x slower: the ratio geomean is
 	// exactly 1.000x — an arithmetic mean of deltas would report a
